@@ -1,0 +1,96 @@
+// Experiment A2 (DESIGN.md §4): priority-function ablation.
+//
+// Definition 3.6's communication-sensitive PF against classic mobility-only
+// list scheduling and a FIFO ready list, measured on the start-up schedule
+// length (PF's job) and on the final compacted length, across random
+// CSDFGs and two architectures with contrasting diameters.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "util/text_table.hpp"
+#include "workloads/generator.hpp"
+
+namespace {
+
+using namespace ccs;
+
+RandomDfgConfig sweep_config() {
+  RandomDfgConfig cfg;
+  cfg.num_nodes = 28;
+  cfg.num_layers = 6;
+  cfg.num_back_edges = 5;
+  cfg.max_time = 3;
+  cfg.max_volume = 4;
+  return cfg;
+}
+
+struct Cell {
+  int startup;
+  int compacted;
+};
+
+Cell run(const Csdfg& g, const Topology& topo, PriorityRule rule) {
+  const StoreAndForwardModel comm(topo);
+  CycloCompactionOptions opt;
+  opt.policy = RemapPolicy::kWithRelaxation;
+  opt.startup.priority = rule;
+  const auto res = cyclo_compact(g, topo, comm, opt);
+  return {res.startup_length(), res.best_length()};
+}
+
+void print_ablation() {
+  const std::uint64_t seeds[] = {17, 34, 51, 68, 85, 102, 119, 136};
+  for (const Topology& topo :
+       {make_complete(8), make_linear_array(8)}) {
+    bench::banner("A2: priority ablation on " + topo.name() +
+                  " (startup/compacted)");
+    TextTable t;
+    t.set_header({"seed", "PF (paper)", "mobility", "FIFO"});
+    long long pf_total = 0, mob_total = 0, fifo_total = 0;
+    for (const std::uint64_t seed : seeds) {
+      const Csdfg g = random_csdfg(sweep_config(), seed);
+      const Cell pf = run(g, topo, PriorityRule::kCommunicationSensitive);
+      const Cell mob = run(g, topo, PriorityRule::kMobilityOnly);
+      const Cell fifo = run(g, topo, PriorityRule::kFifo);
+      t.add_row({std::to_string(seed),
+                 std::to_string(pf.startup) + "/" + std::to_string(pf.compacted),
+                 std::to_string(mob.startup) + "/" +
+                     std::to_string(mob.compacted),
+                 std::to_string(fifo.startup) + "/" +
+                     std::to_string(fifo.compacted)});
+      pf_total += pf.startup;
+      mob_total += mob.startup;
+      fifo_total += fifo.startup;
+    }
+    std::cout << t.to_string();
+    std::cout << "total startup length: PF " << pf_total << ", mobility "
+              << mob_total << ", FIFO " << fifo_total << '\n';
+  }
+}
+
+void BM_Priority(benchmark::State& state) {
+  const Csdfg g = random_csdfg(sweep_config(), 17);
+  const Topology topo = make_linear_array(8);
+  const StoreAndForwardModel comm(topo);
+  StartUpOptions opt;
+  opt.priority = static_cast<PriorityRule>(state.range(0));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(start_up_schedule(g, topo, comm, opt));
+  switch (opt.priority) {
+    case PriorityRule::kCommunicationSensitive: state.SetLabel("PF"); break;
+    case PriorityRule::kMobilityOnly: state.SetLabel("mobility"); break;
+    case PriorityRule::kFifo: state.SetLabel("fifo"); break;
+  }
+}
+BENCHMARK(BM_Priority)->Arg(0)->Arg(1)->Arg(2)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_ablation();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

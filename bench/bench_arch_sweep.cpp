@@ -1,0 +1,90 @@
+// Experiment A5 (DESIGN.md §4): schedule quality versus topology.
+//
+// The paper's qualitative conclusion — "the performance of the system would
+// be better in the completely connected architecture than the other
+// architectures because of the uniformity of communication cost" — checked
+// quantitatively: compacted lengths of the filter workloads across topology
+// families and machine sizes, against the (architecture-independent)
+// iteration-bound floor.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/iteration_bound.hpp"
+#include "util/text_table.hpp"
+#include "workloads/library.hpp"
+#include "workloads/transforms.hpp"
+
+namespace {
+
+using namespace ccs;
+
+std::vector<Topology> sized_archs(std::size_t p) {
+  std::vector<Topology> archs;
+  archs.push_back(make_complete(p));
+  archs.push_back(make_linear_array(p));
+  archs.push_back(make_ring(p));
+  if (p % 2 == 0) archs.push_back(make_mesh(p / 2, 2));
+  if (p == 8) archs.push_back(make_hypercube(3));
+  if (p == 16) archs.push_back(make_hypercube(4));
+  archs.push_back(make_star(p));
+  archs.push_back(make_binary_tree(p));
+  return archs;
+}
+
+void print_sweep() {
+  struct Workload {
+    const char* label;
+    Csdfg graph;
+  };
+  const Workload workloads[] = {
+      {"lattice (slow 2)", slowdown(lattice_filter(), 2)},
+      {"elliptic (slow 2)", slowdown(elliptic_filter(), 2)},
+      {"biquad x3", iir_biquad_cascade(3)},
+      {"correlator x4", correlator(4)},
+  };
+  for (const Workload& w : workloads) {
+    const Rational bound = iteration_bound(w.graph);
+    bench::banner("A5: " + std::string(w.label) + " — iteration bound " +
+                  bound.to_string());
+    TextTable t;
+    t.set_header({"architecture", "diameter", "startup", "compacted"});
+    for (const std::size_t p : {std::size_t{4}, std::size_t{8},
+                                std::size_t{16}}) {
+      for (const Topology& topo : sized_archs(p)) {
+        const auto res =
+            bench::run_checked(w.graph, topo, RemapPolicy::kWithRelaxation);
+        t.add_row({topo.name(), std::to_string(topo.diameter()),
+                   std::to_string(res.startup_length()),
+                   std::to_string(res.best_length())});
+      }
+    }
+    std::cout << t.to_string();
+  }
+  std::cout << "\nReading: at equal PE count, smaller diameter compacts "
+               "further; beyond enough PEs the iteration bound, not the "
+               "machine, is the limit.\n";
+}
+
+void BM_ArchSweepCell(benchmark::State& state) {
+  const Csdfg g = slowdown(lattice_filter(), 2);
+  const auto archs = sized_archs(8);
+  const Topology& topo = archs[static_cast<std::size_t>(state.range(0))];
+  const StoreAndForwardModel comm(topo);
+  CycloCompactionOptions opt;
+  opt.policy = RemapPolicy::kWithRelaxation;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(cyclo_compact(g, topo, comm, opt));
+  state.SetLabel(topo.name());
+}
+BENCHMARK(BM_ArchSweepCell)->DenseRange(0, 5)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_sweep();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

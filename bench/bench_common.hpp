@@ -1,0 +1,54 @@
+// ccsched — shared helpers for the benchmark harness.
+//
+// Every bench binary regenerates one of the paper's artifacts (DESIGN.md §4)
+// by printing the relevant tables/series to stdout before handing control to
+// google-benchmark for the wall-clock measurements.  All binaries run with
+// no arguments and terminate in seconds.
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "arch/comm_model.hpp"
+#include "arch/topology.hpp"
+#include "core/cyclo_compaction.hpp"
+#include "core/validator.hpp"
+
+namespace ccs::bench {
+
+/// The paper's five experiment architectures at 8 PEs (Figure 8).
+inline std::vector<Topology> paper_architectures() {
+  std::vector<Topology> archs;
+  archs.push_back(make_complete(8));
+  archs.push_back(make_linear_array(8));
+  archs.push_back(make_ring(8));
+  archs.push_back(make_mesh(4, 2));
+  archs.push_back(make_hypercube(3));
+  return archs;
+}
+
+/// Runs cyclo-compaction and asserts validity (a bench must never report a
+/// broken schedule); returns the result.
+inline CycloCompactionResult run_checked(const Csdfg& g, const Topology& topo,
+                                         RemapPolicy policy) {
+  const StoreAndForwardModel comm(topo);
+  CycloCompactionOptions opt;
+  opt.policy = policy;
+  CycloCompactionResult res = cyclo_compact(g, topo, comm, opt);
+  const auto report = validate_schedule(res.retimed_graph, res.best, comm);
+  if (!report.ok()) {
+    std::cerr << "INVALID SCHEDULE in bench (" << g.name() << " on "
+              << topo.name() << "):\n"
+              << report.to_string() << std::endl;
+    std::abort();
+  }
+  return res;
+}
+
+/// Section header in the harness output.
+inline void banner(const std::string& title) {
+  std::cout << "\n=== " << title << " ===\n";
+}
+
+}  // namespace ccs::bench

@@ -1,0 +1,90 @@
+// Experiment E1 (DESIGN.md §4): the paper's Figures 1-4 walkthrough.
+//
+// Reproduces the 6-task CSDFG of Figure 1(b) scheduled onto the 2x2 mesh of
+// Figure 1(a): the start-up schedule of Figure 2(a) (length 7, C on PE2 at
+// step 3) and the cyclo-compacted schedule of Figure 3(b) (paper: length 5
+// after three passes).  Prints both tables in the paper's layout, the
+// per-pass length trace, and the with-relaxation result (which reaches the
+// iteration bound of 3 on this machine), then times the pipeline stages.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/iteration_bound.hpp"
+#include "core/list_scheduler.hpp"
+#include "io/table_printer.hpp"
+#include "workloads/library.hpp"
+
+namespace {
+
+using namespace ccs;
+
+void print_walkthrough() {
+  const Csdfg g = paper_example6();
+  const Topology mesh = make_mesh(2, 2);
+
+  bench::banner("E1: Figure 2(a) start-up schedule (paper: length 7)");
+  const StoreAndForwardModel comm(mesh);
+  const ScheduleTable startup = start_up_schedule(g, mesh, comm);
+  std::cout << render_schedule(g, startup);
+  std::cout << "startup length = " << startup.length() << " (paper: 7)\n";
+
+  bench::banner(
+      "E1: Figure 3(b) cyclo-compaction, without relaxation (paper: 5)");
+  const auto strict =
+      bench::run_checked(g, mesh, RemapPolicy::kWithoutRelaxation);
+  std::cout << render_schedule(strict.retimed_graph, strict.best);
+  std::cout << "compacted length = " << strict.best_length()
+            << " at pass " << strict.best_pass << " (paper: 5 at pass 3)\n";
+  std::cout << "length trace:";
+  for (int l : strict.length_trace) std::cout << ' ' << l;
+  std::cout << '\n';
+
+  bench::banner("E1: with relaxation (reaches the iteration bound)");
+  const auto relax = bench::run_checked(g, mesh, RemapPolicy::kWithRelaxation);
+  std::cout << render_schedule(relax.retimed_graph, relax.best);
+  std::cout << "compacted length = " << relax.best_length()
+            << ", iteration bound = " << iteration_bound(g).to_string()
+            << '\n';
+}
+
+void BM_StartUpSchedule(benchmark::State& state) {
+  const Csdfg g = paper_example6();
+  const Topology mesh = make_mesh(2, 2);
+  const StoreAndForwardModel comm(mesh);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(start_up_schedule(g, mesh, comm));
+}
+BENCHMARK(BM_StartUpSchedule)->Unit(benchmark::kMicrosecond);
+
+void BM_CycloCompactStrict(benchmark::State& state) {
+  const Csdfg g = paper_example6();
+  const Topology mesh = make_mesh(2, 2);
+  const StoreAndForwardModel comm(mesh);
+  CycloCompactionOptions opt;
+  opt.policy = RemapPolicy::kWithoutRelaxation;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(cyclo_compact(g, mesh, comm, opt));
+}
+BENCHMARK(BM_CycloCompactStrict)->Unit(benchmark::kMicrosecond);
+
+void BM_CycloCompactRelax(benchmark::State& state) {
+  const Csdfg g = paper_example6();
+  const Topology mesh = make_mesh(2, 2);
+  const StoreAndForwardModel comm(mesh);
+  CycloCompactionOptions opt;
+  opt.policy = RemapPolicy::kWithRelaxation;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(cyclo_compact(g, mesh, comm, opt));
+}
+BENCHMARK(BM_CycloCompactRelax)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_walkthrough();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

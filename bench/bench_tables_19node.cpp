@@ -1,0 +1,67 @@
+// Experiments E2-E6 (DESIGN.md §4): Tables 1-10 of the paper.
+//
+// The 19-task general-time CSDFG of Figure 7 (reconstructed; DESIGN.md §5)
+// scheduled onto each of the five 8-PE architectures of Figure 8.  For each
+// architecture the harness prints the start-up schedule (the paper's odd
+// tables 1,3,5,7,9) and the cyclo-compacted schedule with relaxation (the
+// even tables 2,4,6,8,10), plus a summary matrix.
+//
+// Paper shape to reproduce: start-up lengths 12-15; compacted lengths 5-7;
+// completely connected <= hypercube/mesh/ring <= linear array.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "io/table_printer.hpp"
+#include "util/text_table.hpp"
+#include "workloads/library.hpp"
+
+namespace {
+
+using namespace ccs;
+
+void print_tables() {
+  const Csdfg g = paper_example19();
+  TextTable summary;
+  summary.set_header({"architecture", "startup", "compacted", "best pass"});
+
+  int table_no = 1;
+  for (const Topology& topo : bench::paper_architectures()) {
+    const auto res = bench::run_checked(g, topo, RemapPolicy::kWithRelaxation);
+    bench::banner("Table " + std::to_string(table_no) + ": start-up, " +
+                  topo.name());
+    std::cout << render_schedule(g, res.startup);
+    bench::banner("Table " + std::to_string(table_no + 1) +
+                  ": after cyclo-compaction, " + topo.name());
+    std::cout << render_schedule(res.retimed_graph, res.best);
+    summary.add_row({topo.name(), std::to_string(res.startup_length()),
+                     std::to_string(res.best_length()),
+                     std::to_string(res.best_pass)});
+    table_no += 2;
+  }
+  bench::banner("E2-E6 summary (paper: startup 12-15 -> compacted 5-7)");
+  std::cout << summary.to_string();
+}
+
+void BM_Compact19(benchmark::State& state) {
+  const Csdfg g = paper_example19();
+  const auto archs = bench::paper_architectures();
+  const Topology& topo = archs[static_cast<std::size_t>(state.range(0))];
+  const StoreAndForwardModel comm(topo);
+  CycloCompactionOptions opt;
+  opt.policy = RemapPolicy::kWithRelaxation;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(cyclo_compact(g, topo, comm, opt));
+  state.SetLabel(topo.name());
+}
+BENCHMARK(BM_Compact19)->DenseRange(0, 4)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_tables();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

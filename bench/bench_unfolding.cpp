@@ -1,0 +1,101 @@
+// Extension experiment (DESIGN.md A-series): unfolding versus retiming.
+//
+// The paper's reference [3] (Chao & Sha) reaches rate-optimal schedules by
+// combining retiming with unfolding.  This bench measures what unfolding
+// adds on top of cyclo-compaction: per-original-iteration rate as a
+// function of the unfolding factor, on a fractional-bound micro-benchmark
+// and on the paper's graphs, plus the pipelined-PE ablation (Section 2's
+// "pipeline design" remark).
+#include <benchmark/benchmark.h>
+
+#include <iomanip>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/iteration_bound.hpp"
+#include "core/unfold_schedule.hpp"
+#include "util/text_table.hpp"
+#include "workloads/library.hpp"
+
+namespace {
+
+using namespace ccs;
+
+Csdfg fractional_loop() {
+  Csdfg g("frac32");
+  const NodeId a = g.add_node("a", 1);
+  const NodeId b = g.add_node("b", 2);
+  g.add_edge(a, b, 0, 1);
+  g.add_edge(b, a, 2, 1);  // bound 3/2
+  return g;
+}
+
+void print_rates() {
+  struct Workload {
+    const char* label;
+    Csdfg graph;
+  };
+  const Workload workloads[] = {
+      {"fractional micro-loop (bound 3/2)", fractional_loop()},
+      {"paper example 6 (bound 3)", paper_example6()},
+      {"diffeq solver", diffeq_solver()},
+  };
+  const Topology cc = make_complete(8);
+  const StoreAndForwardModel comm(cc);
+  CycloCompactionOptions opt;
+  opt.policy = RemapPolicy::kWithRelaxation;
+
+  for (const Workload& w : workloads) {
+    bench::banner("unfolding rate sweep: " + std::string(w.label) + " on " +
+                  cc.name());
+    TextTable t;
+    t.set_header({"factor", "table length", "rate (steps/orig iter)",
+                  "bound"});
+    const Rational bound = iteration_bound(w.graph);
+    for (int f : {1, 2, 3, 4}) {
+      const auto r = unfold_and_compact(w.graph, f, cc, comm, opt);
+      std::ostringstream rate;
+      rate << std::fixed << std::setprecision(2) << r.rate();
+      t.add_row({std::to_string(f), std::to_string(r.run.best_length()),
+                 rate.str(), bound.to_string()});
+    }
+    std::cout << t.to_string();
+  }
+
+  bench::banner("pipelined-PE ablation (Section 2's pipeline remark)");
+  TextTable t;
+  t.set_header({"workload", "plain PEs", "pipelined PEs"});
+  for (const Workload& w : workloads) {
+    CycloCompactionOptions piped = opt;
+    piped.startup.pipelined_pes = true;
+    const auto a = bench::run_checked(w.graph, cc, RemapPolicy::kWithRelaxation);
+    const StoreAndForwardModel c2(cc);
+    const auto b = cyclo_compact(w.graph, cc, c2, piped);
+    t.add_row({w.label, std::to_string(a.best_length()),
+               std::to_string(b.best_length())});
+  }
+  std::cout << t.to_string();
+}
+
+void BM_UnfoldAndCompact(benchmark::State& state) {
+  const Csdfg g = paper_example6();
+  const Topology cc = make_complete(8);
+  const StoreAndForwardModel comm(cc);
+  CycloCompactionOptions opt;
+  opt.policy = RemapPolicy::kWithRelaxation;
+  const int f = static_cast<int>(state.range(0));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(unfold_and_compact(g, f, cc, comm, opt));
+  state.SetLabel("factor " + std::to_string(f));
+}
+BENCHMARK(BM_UnfoldAndCompact)->Arg(1)->Arg(2)->Arg(3)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_rates();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,70 @@
+// ccsched — from a multi-rate SDF specification to a running schedule.
+//
+// DSP systems are specified as synchronous dataflow: actors with fixed
+// production/consumption rates and channels holding initial tokens.  This
+// example takes a two-stage sample-rate converter, computes its repetition
+// vector, expands it to the single-rate CSDFG the paper's algorithms
+// operate on, cyclo-compacts it onto a 2x2 mesh, and verifies the result
+// on the cycle-accurate simulator.
+//
+// Build & run:   ./examples/multirate_sdf
+#include <iostream>
+
+#include "arch/comm_model.hpp"
+#include "arch/topology.hpp"
+#include "core/cyclo_compaction.hpp"
+#include "core/iteration_bound.hpp"
+#include "core/validator.hpp"
+#include "io/table_printer.hpp"
+#include "sdf/sdf.hpp"
+#include "sim/executor.hpp"
+
+int main() {
+  using namespace ccs;
+
+  // A 2:3 / 3:4 rate-conversion pipeline with a rate-control feedback
+  // channel carrying two iterations of slack.
+  SdfGraph sdf("resampler");
+  const ActorId src = sdf.add_actor("src", 1);
+  const ActorId up = sdf.add_actor("up", 2);     // interpolation filter
+  const ActorId down = sdf.add_actor("down", 1); // decimation filter
+  sdf.add_channel(src, up, 2, 1, 0, 1);
+  sdf.add_channel(up, down, 3, 4, 0, 2);
+  sdf.add_channel(down, src, 2, 3, /*initial_tokens=*/12, 1);
+
+  const auto q = repetition_vector(sdf);
+  std::cout << "repetition vector:";
+  for (ActorId a = 0; a < sdf.actor_count(); ++a)
+    std::cout << "  " << sdf.actor(a).name << "=" << q[a];
+  std::cout << '\n';
+
+  const SdfExpansion x = expand_sdf(sdf);
+  std::cout << "single-rate expansion: " << x.graph.node_count()
+            << " firings, " << x.graph.edge_count()
+            << " dependence bundles, iteration bound "
+            << iteration_bound(x.graph).to_string() << "\n\n";
+
+  const Topology mesh = make_mesh(2, 2);
+  const StoreAndForwardModel comm(mesh);
+  CycloCompactionOptions opt;
+  opt.policy = RemapPolicy::kWithRelaxation;
+  const auto res = cyclo_compact(x.graph, mesh, comm, opt);
+
+  std::cout << "compacted schedule (one table period = one full SDF "
+               "iteration, i.e. "
+            << q[src] << " src / " << q[up] << " up / " << q[down]
+            << " down firings):\n"
+            << render_schedule(res.retimed_graph, res.best);
+  std::cout << "startup " << res.startup_length() << " -> "
+            << res.best_length() << " control steps\n";
+
+  const auto report = validate_schedule(res.retimed_graph, res.best, comm);
+  ExecutorOptions sim;
+  sim.iterations = 32;
+  sim.warmup = 8;
+  const double ii = execute_static(res.retimed_graph, res.best, mesh, sim)
+                        .steady_initiation_interval;
+  std::cout << "validator: " << (report.ok() ? "OK" : "BROKEN")
+            << "; simulated steady interval " << ii << " steps/iteration\n";
+  return report.ok() ? 0 : 1;
+}

@@ -1,0 +1,37 @@
+#include "arch/comm_model.hpp"
+
+#include "util/contracts.hpp"
+
+namespace ccs {
+
+CommCost StoreAndForwardModel::cost(PeId from, PeId to,
+                                    std::size_t volume) const {
+  CCS_EXPECTS(from < topo_->size() && to < topo_->size());
+  return static_cast<CommCost>(topo_->distance(from, to)) *
+         static_cast<CommCost>(volume);
+}
+
+FixedLatencyModel::FixedLatencyModel(const Topology& topo, CommCost latency)
+    : topo_(&topo), latency_(latency) {
+  CCS_EXPECTS(latency >= 0);
+}
+
+CommCost FixedLatencyModel::cost(PeId from, PeId to,
+                                 std::size_t /*volume*/) const {
+  CCS_EXPECTS(from < topo_->size() && to < topo_->size());
+  return from == to ? 0 : latency_;
+}
+
+CutThroughModel::CutThroughModel(const Topology& topo, CommCost per_hop)
+    : topo_(&topo), per_hop_(per_hop) {
+  CCS_EXPECTS(per_hop >= 0);
+}
+
+CommCost CutThroughModel::cost(PeId from, PeId to, std::size_t volume) const {
+  CCS_EXPECTS(from < topo_->size() && to < topo_->size());
+  if (from == to) return 0;
+  return per_hop_ * static_cast<CommCost>(topo_->distance(from, to)) +
+         static_cast<CommCost>(volume);
+}
+
+}  // namespace ccs

@@ -1,0 +1,78 @@
+#include "arch/routing.hpp"
+
+#include <sstream>
+
+#include "util/contracts.hpp"
+#include "util/error.hpp"
+
+namespace ccs {
+
+std::vector<PeId> ShortestPathRouter::route(PeId from, PeId to) const {
+  return topo_->shortest_path(from, to);
+}
+
+XyMeshRouter::XyMeshRouter(const Topology& topo, std::size_t rows,
+                           std::size_t cols)
+    : topo_(&topo), rows_(rows), cols_(cols) {
+  if (rows == 0 || cols == 0 || topo.size() != rows * cols)
+    throw ArchitectureError("XyMeshRouter: topology size does not match " +
+                            std::to_string(rows) + "x" + std::to_string(cols));
+  // Verify the full mesh link structure (a transposed mesh or a ring can
+  // share the horizontal links, so both directions are checked).
+  for (std::size_t r = 0; r < rows; ++r)
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols && topo.distance(r * cols + c, r * cols + c + 1) != 1)
+        throw ArchitectureError(
+            "XyMeshRouter: topology is not the expected mesh (row links)");
+      if (r + 1 < rows &&
+          topo.distance(r * cols + c, (r + 1) * cols + c) != 1)
+        throw ArchitectureError(
+            "XyMeshRouter: topology is not the expected mesh (column links)");
+    }
+}
+
+std::vector<PeId> XyMeshRouter::route(PeId from, PeId to) const {
+  CCS_EXPECTS(from < topo_->size() && to < topo_->size());
+  std::vector<PeId> path{from};
+  std::size_t r = from / cols_, c = from % cols_;
+  const std::size_t tr = to / cols_, tc = to % cols_;
+  while (c != tc) {  // X first
+    c = c < tc ? c + 1 : c - 1;
+    path.push_back(r * cols_ + c);
+  }
+  while (r != tr) {  // then Y
+    r = r < tr ? r + 1 : r - 1;
+    path.push_back(r * cols_ + c);
+  }
+  CCS_ENSURES(path.size() == topo_->distance(from, to) + 1);
+  return path;
+}
+
+EcubeRouter::EcubeRouter(const Topology& topo, std::size_t dimensions)
+    : topo_(&topo), dimensions_(dimensions) {
+  if (topo.size() != (std::size_t{1} << dimensions))
+    throw ArchitectureError("EcubeRouter: topology size is not 2^" +
+                            std::to_string(dimensions));
+  for (std::size_t bit = 0; bit < dimensions; ++bit)
+    if (topo.distance(0, std::size_t{1} << bit) != 1)
+      throw ArchitectureError(
+          "EcubeRouter: topology is not the expected hypercube");
+}
+
+std::vector<PeId> EcubeRouter::route(PeId from, PeId to) const {
+  CCS_EXPECTS(from < topo_->size() && to < topo_->size());
+  std::vector<PeId> path{from};
+  PeId cur = from;
+  for (std::size_t bit = 0; bit < dimensions_; ++bit) {
+    const std::size_t mask = std::size_t{1} << bit;
+    if ((cur ^ to) & mask) {
+      cur ^= mask;
+      path.push_back(cur);
+    }
+  }
+  CCS_ENSURES(cur == to);
+  CCS_ENSURES(path.size() == topo_->distance(from, to) + 1);
+  return path;
+}
+
+}  // namespace ccs

@@ -1,0 +1,81 @@
+// ccsched — deterministic routing policies.
+//
+// The paper's store-and-forward cost model needs only hop counts, but the
+// contention-aware executor needs actual paths: which links a message
+// occupies decides where traffic collides.  Real machines use
+// dimension-order routing — XY on meshes, e-cube on hypercubes — rather
+// than an arbitrary shortest path, and the policies differ precisely in
+// how they spread load.  This module provides the router abstraction plus
+// the three standard deterministic policies; all of them are minimal
+// (path length == hop distance), so the analytic cost model is unchanged
+// and only contention behaviour differs.
+#pragma once
+
+#include <vector>
+
+#include "arch/topology.hpp"
+
+namespace ccs {
+
+/// A deterministic minimal routing policy over a fixed topology.
+class Router {
+public:
+  virtual ~Router() = default;
+
+  /// The link-by-link path from `from` to `to`, inclusive of both
+  /// endpoints (size == distance + 1).  Deterministic.
+  [[nodiscard]] virtual std::vector<PeId> route(PeId from, PeId to) const = 0;
+
+  /// Identifying name for reports.
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Default policy: the topology's BFS shortest path (ties toward
+/// lower-numbered PEs).  Works on every topology.
+class ShortestPathRouter final : public Router {
+public:
+  /// The topology must outlive the router.
+  explicit ShortestPathRouter(const Topology& topo) : topo_(&topo) {}
+
+  [[nodiscard]] std::vector<PeId> route(PeId from, PeId to) const override;
+  [[nodiscard]] std::string name() const override { return "shortest_path"; }
+
+private:
+  const Topology* topo_;
+};
+
+/// XY dimension-order routing on a rows x cols mesh (PE id = row*cols +
+/// col): correct the column first, then the row.  Deadlock-free on real
+/// hardware, and concentrates traffic differently from BFS tie-breaking.
+/// Construction verifies the topology is the matching make_mesh instance.
+class XyMeshRouter final : public Router {
+public:
+  /// Throws ArchitectureError if topo is not a rows x cols mesh.
+  XyMeshRouter(const Topology& topo, std::size_t rows, std::size_t cols);
+
+  [[nodiscard]] std::vector<PeId> route(PeId from, PeId to) const override;
+  [[nodiscard]] std::string name() const override { return "xy_mesh"; }
+
+private:
+  const Topology* topo_;
+  std::size_t rows_;
+  std::size_t cols_;
+};
+
+/// E-cube (dimension-order) routing on a hypercube: flip differing address
+/// bits from least significant to most significant.  Construction verifies
+/// the topology is the matching make_hypercube instance.
+class EcubeRouter final : public Router {
+public:
+  /// Throws ArchitectureError if topo is not a `dimensions`-cube.
+  EcubeRouter(const Topology& topo, std::size_t dimensions);
+
+  [[nodiscard]] std::vector<PeId> route(PeId from, PeId to) const override;
+  [[nodiscard]] std::string name() const override { return "ecube"; }
+
+private:
+  const Topology* topo_;
+  std::size_t dimensions_;
+};
+
+}  // namespace ccs

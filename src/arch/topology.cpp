@@ -1,0 +1,224 @@
+#include "arch/topology.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+#include <set>
+#include <sstream>
+
+#include "util/contracts.hpp"
+#include "util/error.hpp"
+
+namespace ccs {
+
+namespace {
+constexpr std::size_t kUnreachable = std::numeric_limits<std::size_t>::max();
+}  // namespace
+
+Topology::Topology(std::size_t num_pes,
+                   std::vector<std::pair<PeId, PeId>> links, bool directed,
+                   std::string name)
+    : num_pes_(num_pes), directed_(directed), name_(std::move(name)) {
+  if (num_pes_ == 0)
+    throw ArchitectureError("topology must have at least one PE");
+
+  std::set<std::pair<PeId, PeId>> unique;
+  for (auto [a, b] : links) {
+    if (a >= num_pes_ || b >= num_pes_) {
+      std::ostringstream os;
+      os << "link (" << a << "," << b << ") references a PE outside 0.."
+         << num_pes_ - 1;
+      throw ArchitectureError(os.str());
+    }
+    if (a == b) {
+      std::ostringstream os;
+      os << "self-loop link on PE " << a;
+      throw ArchitectureError(os.str());
+    }
+    if (!directed_ && a > b) std::swap(a, b);
+    unique.insert({a, b});
+  }
+  links_.assign(unique.begin(), unique.end());
+
+  adjacency_.assign(num_pes_, {});
+  for (auto [a, b] : links_) {
+    adjacency_[a].push_back(b);
+    if (!directed_) adjacency_[b].push_back(a);
+  }
+  for (auto& nb : adjacency_) std::sort(nb.begin(), nb.end());
+
+  compute_distances();
+}
+
+void Topology::compute_distances() {
+  dist_ = Matrix<std::size_t>(num_pes_, num_pes_, kUnreachable);
+  for (PeId src = 0; src < num_pes_; ++src) {
+    dist_(src, src) = 0;
+    std::deque<PeId> frontier{src};
+    while (!frontier.empty()) {
+      const PeId u = frontier.front();
+      frontier.pop_front();
+      for (PeId v : adjacency_[u]) {
+        if (dist_(src, v) == kUnreachable) {
+          dist_(src, v) = dist_(src, u) + 1;
+          frontier.push_back(v);
+        }
+      }
+    }
+  }
+  diameter_ = 0;
+  for (PeId a = 0; a < num_pes_; ++a) {
+    for (PeId b = 0; b < num_pes_; ++b) {
+      if (dist_(a, b) == kUnreachable) {
+        std::ostringstream os;
+        os << "topology '" << name_ << "' is not connected: PE " << b
+           << " is unreachable from PE " << a;
+        throw ArchitectureError(os.str());
+      }
+      diameter_ = std::max(diameter_, dist_(a, b));
+    }
+  }
+}
+
+const std::vector<PeId>& Topology::neighbors(PeId pe) const {
+  CCS_EXPECTS(pe < num_pes_);
+  return adjacency_[pe];
+}
+
+std::size_t Topology::distance(PeId from, PeId to) const {
+  CCS_EXPECTS(from < num_pes_ && to < num_pes_);
+  return dist_(from, to);
+}
+
+std::size_t Topology::degree(PeId pe) const {
+  CCS_EXPECTS(pe < num_pes_);
+  return adjacency_[pe].size();
+}
+
+std::vector<PeId> Topology::shortest_path(PeId from, PeId to) const {
+  CCS_EXPECTS(from < num_pes_ && to < num_pes_);
+  std::vector<PeId> path{from};
+  PeId cur = from;
+  while (cur != to) {
+    // Greedy descent on the distance table; neighbors are sorted, so the
+    // lowest-numbered PE that strictly decreases the remaining distance is
+    // chosen — deterministic across runs and platforms.
+    PeId next = cur;
+    for (PeId nb : adjacency_[cur]) {
+      if (dist_(nb, to) + 1 == dist_(cur, to)) {
+        next = nb;
+        break;
+      }
+    }
+    CCS_ASSERT(next != cur);
+    path.push_back(next);
+    cur = next;
+  }
+  CCS_ENSURES(path.size() == dist_(from, to) + 1);
+  return path;
+}
+
+Topology make_linear_array(std::size_t num_pes) {
+  if (num_pes == 0)
+    throw ArchitectureError("linear array needs at least one PE");
+  std::vector<std::pair<PeId, PeId>> links;
+  for (PeId i = 0; i + 1 < num_pes; ++i) links.push_back({i, i + 1});
+  std::ostringstream name;
+  name << "linear_array(" << num_pes << ")";
+  return Topology(num_pes, std::move(links), /*directed=*/false, name.str());
+}
+
+Topology make_ring(std::size_t num_pes, bool bidirectional) {
+  if (num_pes < 3)
+    throw ArchitectureError("ring needs at least three PEs");
+  std::vector<std::pair<PeId, PeId>> links;
+  for (PeId i = 0; i < num_pes; ++i) links.push_back({i, (i + 1) % num_pes});
+  std::ostringstream name;
+  name << (bidirectional ? "ring(" : "uniring(") << num_pes << ")";
+  return Topology(num_pes, std::move(links), /*directed=*/!bidirectional,
+                  name.str());
+}
+
+Topology make_complete(std::size_t num_pes) {
+  if (num_pes == 0)
+    throw ArchitectureError("complete topology needs at least one PE");
+  std::vector<std::pair<PeId, PeId>> links;
+  for (PeId a = 0; a < num_pes; ++a)
+    for (PeId b = a + 1; b < num_pes; ++b) links.push_back({a, b});
+  std::ostringstream name;
+  name << "complete(" << num_pes << ")";
+  return Topology(num_pes, std::move(links), /*directed=*/false, name.str());
+}
+
+Topology make_mesh(std::size_t rows, std::size_t cols) {
+  if (rows == 0 || cols == 0)
+    throw ArchitectureError("mesh dimensions must be positive");
+  auto id = [cols](std::size_t r, std::size_t c) { return r * cols + c; };
+  std::vector<std::pair<PeId, PeId>> links;
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) links.push_back({id(r, c), id(r, c + 1)});
+      if (r + 1 < rows) links.push_back({id(r, c), id(r + 1, c)});
+    }
+  }
+  std::ostringstream name;
+  name << "mesh(" << rows << "x" << cols << ")";
+  return Topology(rows * cols, std::move(links), /*directed=*/false,
+                  name.str());
+}
+
+Topology make_torus(std::size_t rows, std::size_t cols) {
+  if (rows < 3 || cols < 3)
+    throw ArchitectureError(
+        "torus dimensions must be at least 3x3 (smaller wraps duplicate mesh "
+        "links)");
+  auto id = [cols](std::size_t r, std::size_t c) { return r * cols + c; };
+  std::vector<std::pair<PeId, PeId>> links;
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      links.push_back({id(r, c), id(r, (c + 1) % cols)});
+      links.push_back({id(r, c), id((r + 1) % rows, c)});
+    }
+  }
+  std::ostringstream name;
+  name << "torus(" << rows << "x" << cols << ")";
+  return Topology(rows * cols, std::move(links), /*directed=*/false,
+                  name.str());
+}
+
+Topology make_hypercube(std::size_t dimensions) {
+  if (dimensions > 20)
+    throw ArchitectureError("hypercube dimension too large");
+  const std::size_t n = std::size_t{1} << dimensions;
+  std::vector<std::pair<PeId, PeId>> links;
+  for (PeId a = 0; a < n; ++a)
+    for (std::size_t bit = 0; bit < dimensions; ++bit)
+      links.push_back({a, a ^ (std::size_t{1} << bit)});
+  std::ostringstream name;
+  name << "hypercube(" << dimensions << ")";
+  return Topology(n, std::move(links), /*directed=*/false, name.str());
+}
+
+Topology make_star(std::size_t num_pes) {
+  if (num_pes < 2) throw ArchitectureError("star needs at least two PEs");
+  std::vector<std::pair<PeId, PeId>> links;
+  for (PeId i = 1; i < num_pes; ++i) links.push_back({PeId{0}, i});
+  std::ostringstream name;
+  name << "star(" << num_pes << ")";
+  return Topology(num_pes, std::move(links), /*directed=*/false, name.str());
+}
+
+Topology make_binary_tree(std::size_t num_pes) {
+  if (num_pes == 0)
+    throw ArchitectureError("binary tree needs at least one PE");
+  std::vector<std::pair<PeId, PeId>> links;
+  for (PeId i = 0; i < num_pes; ++i) {
+    if (2 * i + 1 < num_pes) links.push_back({i, 2 * i + 1});
+    if (2 * i + 2 < num_pes) links.push_back({i, 2 * i + 2});
+  }
+  std::ostringstream name;
+  name << "binary_tree(" << num_pes << ")";
+  return Topology(num_pes, std::move(links), /*directed=*/false, name.str());
+}
+
+}  // namespace ccs

@@ -1,0 +1,119 @@
+// ccsched — processor interconnect topologies.
+//
+// Section 2 of the paper evaluates five interconnects: linear array, ring,
+// completely connected, 2-D mesh, and n-cube (Figure 5 / Figure 8).  This
+// module models a topology as an undirected (optionally directed) graph of
+// processing elements (PEs) and precomputes the all-pairs hop-distance table
+// that the store-and-forward communication model consumes.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "util/matrix.hpp"
+
+namespace ccs {
+
+/// Identifier of a processing element; PEs are numbered 0 .. size()-1.
+using PeId = std::size_t;
+
+/// A point-to-point interconnect between processing elements.
+///
+/// A Topology owns its link structure and a precomputed all-pairs minimum
+/// hop-count matrix (breadth-first search from every PE).  Construction
+/// verifies that the network is connected: a disconnected machine cannot
+/// execute an arbitrary task graph under store-and-forward routing.
+class Topology {
+public:
+  /// Builds a topology over `num_pes` processors from an explicit link list.
+  /// Each link {a, b} connects PEs a and b; when `directed` is false (the
+  /// default, matching all architectures in the paper) links carry traffic
+  /// both ways.
+  ///
+  /// Throws ArchitectureError if num_pes == 0, a link endpoint is out of
+  /// range, a link is a self-loop, or the network is not (strongly)
+  /// connected.
+  Topology(std::size_t num_pes,
+           std::vector<std::pair<PeId, PeId>> links,
+           bool directed = false,
+           std::string name = "custom");
+
+  /// Number of processing elements.
+  [[nodiscard]] std::size_t size() const noexcept { return num_pes_; }
+
+  /// Human-readable topology name ("linear_array(8)", "mesh(4x2)", ...).
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+  /// True when links are unidirectional.
+  [[nodiscard]] bool directed() const noexcept { return directed_; }
+
+  /// The link list as given at construction (deduplicated, normalized so the
+  /// smaller endpoint comes first for undirected topologies).
+  [[nodiscard]] const std::vector<std::pair<PeId, PeId>>& links()
+      const noexcept {
+    return links_;
+  }
+
+  /// Neighbors reachable from `pe` over one link.
+  [[nodiscard]] const std::vector<PeId>& neighbors(PeId pe) const;
+
+  /// Minimum number of links a message from `from` must traverse to reach
+  /// `to`; zero when from == to.
+  [[nodiscard]] std::size_t distance(PeId from, PeId to) const;
+
+  /// Maximum over all PE pairs of distance(), i.e. the network diameter.
+  [[nodiscard]] std::size_t diameter() const noexcept { return diameter_; }
+
+  /// Degree of `pe` (out-degree for directed topologies).
+  [[nodiscard]] std::size_t degree(PeId pe) const;
+
+  /// One shortest path from `from` to `to`, inclusive of both endpoints
+  /// (so path.size() == distance(from,to) + 1).  Deterministic: ties are
+  /// broken toward lower-numbered intermediate PEs.
+  [[nodiscard]] std::vector<PeId> shortest_path(PeId from, PeId to) const;
+
+private:
+  std::size_t num_pes_;
+  bool directed_;
+  std::string name_;
+  std::vector<std::pair<PeId, PeId>> links_;
+  std::vector<std::vector<PeId>> adjacency_;
+  Matrix<std::size_t> dist_;
+  std::size_t diameter_ = 0;
+
+  void compute_distances();
+};
+
+/// Factory: N processors in a line (Figure 5a); PE i links to PE i+1.
+[[nodiscard]] Topology make_linear_array(std::size_t num_pes);
+
+/// Factory: N processors in a cycle (Figure 5b).  `bidirectional` selects
+/// undirected channels (the paper's default); a unidirectional ring routes
+/// all traffic clockwise.
+[[nodiscard]] Topology make_ring(std::size_t num_pes,
+                                 bool bidirectional = true);
+
+/// Factory: every PE linked to every other PE (Figure 5c).
+[[nodiscard]] Topology make_complete(std::size_t num_pes);
+
+/// Factory: rows×cols 2-D mesh (Figure 5d); no wraparound links.
+[[nodiscard]] Topology make_mesh(std::size_t rows, std::size_t cols);
+
+/// Factory: rows×cols 2-D torus (mesh plus wraparound links) — an extension
+/// architecture beyond the paper's five, used in the architecture sweep.
+[[nodiscard]] Topology make_torus(std::size_t rows, std::size_t cols);
+
+/// Factory: n-dimensional hypercube with 2^dimensions PEs (Figure 5e);
+/// PEs whose indices differ in exactly one bit are linked.
+[[nodiscard]] Topology make_hypercube(std::size_t dimensions);
+
+/// Factory: star — PE 0 is the hub, all others link only to it.  Extension
+/// architecture exercising maximum hub contention in the simulator.
+[[nodiscard]] Topology make_star(std::size_t num_pes);
+
+/// Factory: complete binary tree with `num_pes` nodes; PE i links to its
+/// children 2i+1 and 2i+2.  Extension architecture.
+[[nodiscard]] Topology make_binary_tree(std::size_t num_pes);
+
+}  // namespace ccs

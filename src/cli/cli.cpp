@@ -1,0 +1,391 @@
+#include "cli/cli.hpp"
+
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+
+#include "arch/comm_model.hpp"
+#include "core/critical_cycle.hpp"
+#include "core/cyclo_compaction.hpp"
+#include "core/graph_algo.hpp"
+#include "core/iteration_bound.hpp"
+#include "core/modulo_scheduler.hpp"
+#include "core/retiming.hpp"
+#include "core/validator.hpp"
+#include "io/dot.hpp"
+#include "io/schedule_format.hpp"
+#include "io/table_printer.hpp"
+#include "io/text_format.hpp"
+#include "sdf/sdf.hpp"
+#include "sdf/sdf_format.hpp"
+#include "sim/executor.hpp"
+#include "sim/gantt.hpp"
+#include "util/error.hpp"
+
+namespace ccs {
+
+namespace {
+
+constexpr int kOk = 0;
+constexpr int kFailure = 1;
+constexpr int kUsage = 2;
+
+/// Thrown for malformed command lines; carries the message for `err`.
+struct UsageError {
+  std::string message;
+};
+
+/// Parsed command line: positional arguments plus --key[=value] options.
+class Args {
+public:
+  explicit Args(const std::vector<std::string>& raw) {
+    for (std::size_t i = 0; i < raw.size(); ++i) {
+      const std::string& a = raw[i];
+      if (a.rfind("--", 0) == 0) {
+        const auto eq = a.find('=');
+        if (eq != std::string::npos) {
+          options_.emplace_back(a.substr(2, eq - 2), a.substr(eq + 1));
+        } else if (i + 1 < raw.size() && needs_value(a.substr(2))) {
+          options_.emplace_back(a.substr(2), raw[++i]);
+        } else {
+          options_.emplace_back(a.substr(2), "");
+        }
+      } else {
+        positional_.push_back(a);
+      }
+    }
+  }
+
+  [[nodiscard]] const std::vector<std::string>& positional() const {
+    return positional_;
+  }
+
+  [[nodiscard]] bool flag(const std::string& name) {
+    for (auto& [k, v] : options_)
+      if (k == name) {
+        consumed_.push_back(name);
+        return true;
+      }
+    return false;
+  }
+
+  [[nodiscard]] std::optional<std::string> value(const std::string& name) {
+    for (auto& [k, v] : options_)
+      if (k == name) {
+        consumed_.push_back(name);
+        return v;
+      }
+    return std::nullopt;
+  }
+
+  [[nodiscard]] int int_value(const std::string& name, int fallback) {
+    const auto v = value(name);
+    if (!v) return fallback;
+    try {
+      return std::stoi(*v);
+    } catch (const std::exception&) {
+      throw UsageError{"--" + name + " expects an integer, got '" + *v + "'"};
+    }
+  }
+
+  /// Rejects any option that no handler consumed.
+  void reject_unknown() const {
+    for (const auto& [k, v] : options_) {
+      bool seen = false;
+      for (const std::string& c : consumed_) seen |= c == k;
+      if (!seen) throw UsageError{"unknown option --" + k};
+    }
+  }
+
+private:
+  static bool needs_value(const std::string& key) {
+    for (const char* k :
+         {"arch", "passes", "speeds", "iterations", "warmup", "gantt",
+          "policy"})
+      if (key == k) return true;
+    return false;
+  }
+
+  std::vector<std::pair<std::string, std::string>> options_;
+  std::vector<std::string> positional_;
+  std::vector<std::string> consumed_;
+};
+
+/// Reads a file argument ('-' = the provided stdin stream).
+std::string slurp(const std::string& path, std::istream& in, bool& used_stdin) {
+  if (path == "-") {
+    if (used_stdin) throw UsageError{"only one argument may read stdin"};
+    used_stdin = true;
+    std::ostringstream os;
+    os << in.rdbuf();
+    return os.str();
+  }
+  std::ifstream f(path);
+  if (!f) throw Error("cannot open '" + path + "'");
+  std::ostringstream os;
+  os << f.rdbuf();
+  return os.str();
+}
+
+std::vector<int> parse_speeds(const std::string& csv) {
+  std::vector<int> speeds;
+  std::istringstream ls(csv);
+  std::string tok;
+  while (std::getline(ls, tok, ',')) {
+    try {
+      speeds.push_back(std::stoi(tok));
+    } catch (const std::exception&) {
+      throw UsageError{"--speeds expects a comma-separated integer list"};
+    }
+  }
+  if (speeds.empty()) throw UsageError{"--speeds list is empty"};
+  return speeds;
+}
+
+Topology require_arch(Args& args) {
+  const auto spec = args.value("arch");
+  if (!spec) throw UsageError{"--arch \"<spec>\" is required"};
+  return parse_topology(*spec);
+}
+
+int cmd_info(Args& args, std::istream& in, std::ostream& out) {
+  if (args.positional().size() != 1)
+    throw UsageError{"info: expected <graph>"};
+  bool used_stdin = false;
+  const Csdfg g = parse_csdfg(slurp(args.positional()[0], in, used_stdin));
+  args.reject_unknown();
+
+  const DagTiming timing = compute_dag_timing(g);
+  out << "graph:            " << g.name() << '\n'
+      << "tasks:            " << g.node_count() << '\n'
+      << "dependences:      " << g.edge_count() << '\n'
+      << "total time:       " << g.total_computation() << '\n'
+      << "total delays:     " << g.total_delay() << '\n'
+      << "critical path:    " << timing.critical_path << '\n'
+      << "iteration bound:  " << iteration_bound(g).to_string() << '\n'
+      << "critical cycle:   " << describe_cycle(g, critical_cycle(g)) << '\n'
+      << "dag roots:        ";
+  const auto roots = zero_delay_roots(g);
+  for (std::size_t i = 0; i < roots.size(); ++i)
+    out << (i ? ", " : "") << g.node(roots[i]).name;
+  out << '\n';
+  return kOk;
+}
+
+int cmd_bound(Args& args, std::istream& in, std::ostream& out) {
+  if (args.positional().size() != 1)
+    throw UsageError{"bound: expected <graph>"};
+  bool used_stdin = false;
+  const Csdfg g = parse_csdfg(slurp(args.positional()[0], in, used_stdin));
+  args.reject_unknown();
+  out << iteration_bound(g).to_string() << '\n';
+  return kOk;
+}
+
+int cmd_retime(Args& args, std::istream& in, std::ostream& out) {
+  if (args.positional().size() != 1)
+    throw UsageError{"retime: expected <graph>"};
+  bool used_stdin = false;
+  Csdfg g = parse_csdfg(slurp(args.positional()[0], in, used_stdin));
+  args.reject_unknown();
+  const MinPeriodResult r = min_period_retiming(g);
+  r.retiming.apply(g);
+  out << "# min-period retiming: clock period " << r.period << '\n'
+      << serialize_csdfg(g);
+  return kOk;
+}
+
+int cmd_dot(Args& args, std::istream& in, std::ostream& out) {
+  // Either a graph or an architecture (--arch without a positional).
+  if (args.positional().empty()) {
+    const auto spec = args.value("arch");
+    if (!spec) throw UsageError{"dot: expected <graph> or --arch \"<spec>\""};
+    args.reject_unknown();
+    out << to_dot(parse_topology(*spec));
+    return kOk;
+  }
+  if (args.positional().size() != 1)
+    throw UsageError{"dot: expected <graph>"};
+  bool used_stdin = false;
+  const Csdfg g = parse_csdfg(slurp(args.positional()[0], in, used_stdin));
+  args.reject_unknown();
+  out << to_dot(g);
+  return kOk;
+}
+
+int cmd_expand(Args& args, std::istream& in, std::ostream& out) {
+  if (args.positional().size() != 1)
+    throw UsageError{"expand: expected <sdf-file>"};
+  bool used_stdin = false;
+  const SdfGraph sdf = parse_sdf(slurp(args.positional()[0], in, used_stdin));
+  const bool info = args.flag("info");
+  args.reject_unknown();
+  const SdfExpansion x = expand_sdf(sdf);
+  if (info) {
+    out << "# repetition vector:";
+    for (ActorId a = 0; a < sdf.actor_count(); ++a)
+      out << ' ' << sdf.actor(a).name << '=' << x.repetitions[a];
+    out << '\n';
+  }
+  out << serialize_csdfg(x.graph);
+  return kOk;
+}
+
+int cmd_schedule(Args& args, std::istream& in, std::ostream& out) {
+  if (args.positional().size() != 1)
+    throw UsageError{"schedule: expected <graph>"};
+  bool used_stdin = false;
+  const Csdfg g = parse_csdfg(slurp(args.positional()[0], in, used_stdin));
+  const Topology topo = require_arch(args);
+  const StoreAndForwardModel comm(topo);
+
+  CycloCompactionOptions opt;
+  const std::string policy = args.value("policy").value_or("relax");
+  if (policy == "relax") {
+    opt.policy = RemapPolicy::kWithRelaxation;
+  } else if (policy == "strict") {
+    opt.policy = RemapPolicy::kWithoutRelaxation;
+  } else if (policy == "startup" || policy == "modulo") {
+    // handled below: list scheduling only / iterative modulo scheduling
+  } else {
+    throw UsageError{"--policy must be relax, strict, startup, or modulo"};
+  }
+  const int passes = args.int_value("passes", 0);
+  if (passes > 0) opt.passes = passes;
+  opt.startup.pipelined_pes = args.flag("pipelined");
+  if (const auto speeds = args.value("speeds")) {
+    opt.startup.pe_speeds = parse_speeds(*speeds);
+    if (opt.startup.pe_speeds.size() != topo.size())
+      throw UsageError{"--speeds must list one factor per processor"};
+  }
+  const bool emit_schedule = args.flag("emit-schedule");
+  const bool emit_graph = args.flag("emit-graph");
+  const bool quiet = args.flag("quiet");
+  args.reject_unknown();
+
+  Csdfg final_graph = g;
+  ScheduleTable table(g, 1);
+  int startup_length = 0;
+  if (policy == "modulo") {
+    if (!opt.startup.pe_speeds.empty())
+      throw UsageError{"--policy modulo does not support --speeds"};
+    ModuloScheduleResult mod = modulo_schedule(g, topo, comm);
+    table = std::move(mod.table);
+    final_graph = std::move(mod.retimed_graph);
+    startup_length = mod.initiation_interval;
+  } else if (policy == "startup") {
+    table = start_up_schedule(g, topo, comm, opt.startup);
+    startup_length = table.length();
+  } else {
+    const CycloCompactionResult res = cyclo_compact(g, topo, comm, opt);
+    table = res.best;
+    final_graph = res.retimed_graph;
+    startup_length = res.startup_length();
+  }
+
+  const auto report = validate_schedule(final_graph, table, comm);
+  if (!quiet) out << render_schedule(final_graph, table);
+  out << "startup " << startup_length << " -> " << table.length() << " on "
+      << topo.name() << "  [" << (report.ok() ? "valid" : "INVALID") << "]\n";
+  if (emit_graph) out << serialize_csdfg(final_graph);
+  if (emit_schedule) out << serialize_schedule(final_graph, table);
+  return report.ok() ? kOk : kFailure;
+}
+
+int cmd_validate(Args& args, std::istream& in, std::ostream& out) {
+  if (args.positional().size() != 2)
+    throw UsageError{"validate: expected <graph> <schedule>"};
+  bool used_stdin = false;
+  const Csdfg g = parse_csdfg(slurp(args.positional()[0], in, used_stdin));
+  const ScheduleTable table =
+      parse_schedule(g, slurp(args.positional()[1], in, used_stdin));
+  const Topology topo = require_arch(args);
+  args.reject_unknown();
+  const StoreAndForwardModel comm(topo);
+  const auto report = validate_schedule(g, table, comm);
+  if (report.ok()) {
+    out << "valid: length " << table.length() << " on " << topo.name()
+        << '\n';
+    return kOk;
+  }
+  out << report.to_string() << '\n';
+  return kFailure;
+}
+
+int cmd_simulate(Args& args, std::istream& in, std::ostream& out) {
+  if (args.positional().size() != 2)
+    throw UsageError{"simulate: expected <graph> <schedule>"};
+  bool used_stdin = false;
+  const Csdfg g = parse_csdfg(slurp(args.positional()[0], in, used_stdin));
+  const ScheduleTable table =
+      parse_schedule(g, slurp(args.positional()[1], in, used_stdin));
+  const Topology topo = require_arch(args);
+
+  ExecutorOptions opt;
+  opt.iterations = args.int_value("iterations", 64);
+  opt.warmup = args.int_value("warmup", opt.iterations / 4);
+  opt.link_contention = args.flag("contention");
+  const bool self_timed = args.flag("self-timed");
+  const int gantt_cycles = args.int_value("gantt", 0);
+  opt.record_trace = gantt_cycles > 0;
+  args.reject_unknown();
+
+  const ExecutionStats stats = self_timed
+                                   ? execute_self_timed(g, table, topo, opt)
+                                   : execute_static(g, table, topo, opt);
+  if (stats.deadlocked) {
+    out << "deadlocked: the table's processor order cycles with its "
+           "dependences\n";
+    return kFailure;
+  }
+  out << "mode:            " << (self_timed ? "self-timed" : "static") << '\n'
+      << "iterations:      " << opt.iterations << '\n'
+      << "makespan:        " << stats.makespan << '\n'
+      << "steady II:       " << stats.steady_initiation_interval << '\n'
+      << "messages:        " << stats.total_messages << '\n'
+      << "traffic:         " << stats.total_traffic << '\n';
+  if (!self_timed) out << "late arrivals:   " << stats.late_arrivals << '\n';
+  if (gantt_cycles > 0)
+    out << render_gantt(g, stats.trace, topo.size(), 1, gantt_cycles);
+  return !self_timed && stats.late_arrivals > 0 ? kFailure : kOk;
+}
+
+void print_usage(std::ostream& err) {
+  err << "usage: ccsched <command> [arguments]\n"
+         "commands: info, bound, retime, dot, expand, schedule, validate, simulate\n"
+         "see src/cli/cli.hpp for the full grammar\n";
+}
+
+}  // namespace
+
+int run_cli(const std::vector<std::string>& args, std::istream& in,
+            std::ostream& out, std::ostream& err) {
+  if (args.empty()) {
+    print_usage(err);
+    return kUsage;
+  }
+  const std::string command = args.front();
+  Args parsed(std::vector<std::string>(args.begin() + 1, args.end()));
+  try {
+    if (command == "info") return cmd_info(parsed, in, out);
+    if (command == "bound") return cmd_bound(parsed, in, out);
+    if (command == "retime") return cmd_retime(parsed, in, out);
+    if (command == "dot") return cmd_dot(parsed, in, out);
+    if (command == "expand") return cmd_expand(parsed, in, out);
+    if (command == "schedule") return cmd_schedule(parsed, in, out);
+    if (command == "validate") return cmd_validate(parsed, in, out);
+    if (command == "simulate") return cmd_simulate(parsed, in, out);
+    err << "unknown command '" << command << "'\n";
+    print_usage(err);
+    return kUsage;
+  } catch (const UsageError& e) {
+    err << "usage error: " << e.message << '\n';
+    return kUsage;
+  } catch (const Error& e) {
+    err << "error: " << e.what() << '\n';
+    return kFailure;
+  }
+}
+
+}  // namespace ccs

@@ -1,0 +1,40 @@
+// ccsched — the command-line driver, as a library.
+//
+// Everything the `ccsched` binary does is implemented here against plain
+// streams so the test suite can drive it in-process.  Subcommands:
+//
+//   ccsched info <graph>                     structural report + critical cycle
+//   ccsched bound <graph>                    iteration bound
+//   ccsched retime <graph>                   min-period retiming (emits graph)
+//   ccsched dot <graph>                      Graphviz export
+//   ccsched schedule <graph> --arch "<spec>" [options]
+//       --policy relax|strict|startup|modulo compaction policy (default relax)
+//       --passes N                           rotate-remap passes (default 3|V|)
+//       --pipelined                          pipelined processors
+//       --speeds a,b,c,...                   heterogeneous speed factors
+//       --emit-schedule / --emit-graph       print the persistable artifacts
+//       --quiet                              summary line only
+//   ccsched validate <graph> <schedule> --arch "<spec>"
+//   ccsched simulate <graph> <schedule> --arch "<spec>" [options]
+//       --iterations N --warmup N --self-timed --contention --gantt CYCLES
+//
+// `<graph>` and `<schedule>` are file paths, or `-` for stdin (at most one
+// stdin argument per invocation).  Architecture specs use the
+// io/text_format.hpp grammar ("mesh 4 2", "ring 8 uni", ...).
+//
+// Returns a process exit code: 0 success, 1 failure (invalid schedule,
+// infeasible request), 2 usage error.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ccs {
+
+/// Runs one CLI invocation.  `args` excludes the program name.  `in` backs
+/// any `-` file argument; normal and diagnostic output go to `out`/`err`.
+int run_cli(const std::vector<std::string>& args, std::istream& in,
+            std::ostream& out, std::ostream& err);
+
+}  // namespace ccs

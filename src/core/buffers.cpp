@@ -1,0 +1,40 @@
+#include "core/buffers.hpp"
+
+#include <algorithm>
+
+#include "util/contracts.hpp"
+
+namespace ccs {
+
+BufferReport buffer_requirements(const Csdfg& g, const ScheduleTable& table,
+                                 const CommModel& comm) {
+  CCS_EXPECTS(table.complete());
+  const long long L = table.length();
+  CCS_EXPECTS(L >= 1);
+
+  BufferReport report;
+  report.buffers.resize(g.edge_count());
+  for (EdgeId eid = 0; eid < g.edge_count(); ++eid) {
+    const Edge& e = g.edge(eid);
+    const long long k = e.delay;
+    const long long ce_u = table.ce(e.from);
+    const long long cb_v = table.cb(e.to);
+    const CommCost m = comm.cost(table.pe(e.from), table.pe(e.to), e.volume);
+    const long long life = k * L + cb_v - ce_u;
+    CCS_EXPECTS(life >= m + 1);  // otherwise the schedule is invalid
+    const long long peak = (life + L - 1) / L;
+    report.buffers[eid] = peak;
+    report.total += peak;
+    report.max_edge = std::max(report.max_edge, peak);
+  }
+  return report;
+}
+
+long long buffer_lower_bound(const Csdfg& g) {
+  long long bound = 0;
+  for (EdgeId e = 0; e < g.edge_count(); ++e)
+    bound += std::max(1, g.edge(e).delay);
+  return bound;
+}
+
+}  // namespace ccs

@@ -1,0 +1,53 @@
+// ccsched — buffer (register) cost of a static cyclic schedule.
+//
+// Retiming buys schedule length with storage: every delay a rotation pushes
+// onto an edge is a value that must be buffered across iterations.  This
+// module computes, from first principles, how many values are live on each
+// edge of a scheduled CSDFG:
+//
+// The token produced by u's iteration i exists from absolute step
+// i*L + CE(u) until v's iteration i+k consumes it at (i+k)*L + CB(v) —
+// wherever it sits meanwhile (producer buffer, network, consumer buffer):
+//   life(e) = k*L + CB(v) - CE(u)       (>= M+1 >= 1 on a valid schedule).
+// Production events repeat every L steps, so the peak number of live
+// tokens on the edge is ceil(life(e) / L).  Since CB(v) - CE(u) > -L on
+// any table, peak >= max(1, k): every loop-carried delay really is a
+// stored value (buffer_lower_bound below).
+//
+// The ablation bench (bench_buffers) traces schedule length against total
+// buffer cost across cyclo-compaction passes: the paper optimizes length
+// only; this quantifies what that costs in storage.
+#pragma once
+
+#include <vector>
+
+#include "arch/comm_model.hpp"
+#include "core/csdfg.hpp"
+#include "core/schedule.hpp"
+
+namespace ccs {
+
+/// Per-edge and aggregate buffer requirements of a valid schedule.
+struct BufferReport {
+  /// buffers[e] = peak live tokens on edge e (>= 1).
+  std::vector<long long> buffers;
+  /// Sum over edges.
+  long long total = 0;
+  /// max over edges (the deepest single FIFO).
+  long long max_edge = 0;
+};
+
+/// Computes the report for a complete schedule of `g` under `comm`.  The
+/// schedule must be valid (every lifetime positive); a ContractViolation
+/// signals a broken table.
+[[nodiscard]] BufferReport buffer_requirements(const Csdfg& g,
+                                               const ScheduleTable& table,
+                                               const CommModel& comm);
+
+/// Lower bound independent of the schedule: sum over edges of
+/// max(1, d(e)) — every loop-carried delay is a stored value, and every
+/// edge holds its in-flight value at least momentarily.  Useful as the
+/// baseline in the ablation.
+[[nodiscard]] long long buffer_lower_bound(const Csdfg& g);
+
+}  // namespace ccs

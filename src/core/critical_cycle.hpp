@@ -1,0 +1,41 @@
+// ccsched — extracting the critical cycle.
+//
+// iteration_bound() reports the throughput limit; this module reports the
+// *witness*: a simple cycle whose computation/delay ratio attains the
+// bound.  The critical cycle is the designer's actionable diagnostic — the
+// recurrence to shorten, the delays to deepen (c-slowdown), or the tasks
+// to speed up — and the CLI's `info` command prints it.
+#pragma once
+
+#include <vector>
+
+#include "core/csdfg.hpp"
+#include "core/iteration_bound.hpp"
+
+namespace ccs {
+
+/// A simple cycle with its totals.
+struct CycleWitness {
+  std::vector<EdgeId> edges;  ///< In cycle order; edge i's head feeds i+1.
+  long long total_time = 0;   ///< Sum of node times around the cycle.
+  long long total_delay = 0;  ///< Sum of edge delays around the cycle.
+
+  /// The cycle's time/delay ratio as an exact rational.
+  [[nodiscard]] Rational ratio() const;
+};
+
+/// Finds a simple cycle of `g` attaining the iteration bound.  Returns an
+/// empty witness (no edges) for acyclic graphs.  Deterministic.
+///
+/// Method: with B = p/q from iteration_bound(), the edge weights
+/// q*t(u) - p*d(e) make every cycle non-positive and the critical cycle
+/// exactly zero; a zero-weight cycle is then recovered by walking
+/// predecessor links of a Bellman–Ford run.  Throws GraphError if `g` is
+/// illegal.
+[[nodiscard]] CycleWitness critical_cycle(const Csdfg& g);
+
+/// Human-readable rendering: "A -> B -> A (t=4, d=3, ratio 4/3)".
+[[nodiscard]] std::string describe_cycle(const Csdfg& g,
+                                         const CycleWitness& cycle);
+
+}  // namespace ccs

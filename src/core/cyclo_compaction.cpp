@@ -1,0 +1,69 @@
+#include "core/cyclo_compaction.hpp"
+
+#include <utility>
+
+#include "core/rotation.hpp"
+#include "util/contracts.hpp"
+
+namespace ccs {
+
+CycloCompactionResult cyclo_compact(const Csdfg& g, const Topology& topo,
+                                    const CommModel& comm,
+                                    const CycloCompactionOptions& options) {
+  g.require_legal();
+
+  ScheduleTable startup =
+      start_up_schedule(g, topo, comm, options.startup);
+
+  const int passes = options.passes > 0
+                         ? options.passes
+                         : 3 * static_cast<int>(std::max<std::size_t>(
+                                   1, g.node_count()));
+
+  Csdfg current_graph = g;
+  ScheduleTable current = startup;
+  Retiming current_retiming(g.node_count());
+
+  CycloCompactionResult result{current_graph, current_retiming, current,
+                               startup, {}, 0};
+
+  for (int pass = 1; pass <= passes; ++pass) {
+    const int previous_length = current.length();
+    if (previous_length <= 0) break;
+
+    // Work on copies so a failed pass can be discarded wholesale.
+    Csdfg rotated_graph = current_graph;
+    ScheduleTable shifted = current;
+    Retiming pass_retiming = current_retiming;
+    const std::vector<NodeId> rotated =
+        rotate_first_row(rotated_graph, shifted, &pass_retiming);
+
+    auto remapped =
+        remap_rotated(rotated_graph, shifted, comm, rotated, previous_length,
+                      options.policy, options.selection);
+    if (!remapped) {
+      // Without relaxation a pass that cannot keep the length is abandoned;
+      // the configuration would repeat forever, so the loop ends (the paper:
+      // "the remapping phase does not occur in this case").
+      result.length_trace.push_back(previous_length);
+      break;
+    }
+
+    current_graph = std::move(rotated_graph);
+    current = std::move(*remapped);
+    current_retiming = pass_retiming;
+    result.length_trace.push_back(current.length());
+
+    if (current.length() < result.best.length()) {
+      result.best = current;
+      result.retimed_graph = current_graph;
+      result.retiming = current_retiming;
+      result.best_pass = pass;
+    }
+  }
+
+  CCS_ENSURES(result.best.length() <= startup.length());
+  return result;
+}
+
+}  // namespace ccs

@@ -1,0 +1,77 @@
+// ccsched — the cyclo-compaction scheduling algorithm (Section 4).
+//
+// Algorithm Cyclo-Compact(G, z):
+//   S <- Start-Up-Schedule(G); Q <- S
+//   repeat z times:
+//     (G, S) <- Rotate-Remap(G, S)      // rotation (implicit retiming)
+//                                       // + communication-sensitive remap
+//     if length(S) < length(Q): Q <- S
+//   return Q
+//
+// Each pass deallocates the first row of the table, retimes the graph
+// accordingly (loop pipelining), and remaps the freed tasks to the slots the
+// anticipation function suggests.  Without relaxation the pass length never
+// grows (Theorem 4.4); with relaxation intermediate growth is allowed and
+// the best table seen is returned — the paper's recommended configuration
+// ("the remapping scheme with relaxation yields the better result").
+#pragma once
+
+#include <vector>
+
+#include "arch/comm_model.hpp"
+#include "arch/topology.hpp"
+#include "core/csdfg.hpp"
+#include "core/list_scheduler.hpp"
+#include "core/remap.hpp"
+#include "core/retiming.hpp"
+#include "core/schedule.hpp"
+
+namespace ccs {
+
+/// Configuration of the cyclo-compaction driver.
+struct CycloCompactionOptions {
+  /// Remapping policy (Def. 4.2); the paper's experiments favor relaxation.
+  RemapPolicy policy = RemapPolicy::kWithRelaxation;
+  /// Slot selection; kBidirectional is the default refinement, while
+  /// kAnticipationOnly reproduces the paper's literal procedure.
+  RemapSelection selection = RemapSelection::kBidirectional;
+  /// Number of rotate-remap passes z; 0 selects the default 3 * |V|
+  /// (every task is rotated a few times — the examples in the paper converge
+  /// within a handful of passes).
+  int passes = 0;
+  /// Start-up scheduler configuration.
+  StartUpOptions startup;
+};
+
+/// Everything a caller needs to audit a cyclo-compaction run.
+struct CycloCompactionResult {
+  /// The retimed graph corresponding to `best` (delays as after the winning
+  /// pass; the prologue/epilogue realize the retiming at run time).
+  Csdfg retimed_graph;
+  /// Total retiming from the input graph to `retimed_graph`.
+  Retiming retiming;
+  /// The shortest valid schedule found (Q in the algorithm).
+  ScheduleTable best;
+  /// The start-up schedule the compaction began from.
+  ScheduleTable startup;
+  /// Schedule length after each pass (index 0 = after pass 1).  A pass that
+  /// stalls (without-relaxation rollback) repeats the previous value and
+  /// ends the trace.
+  std::vector<int> length_trace;
+  /// Pass index (1-based) at which `best` was first reached; 0 when the
+  /// start-up schedule was never improved.
+  int best_pass = 0;
+
+  [[nodiscard]] int startup_length() const { return startup.length(); }
+  [[nodiscard]] int best_length() const { return best.length(); }
+};
+
+/// Runs start-up scheduling followed by z rotate-remap passes of
+/// cyclo-compaction on machine `topo` under `comm`.  Deterministic; throws
+/// GraphError if `g` is illegal.  Every schedule returned (startup and best)
+/// satisfies validate_schedule.
+[[nodiscard]] CycloCompactionResult cyclo_compact(
+    const Csdfg& g, const Topology& topo, const CommModel& comm,
+    const CycloCompactionOptions& options = {});
+
+}  // namespace ccs

@@ -1,0 +1,91 @@
+#include "core/iteration_bound.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+#include <vector>
+
+#include "util/contracts.hpp"
+#include "util/error.hpp"
+
+namespace ccs {
+
+std::string Rational::to_string() const {
+  std::ostringstream os;
+  os << num;
+  if (den != 1) os << '/' << den;
+  return os.str();
+}
+
+bool has_cycle_ratio_above(const Csdfg& g, long long p, long long q) {
+  CCS_EXPECTS(q > 0);
+  const std::size_t n = g.node_count();
+  if (n == 0) return false;
+
+  // Longest-path Bellman–Ford from a virtual source connected to all nodes
+  // with weight 0; a relaxation still possible after n passes certifies a
+  // positive cycle, i.e. a cycle with q*sum(t) - p*sum(d) > 0, i.e. ratio
+  // sum(t)/sum(d) > p/q.
+  std::vector<long long> dist(n, 0);
+  for (std::size_t pass = 0; pass < n; ++pass) {
+    bool changed = false;
+    for (EdgeId eid = 0; eid < g.edge_count(); ++eid) {
+      const Edge& e = g.edge(eid);
+      const long long w = q * static_cast<long long>(g.node(e.from).time) -
+                          p * static_cast<long long>(e.delay);
+      if (dist[e.from] + w > dist[e.to]) {
+        dist[e.to] = dist[e.from] + w;
+        changed = true;
+      }
+    }
+    if (!changed) return false;
+  }
+  return true;
+}
+
+Rational iteration_bound(const Csdfg& g) {
+  g.require_legal();
+  if (g.node_count() == 0) return Rational{0, 1};
+
+  if (!has_cycle_ratio_above(g, 0, 1)) {
+    // Every cycle has positive computation time, so "ratio > 0" fails only
+    // when there is no cycle at all: the graph is acyclic.
+    return Rational{0, 1};
+  }
+
+  // B is T_C / D_C for some simple cycle C, so its denominator is at most
+  // min(total delay, |V| * max edge delay).  For each candidate denominator
+  // q, the smallest p with NOT(B > p/q) gives the least fraction >= B with
+  // that denominator; the minimum over q is exactly B (attained when q is a
+  // multiple of B's reduced denominator).
+  const long long total_t = g.total_computation();
+  long long max_edge_delay = 0;
+  for (EdgeId e = 0; e < g.edge_count(); ++e)
+    max_edge_delay =
+        std::max(max_edge_delay, static_cast<long long>(g.edge(e).delay));
+  const long long max_den =
+      std::min(g.total_delay(),
+               static_cast<long long>(g.node_count()) * max_edge_delay);
+  CCS_ASSERT(max_den >= 1);
+
+  Rational best{total_t + 1, 1};  // strictly above any possible bound
+  for (long long q = 1; q <= max_den; ++q) {
+    // Binary search the least p in [1, total_t * q] with !above(p, q).
+    long long lo = 1, hi = total_t * q;
+    // above(hi, q) is false: no cycle ratio exceeds total_t.
+    while (lo < hi) {
+      const long long mid = (lo + hi) / 2;
+      if (has_cycle_ratio_above(g, mid, q))
+        lo = mid + 1;
+      else
+        hi = mid;
+    }
+    const Rational cand{lo, q};
+    if (cand < best) best = cand;
+  }
+  const long long gcd = std::gcd(best.num, best.den);
+  CCS_ENSURES(best.num >= 1 && best.num <= total_t);
+  return Rational{best.num / gcd, best.den / gcd};
+}
+
+}  // namespace ccs

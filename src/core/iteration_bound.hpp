@@ -1,0 +1,56 @@
+// ccsched — the iteration bound of a cyclic data-flow graph.
+//
+// The iteration bound B(G) = max over cycles C of (sum of t over C) /
+// (sum of d over C) is the fundamental throughput limit of a cyclic DFG: no
+// schedule, on any number of processors with any communication system, can
+// sustain one iteration per fewer than B(G) time units.  The benches report
+// it as the architecture-independent floor against which cyclo-compaction's
+// schedule lengths are judged.
+#pragma once
+
+#include <compare>
+#include <string>
+
+#include "core/csdfg.hpp"
+
+namespace ccs {
+
+/// An exact non-negative rational p/q in lowest terms.
+struct Rational {
+  long long num = 0;
+  long long den = 1;
+
+  [[nodiscard]] double value() const {
+    return static_cast<double>(num) / static_cast<double>(den);
+  }
+  [[nodiscard]] std::string to_string() const;
+  [[nodiscard]] friend std::strong_ordering operator<=>(const Rational& a,
+                                                        const Rational& b) {
+    return a.num * b.den <=> b.num * a.den;
+  }
+  [[nodiscard]] friend bool operator==(const Rational& a, const Rational& b) {
+    return (a <=> b) == std::strong_ordering::equal;
+  }
+};
+
+/// Computes the iteration bound of `g` exactly.
+///
+/// Method: the bound is the maximum cycle ratio of the edge-weighted graph
+/// with value(e) = t(source(e)) and cost(e) = d(e).  A candidate ratio
+/// lambda = p/q is feasible (lambda >= B) iff the graph with edge weights
+/// q*t(u) - p*d(e) has no positive cycle (checked by Bellman–Ford).  Since B
+/// is a ratio of (sum t over a simple cycle) / (sum d over that cycle), its
+/// denominator is at most total_delay(); a binary search over the
+/// Stern–Brocot tree of such fractions terminates with the exact value.
+///
+/// Acyclic graphs have bound 0/1.  Throws GraphError if `g` is illegal (a
+/// zero-delay cycle would make the bound infinite).
+[[nodiscard]] Rational iteration_bound(const Csdfg& g);
+
+/// True iff some cycle of the graph with edge weight q*t(u) - p*d(e) is
+/// strictly positive — i.e. the iteration bound exceeds p/q.  Exposed for
+/// testing.
+[[nodiscard]] bool has_cycle_ratio_above(const Csdfg& g, long long p,
+                                         long long q);
+
+}  // namespace ccs

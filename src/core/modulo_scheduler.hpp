@@ -1,0 +1,56 @@
+// ccsched — communication-aware iterative modulo scheduling.
+//
+// The paper's Section 1 cites software pipelining [1, 8] as the classic
+// alternative to rotation-style loop pipelining.  This module implements
+// the canonical form of that alternative — iterative modulo scheduling
+// (Rau-style) — adapted to the CSDFG model with store-and-forward
+// communication, so the two schools can be compared on equal terms
+// (bench_baselines):
+//
+//  * candidate initiation intervals II = max(ceil(bound), resource floor)
+//    upward;
+//  * tasks get ABSOLUTE start times s(v) in topological order:
+//      s(v) >= s(u) + t_eff(u) + M(PE(u), PE(v), c) - k*II   per edge,
+//    processors are reserved modulo II;
+//  * a flat (absolute-time) schedule folds into the library's cyclic
+//    table: CB(v) = ((s(v)-1) mod II) + 1 with the fold count becoming a
+//    retiming advance, so the result is validated by the same
+//    validate_schedule as every other schedule.
+//
+// The algorithm is a one-pass height-priority heuristic (no backtracking
+// ejection); when an II cannot be completed the next II is tried, so it
+// always terminates with a valid schedule.
+#pragma once
+
+#include "arch/comm_model.hpp"
+#include "arch/topology.hpp"
+#include "core/csdfg.hpp"
+#include "core/retiming.hpp"
+#include "core/schedule.hpp"
+
+namespace ccs {
+
+/// Result of modulo scheduling.
+struct ModuloScheduleResult {
+  /// The achieved initiation interval (== table.length()).
+  int initiation_interval = 0;
+  /// Retiming that folds the flat schedule into one table period
+  /// (paper sign convention), applied to produce `retimed_graph`.
+  Retiming retiming;
+  /// The graph the folded table validates against.
+  Csdfg retimed_graph;
+  /// The folded cyclic schedule table.
+  ScheduleTable table;
+  /// Flat (absolute) start times the scheduler chose, for inspection.
+  std::vector<long long> flat_start;
+};
+
+/// Runs communication-aware iterative modulo scheduling of `g` on the
+/// machine.  Deterministic; throws GraphError if `g` is illegal and
+/// ScheduleError if no II up to the serial bound admits a schedule (which
+/// cannot happen for legal inputs — the serial II always works).
+[[nodiscard]] ModuloScheduleResult modulo_schedule(const Csdfg& g,
+                                                   const Topology& topo,
+                                                   const CommModel& comm);
+
+}  // namespace ccs

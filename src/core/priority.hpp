@@ -1,0 +1,48 @@
+// ccsched — scheduling priority functions.
+//
+// Definition 3.6 of the paper tailors list scheduling's priority to the
+// communication-sensitive setting:
+//
+//   PF(v) = max_i { m_i - (cs_cur - (CE(u_i)+1)) } - MB(v)
+//
+// over the already-scheduled zero-delay predecessors u_i of v with data
+// volumes m_i: a pending transfer's volume is discounted by how long v has
+// already been deferred past its producer, and high mobility (Def. 3.4, the
+// slack before v would stretch the critical path) lowers urgency.  Higher PF
+// schedules first.
+//
+// Alternative rules (mobility-only, FIFO) are provided for the priority
+// ablation bench (experiment A2 in DESIGN.md).
+#pragma once
+
+#include "core/csdfg.hpp"
+#include "core/graph_algo.hpp"
+#include "core/schedule.hpp"
+
+namespace ccs {
+
+/// Which priority the start-up scheduler uses to order its ready list.
+enum class PriorityRule {
+  kCommunicationSensitive,  ///< The paper's PF (Def. 3.6).  Default.
+  kMobilityOnly,            ///< Classic list scheduling: -mobility.
+  kFifo,                    ///< Ready-list arrival order (node id).
+};
+
+/// Evaluates PF(v) (Def. 3.6) at current control step `cs_cur` given the
+/// partial schedule `table` (used for CE of scheduled predecessors) and the
+/// DAG timing `timing` (used for mobility).  Predecessors joined by
+/// loop-carried (delay > 0) edges are outside the current iteration and do
+/// not contribute; a node with no contributing predecessor gets a zero
+/// communication term.
+[[nodiscard]] long long priority_pf(const Csdfg& g, const ScheduleTable& table,
+                                    const DagTiming& timing, NodeId v,
+                                    int cs_cur);
+
+/// Evaluates the selected rule; larger values schedule first.  kFifo returns
+/// the negated node id so that earlier-inserted nodes win.
+[[nodiscard]] long long priority_value(PriorityRule rule, const Csdfg& g,
+                                       const ScheduleTable& table,
+                                       const DagTiming& timing, NodeId v,
+                                       int cs_cur);
+
+}  // namespace ccs

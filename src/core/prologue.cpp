@@ -1,0 +1,138 @@
+#include "core/prologue.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "core/graph_algo.hpp"
+#include "util/contracts.hpp"
+
+namespace ccs {
+
+LoopRealization::LoopRealization(const Csdfg& g, const Retiming& retiming) {
+  CCS_EXPECTS(retiming.size() == g.node_count());
+  CCS_EXPECTS(retiming.is_legal_for(g));
+  advance_.resize(g.node_count());
+  long long lo = advance_.empty() ? 0 : retiming.of(0);
+  for (NodeId v = 0; v < g.node_count(); ++v)
+    lo = std::min(lo, retiming.of(v));
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    advance_[v] = retiming.of(v) - lo;
+    depth_ = std::max(depth_, advance_[v]);
+  }
+}
+
+long long LoopRealization::advance(NodeId v) const {
+  CCS_EXPECTS(v < advance_.size());
+  return advance_[v];
+}
+
+std::vector<TaskInstance> LoopRealization::prologue() const {
+  std::vector<TaskInstance> out;
+  for (long long iter = 0; iter < depth_; ++iter)
+    for (NodeId v = 0; v < advance_.size(); ++v)
+      if (iter < advance_[v]) out.push_back({v, iter});
+  return out;
+}
+
+std::vector<TaskInstance> LoopRealization::epilogue(
+    long long total_iterations) const {
+  CCS_EXPECTS(total_iterations >= depth_);
+  const long long steady = total_iterations - depth_;
+  std::vector<TaskInstance> out;
+  for (long long iter = steady; iter < total_iterations; ++iter)
+    for (NodeId v = 0; v < advance_.size(); ++v)
+      if (iter >= steady + advance_[v]) out.push_back({v, iter});
+  return out;
+}
+
+long long LoopRealization::steady_iterations(long long total_iterations) const {
+  CCS_EXPECTS(total_iterations >= depth_);
+  return total_iterations - depth_;
+}
+
+std::vector<TaskInstance> LoopRealization::flatten(
+    const Csdfg& original, const ScheduleTable& steady_table,
+    long long total_iterations) const {
+  CCS_EXPECTS(original.node_count() == advance_.size());
+  CCS_EXPECTS(steady_table.complete());
+  CCS_EXPECTS(total_iterations >= depth_);
+
+  // Zero-delay topological order of the original graph sequences the
+  // prologue/epilogue blocks; the steady state follows the table's
+  // control-step order.
+  const auto topo = zero_delay_topological_order(original);
+
+  std::vector<TaskInstance> out;
+  // Prologue: iteration-major, topological within an iteration.
+  for (long long iter = 0; iter < depth_; ++iter)
+    for (NodeId v : topo)
+      if (iter < advance_[v]) out.push_back({v, iter});
+
+  // Steady state: retimed-iteration-major, CB-major within an iteration.
+  std::vector<NodeId> cb_order(original.node_count());
+  for (NodeId v = 0; v < original.node_count(); ++v) cb_order[v] = v;
+  std::stable_sort(cb_order.begin(), cb_order.end(), [&](NodeId a, NodeId b) {
+    if (steady_table.cb(a) != steady_table.cb(b))
+      return steady_table.cb(a) < steady_table.cb(b);
+    return a < b;
+  });
+  const long long steady = total_iterations - depth_;
+  for (long long t = 0; t < steady; ++t)
+    for (NodeId v : cb_order) out.push_back({v, t + advance_[v]});
+
+  // Epilogue: iteration-major, topological within an iteration.
+  for (long long iter = steady; iter < total_iterations; ++iter)
+    for (NodeId v : topo)
+      if (iter >= steady + advance_[v]) out.push_back({v, iter});
+
+  CCS_ENSURES(out.size() ==
+              static_cast<std::size_t>(total_iterations) *
+                  original.node_count());
+  return out;
+}
+
+std::string check_flattening(const Csdfg& original,
+                             const std::vector<TaskInstance>& sequence,
+                             long long total_iterations) {
+  std::map<std::pair<NodeId, long long>, std::size_t> position;
+  for (std::size_t pos = 0; pos < sequence.size(); ++pos) {
+    const TaskInstance& inst = sequence[pos];
+    if (inst.node >= original.node_count())
+      return "instance references unknown task";
+    if (inst.iteration < 0 || inst.iteration >= total_iterations) {
+      std::ostringstream os;
+      os << "instance (" << original.node(inst.node).name << ","
+         << inst.iteration << ") outside the run";
+      return os.str();
+    }
+    if (!position.insert({{inst.node, inst.iteration}, pos}).second) {
+      std::ostringstream os;
+      os << "instance (" << original.node(inst.node).name << ","
+         << inst.iteration << ") executed twice";
+      return os.str();
+    }
+  }
+  if (position.size() !=
+      static_cast<std::size_t>(total_iterations) * original.node_count())
+    return "some instances were never executed";
+
+  for (EdgeId eid = 0; eid < original.edge_count(); ++eid) {
+    const Edge& e = original.edge(eid);
+    for (long long i = e.delay; i < total_iterations; ++i) {
+      const auto producer = position.find({e.from, i - e.delay});
+      const auto consumer = position.find({e.to, i});
+      CCS_ASSERT(producer != position.end() && consumer != position.end());
+      if (producer->second >= consumer->second) {
+        std::ostringstream os;
+        os << "dependence violated: (" << original.node(e.from).name << ","
+           << i - e.delay << ") must precede (" << original.node(e.to).name
+           << "," << i << ")";
+        return os.str();
+      }
+    }
+  }
+  return {};
+}
+
+}  // namespace ccs

@@ -1,0 +1,90 @@
+// ccsched — realizing a retimed schedule as prologue + steady state +
+// epilogue.
+//
+// Section 2 of the paper: "A prologue is the set of instructions that must
+// be executed to provide the necessary data for the iterative process after
+// it has been successfully retimed ...  An epilogue is the other extreme."
+// Under the paper's sign convention, a task v with (normalized) retiming
+// r(v) has been advanced r(v) iterations: steady-state iteration i of the
+// retimed loop executes original iteration i + r(v) of v.  Running N
+// original iterations therefore needs
+//
+//   prologue:   instances (v, 0 .. r(v)-1)            for every v,
+//   steady:     N - max(r) retimed iterations,
+//   epilogue:   instances (v, N-max(r)+r(v) .. N-1)   for every v.
+//
+// This module computes those instance sets, flattens a bounded run into a
+// dependency-respecting instruction sequence, and verifies the flattening
+// against the ORIGINAL graph — the end-to-end proof that rotation preserved
+// the loop's semantics.
+#pragma once
+
+#include <vector>
+
+#include "core/csdfg.hpp"
+#include "core/retiming.hpp"
+#include "core/schedule.hpp"
+
+namespace ccs {
+
+/// One task instance: task `node` of ORIGINAL iteration `iteration`.
+struct TaskInstance {
+  NodeId node = 0;
+  long long iteration = 0;
+
+  [[nodiscard]] bool operator==(const TaskInstance&) const = default;
+};
+
+/// The prologue/steady/epilogue decomposition induced by a retiming.
+class LoopRealization {
+public:
+  /// Builds the realization of `retiming` (any legal retiming of a graph
+  /// with `g.node_count()` nodes; the stored form is normalized so that
+  /// min r = 0, which does not change the retimed graph).
+  LoopRealization(const Csdfg& g, const Retiming& retiming);
+
+  /// Normalized advancement of each task (min over tasks is 0).
+  [[nodiscard]] long long advance(NodeId v) const;
+
+  /// max over tasks of advance() — the pipeline depth the prologue fills.
+  [[nodiscard]] long long depth() const noexcept { return depth_; }
+
+  /// Prologue instances, ordered task-major by ascending iteration;
+  /// executing them in a topological-by-iteration order supplies every
+  /// operand the steady state's first iteration consumes.
+  [[nodiscard]] std::vector<TaskInstance> prologue() const;
+
+  /// Epilogue instances for a run of `total_iterations` original
+  /// iterations (>= depth()).
+  [[nodiscard]] std::vector<TaskInstance> epilogue(
+      long long total_iterations) const;
+
+  /// Number of steady-state (retimed) iterations in a run of
+  /// `total_iterations` original iterations (>= depth()).
+  [[nodiscard]] long long steady_iterations(long long total_iterations) const;
+
+  /// Flattens a complete run of `total_iterations` original iterations
+  /// into one instruction sequence: prologue (by original iteration, then
+  /// zero-delay topological order), steady-state iterations (by retimed
+  /// iteration, then the table's control-step order), epilogue (same order
+  /// as prologue).  Every original instance (v, 0..N-1) appears exactly
+  /// once.
+  [[nodiscard]] std::vector<TaskInstance> flatten(
+      const Csdfg& original, const ScheduleTable& steady_table,
+      long long total_iterations) const;
+
+private:
+  std::vector<long long> advance_;
+  long long depth_ = 0;
+};
+
+/// Verifies that `sequence` is a legal serial execution of
+/// `total_iterations` iterations of `original`: every instance appears
+/// exactly once and every dependence edge u -e-> v with delay d has
+/// (u, i-d) sequenced before (v, i) whenever i-d >= 0.  Returns an empty
+/// string on success, else a diagnostic.
+[[nodiscard]] std::string check_flattening(
+    const Csdfg& original, const std::vector<TaskInstance>& sequence,
+    long long total_iterations);
+
+}  // namespace ccs

@@ -1,0 +1,185 @@
+#include "core/remap.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "core/validator.hpp"
+#include "util/contracts.hpp"
+
+namespace ccs {
+
+int anticipation(const Csdfg& g, const ScheduleTable& table,
+                 const CommModel& comm, NodeId v, PeId pe,
+                 int target_length) {
+  CCS_EXPECTS(v < g.node_count());
+  CCS_EXPECTS(pe < table.num_pes());
+  long long earliest = 1;
+  for (EdgeId eid : g.in_edges(v)) {
+    const Edge& e = g.edge(eid);
+    if (e.from == v) continue;  // self-loop: constrains PSL, not the slot
+    if (!table.is_placed(e.from)) continue;
+    const long long m = comm.cost(table.pe(e.from), pe, e.volume);
+    const long long bound = table.ce(e.from) + m + 1 -
+                            static_cast<long long>(e.delay) * target_length;
+    earliest = std::max(earliest, bound);
+  }
+  CCS_ENSURES(earliest <= std::numeric_limits<int>::max());
+  return static_cast<int>(earliest);
+}
+
+int latest_start(const Csdfg& g, const ScheduleTable& table,
+                 const CommModel& comm, NodeId v, PeId pe,
+                 int target_length) {
+  CCS_EXPECTS(v < g.node_count());
+  CCS_EXPECTS(pe < table.num_pes());
+  long long latest = target_length - table.time_on(v, pe) + 1;
+  for (EdgeId eid : g.out_edges(v)) {
+    const Edge& e = g.edge(eid);
+    if (e.to == v) continue;  // self-loop
+    if (!table.is_placed(e.to)) continue;
+    const long long m = comm.cost(pe, table.pe(e.to), e.volume);
+    // CB(w) + k*Lt >= CB(v) + t(v) - 1 + m + 1   =>   CB(v) <= bound.
+    const long long bound = table.cb(e.to) +
+                            static_cast<long long>(e.delay) * target_length -
+                            m - table.time_on(v, pe);
+    latest = std::min(latest, bound);
+  }
+  latest = std::min<long long>(latest, std::numeric_limits<int>::max());
+  latest = std::max<long long>(latest, std::numeric_limits<int>::min() + 1);
+  return static_cast<int>(latest);
+}
+
+namespace {
+
+/// Total communication volume-cost between v (hypothetically on `pe`) and
+/// its placed neighbors — the deterministic tie-break that prefers slots
+/// keeping chatty neighbors close.
+long long neighbor_comm(const Csdfg& g, const ScheduleTable& table,
+                        const CommModel& comm, NodeId v, PeId pe) {
+  long long total = 0;
+  for (EdgeId eid : g.in_edges(v)) {
+    const Edge& e = g.edge(eid);
+    if (e.from != v && table.is_placed(e.from))
+      total += comm.cost(table.pe(e.from), pe, e.volume);
+  }
+  for (EdgeId eid : g.out_edges(v)) {
+    const Edge& e = g.edge(eid);
+    if (e.to != v && table.is_placed(e.to))
+      total += comm.cost(pe, table.pe(e.to), e.volume);
+  }
+  return total;
+}
+
+/// The worst communication cost any single edge of `g` can incur on a
+/// machine with `num_pes` processors under `comm` — used to bound the
+/// with-relaxation target search.
+long long worst_edge_cost(const Csdfg& g, const CommModel& comm,
+                          std::size_t num_pes) {
+  long long worst = 0;
+  std::size_t max_volume = 1;
+  for (EdgeId e = 0; e < g.edge_count(); ++e)
+    max_volume = std::max(max_volume, g.edge(e).volume);
+  for (PeId a = 0; a < num_pes; ++a)
+    for (PeId b = 0; b < num_pes; ++b)
+      worst = std::max(worst, static_cast<long long>(comm.cost(a, b, max_volume)));
+  return worst;
+}
+
+}  // namespace
+
+RemapResult try_remap(const Csdfg& g, ScheduleTable& table,
+                      const CommModel& comm,
+                      const std::vector<NodeId>& rotated, int target_length,
+                      RemapSelection selection) {
+  // Place long tasks first; ties broken by node id for determinism.
+  std::vector<NodeId> order = rotated;
+  std::stable_sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
+    if (g.node(a).time != g.node(b).time)
+      return g.node(a).time > g.node(b).time;
+    return a < b;
+  });
+
+  for (NodeId v : order) {
+    CCS_ASSERT(!table.is_placed(v));
+    bool found = false;
+    int best_cb = 0;
+    long long best_comm = 0;
+    PeId best_pe = 0;
+
+    for (PeId pe = 0; pe < table.num_pes(); ++pe) {
+      const int lo = anticipation(g, table, comm, v, pe, target_length);
+      const int hi = selection == RemapSelection::kBidirectional
+                         ? latest_start(g, table, comm, v, pe, target_length)
+                         : target_length - table.time_on(v, pe) + 1;
+      if (lo > hi) continue;
+      const int cb = table.first_free(pe, lo, g.node(v).time);
+      if (cb > hi) continue;
+      const long long cc = neighbor_comm(g, table, comm, v, pe);
+      if (!found || cb < best_cb || (cb == best_cb && cc < best_comm)) {
+        found = true;
+        best_cb = cb;
+        best_comm = cc;
+        best_pe = pe;
+      }
+    }
+    if (!found) return {false, table.length()};
+    table.place(v, best_pe, best_cb);
+  }
+
+  // The remap may have vacated the leading rows; pull everything up (a
+  // uniform shift preserves every constraint).
+  table.set_length(std::max(table.length(), table.occupied_length()));
+  table.compact_leading();
+
+  // PSL padding: the smallest cyclic length satisfying every loop-carried
+  // communication ("the algorithm will assign empty control steps to
+  // compensate the communication requirements").
+  const int needed = min_feasible_length(g, table, comm);
+  if (needed < 0) {
+    // An intra-iteration constraint is broken — only reachable with
+    // kAnticipationOnly, whose successor dependences are unchecked.
+    return {false, table.length()};
+  }
+  table.set_length(std::max(table.occupied_length(), needed));
+  return {true, table.length()};
+}
+
+std::optional<ScheduleTable> remap_rotated(const Csdfg& g,
+                                           const ScheduleTable& table,
+                                           const CommModel& comm,
+                                           const std::vector<NodeId>& rotated,
+                                           int previous_length,
+                                           RemapPolicy policy,
+                                           RemapSelection selection) {
+  CCS_EXPECTS(previous_length >= 1);
+
+  const int first_target = std::max(1, previous_length - 1);
+  int last_target = previous_length;
+  if (policy == RemapPolicy::kWithRelaxation) {
+    // A generous sufficient target: the whole shifted table, every rotated
+    // task serialized after it, and one worst-case transfer of slack.  If
+    // even this fails, the input table was not a valid schedule.
+    long long cap = previous_length + 1 +
+                    worst_edge_cost(g, comm, table.num_pes());
+    int max_speed = 1;
+    for (PeId p = 0; p < table.num_pes(); ++p)
+      max_speed = std::max(max_speed, table.pe_speed(p));
+    for (NodeId v : rotated) cap += g.node(v).time * max_speed;
+    last_target =
+        static_cast<int>(std::min<long long>(cap, std::numeric_limits<int>::max() / 2));
+  }
+
+  for (int target = first_target; target <= last_target; ++target) {
+    ScheduleTable attempt = table;
+    if (attempt.length() > target) continue;
+    RemapResult r = try_remap(g, attempt, comm, rotated, target, selection);
+    if (!r.success) continue;
+    if (policy == RemapPolicy::kWithoutRelaxation &&
+        r.length > previous_length)
+      continue;
+    return attempt;
+  }
+  return std::nullopt;
+}
+
+}  // namespace ccs

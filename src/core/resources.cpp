@@ -1,0 +1,40 @@
+#include "core/resources.hpp"
+
+#include "util/contracts.hpp"
+#include "util/error.hpp"
+
+namespace ccs {
+
+std::vector<SweepPoint> processor_sweep(const Csdfg& g,
+                                        const TopologyFamily& family,
+                                        std::size_t min_pes,
+                                        std::size_t max_pes,
+                                        const CycloCompactionOptions& options) {
+  CCS_EXPECTS(min_pes >= 1 && min_pes <= max_pes);
+  std::vector<SweepPoint> points;
+  for (std::size_t p = min_pes; p <= max_pes; ++p) {
+    std::optional<Topology> topo;
+    try {
+      topo.emplace(family(p));
+    } catch (const ArchitectureError&) {
+      continue;  // family cannot realize this count (e.g. 2^k only)
+    }
+    const StoreAndForwardModel comm(*topo);
+    const auto res = cyclo_compact(g, *topo, comm, options);
+    points.push_back({p, res.startup_length(), res.best_length()});
+  }
+  return points;
+}
+
+std::optional<std::size_t> min_processors_for_length(
+    const Csdfg& g, const TopologyFamily& family, int target_length,
+    std::size_t max_pes, const CycloCompactionOptions& options) {
+  CCS_EXPECTS(target_length >= 1);
+  for (const SweepPoint& point :
+       processor_sweep(g, family, 1, max_pes, options)) {
+    if (point.best_length <= target_length) return point.num_pes;
+  }
+  return std::nullopt;
+}
+
+}  // namespace ccs

@@ -1,0 +1,45 @@
+// ccsched — resource-dimensioning utilities.
+//
+// The paper notes its results apply to "high level synthesis of multi-chip
+// systems", where the designer's question is inverted: not "how fast on
+// this machine" but "how small a machine still meets the rate".  These
+// helpers sweep a topology family over processor counts and answer both
+// directions with cyclo-compaction as the evaluation engine.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "core/cyclo_compaction.hpp"
+
+namespace ccs {
+
+/// A topology family: maps a processor count to a concrete machine (e.g.
+/// make_linear_array, or a lambda building make_mesh(p/2, 2)).  May throw
+/// ArchitectureError for counts it cannot realize; those points are
+/// skipped by the sweep.
+using TopologyFamily = std::function<Topology(std::size_t)>;
+
+/// One point of a processor sweep.
+struct SweepPoint {
+  std::size_t num_pes = 0;
+  int startup_length = 0;
+  int best_length = 0;
+};
+
+/// Compacts `g` on family(p) for every p in [min_pes, max_pes] (points the
+/// family cannot build are skipped).  Deterministic.
+[[nodiscard]] std::vector<SweepPoint> processor_sweep(
+    const Csdfg& g, const TopologyFamily& family, std::size_t min_pes,
+    std::size_t max_pes, const CycloCompactionOptions& options = {});
+
+/// The smallest processor count in [1, max_pes] whose compacted schedule
+/// meets `target_length`, or nullopt if none does.  Monotonicity is not
+/// guaranteed for a heuristic, so the scan is exhaustive from small to
+/// large and returns the first hit.
+[[nodiscard]] std::optional<std::size_t> min_processors_for_length(
+    const Csdfg& g, const TopologyFamily& family, int target_length,
+    std::size_t max_pes, const CycloCompactionOptions& options = {});
+
+}  // namespace ccs

@@ -1,0 +1,16 @@
+#include "core/unfold_schedule.hpp"
+
+#include <utility>
+
+namespace ccs {
+
+UnfoldedScheduleResult unfold_and_compact(const Csdfg& g, int factor,
+                                          const Topology& topo,
+                                          const CommModel& comm,
+                                          const CycloCompactionOptions& options) {
+  Unfolded unfolded = unfold(g, factor);
+  CycloCompactionResult run = cyclo_compact(unfolded.graph, topo, comm, options);
+  return {factor, std::move(unfolded), std::move(run)};
+}
+
+}  // namespace ccs

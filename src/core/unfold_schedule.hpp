@@ -1,0 +1,37 @@
+// ccsched — unfold-and-compact: fractional initiation intervals.
+//
+// A static schedule of the loop body achieves an integral period L.  When
+// the iteration bound is fractional (e.g. 4/3), the classic route to a
+// rate-optimal static schedule (Chao & Sha, the paper's reference [3]) is
+// to unfold the graph by a factor f and schedule f iterations per table:
+// the per-original-iteration rate becomes L_f / f, which can drop below
+// the best single-iteration L.  This module composes the library's
+// unfolding transform with cyclo-compaction and reports the achieved rate,
+// making the paper's "future work" direction measurable (bench_unfolding).
+#pragma once
+
+#include "core/cyclo_compaction.hpp"
+#include "core/unfolding.hpp"
+
+namespace ccs {
+
+/// Result of scheduling an f-unfolded loop body.
+struct UnfoldedScheduleResult {
+  int factor = 1;              ///< Unfolding factor f.
+  Unfolded unfolded;           ///< The unfolded graph and its copy map.
+  CycloCompactionResult run;   ///< Cyclo-compaction of the unfolded graph.
+
+  /// Table steps per ORIGINAL iteration: best length / f.
+  [[nodiscard]] double rate() const {
+    return static_cast<double>(run.best_length()) / factor;
+  }
+};
+
+/// Unfolds `g` by `factor` (>= 1) and cyclo-compacts the result on the
+/// given machine.  The returned schedule is a valid static schedule of the
+/// unfolded graph; rate() is its per-original-iteration cost.
+[[nodiscard]] UnfoldedScheduleResult unfold_and_compact(
+    const Csdfg& g, int factor, const Topology& topo, const CommModel& comm,
+    const CycloCompactionOptions& options = {});
+
+}  // namespace ccs

@@ -1,0 +1,37 @@
+#include "core/unfolding.hpp"
+
+#include <string>
+
+#include "util/contracts.hpp"
+#include "util/error.hpp"
+
+namespace ccs {
+
+Unfolded unfold(const Csdfg& g, int factor) {
+  if (factor < 1) throw GraphError("unfolding factor must be >= 1");
+  const auto f = static_cast<std::size_t>(factor);
+
+  Unfolded out{Csdfg(g.name() + "_unfold" + std::to_string(factor)), {}};
+  out.copy_of.assign(g.node_count(), std::vector<NodeId>(f));
+
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    for (std::size_t i = 0; i < f; ++i) {
+      out.copy_of[v][i] = out.graph.add_node(
+          g.node(v).name + "." + std::to_string(i), g.node(v).time);
+    }
+  }
+  for (EdgeId eid = 0; eid < g.edge_count(); ++eid) {
+    const Edge& e = g.edge(eid);
+    for (std::size_t i = 0; i < f; ++i) {
+      const std::size_t shifted = i + static_cast<std::size_t>(e.delay);
+      out.graph.add_edge(out.copy_of[e.from][i],
+                         out.copy_of[e.to][shifted % f],
+                         static_cast<int>(shifted / f), e.volume);
+    }
+  }
+  CCS_ENSURES(out.graph.node_count() == g.node_count() * f);
+  CCS_ENSURES(out.graph.edge_count() == g.edge_count() * f);
+  return out;
+}
+
+}  // namespace ccs

@@ -1,0 +1,32 @@
+// ccsched — loop unfolding (unrolling) of CSDFGs.
+//
+// Unfolding by factor f replaces the loop body with f consecutive iterations:
+// every task v becomes copies v_0 .. v_{f-1}, and an edge u -> v with delay d
+// becomes f edges u_i -> v_{(i+d) mod f} carrying delay floor((i+d)/f).  It
+// is the standard companion transform to retiming: unfolding exposes
+// inter-iteration parallelism that a single-iteration static schedule cannot,
+// at the cost of an f-times larger schedule table.  The library provides it
+// as a substrate and uses it in the benches to cross-check the iteration
+// bound (which is invariant per original iteration under unfolding).
+#pragma once
+
+#include <vector>
+
+#include "core/csdfg.hpp"
+
+namespace ccs {
+
+/// Result of unfolding a CSDFG.
+struct Unfolded {
+  Csdfg graph;  ///< The unfolded graph with f * node_count(original) nodes.
+  /// copy_of[v_original][i] is the NodeId of copy i in `graph`.
+  std::vector<std::vector<NodeId>> copy_of;
+};
+
+/// Unfolds `g` by `factor` (>= 1).  Copy i of node v is named
+/// "<name>.<i>" (a separator that survives the text format, whose `#`
+/// starts comments).  Preserves legality: the unfolded graph of a legal CSDFG is
+/// legal.  Data volumes are copied unchanged.
+[[nodiscard]] Unfolded unfold(const Csdfg& g, int factor);
+
+}  // namespace ccs

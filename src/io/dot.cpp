@@ -1,0 +1,66 @@
+#include "io/dot.hpp"
+
+#include <sstream>
+
+namespace ccs {
+
+namespace {
+
+void emit_edges(std::ostringstream& os, const Csdfg& g) {
+  for (EdgeId eid = 0; eid < g.edge_count(); ++eid) {
+    const Edge& e = g.edge(eid);
+    os << "  n" << e.from << " -> n" << e.to;
+    std::string label;
+    if (e.delay != 0) label += "d=" + std::to_string(e.delay);
+    if (e.volume > 1) {
+      if (!label.empty()) label += ' ';
+      label += "c=" + std::to_string(e.volume);
+    }
+    if (!label.empty()) os << " [label=\"" << label << "\"]";
+    os << ";\n";
+  }
+}
+
+}  // namespace
+
+std::string to_dot(const Csdfg& g) {
+  std::ostringstream os;
+  os << "digraph \"" << g.name() << "\" {\n";
+  for (NodeId v = 0; v < g.node_count(); ++v)
+    os << "  n" << v << " [label=\"" << g.node(v).name << " ("
+       << g.node(v).time << ")\"];\n";
+  emit_edges(os, g);
+  os << "}\n";
+  return os.str();
+}
+
+std::string to_dot(const Csdfg& g, const ScheduleTable& table) {
+  std::ostringstream os;
+  os << "digraph \"" << g.name() << "\" {\n";
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    os << "  n" << v << " [label=\"" << g.node(v).name << " ("
+       << g.node(v).time << ")";
+    if (table.is_placed(v))
+      os << " @pe" << table.pe(v) + 1 << " cs" << table.cb(v);
+    os << "\"";
+    if (!table.is_placed(v)) os << ", style=dashed";
+    os << "];\n";
+  }
+  emit_edges(os, g);
+  os << "}\n";
+  return os.str();
+}
+
+std::string to_dot(const Topology& topo) {
+  std::ostringstream os;
+  const bool dir = topo.directed();
+  os << (dir ? "digraph" : "graph") << " \"" << topo.name() << "\" {\n";
+  for (PeId p = 0; p < topo.size(); ++p)
+    os << "  p" << p << " [label=\"pe" << p + 1 << "\"];\n";
+  for (auto [a, b] : topo.links())
+    os << "  p" << a << (dir ? " -> " : " -- ") << "p" << b << ";\n";
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace ccs

@@ -1,0 +1,27 @@
+// ccsched — Graphviz DOT export.
+//
+// Visual inspection of CSDFGs (delay bars, volumes, retimings) and of
+// topologies.  Output is deterministic and stable under round-trips, so DOT
+// files can be committed as documentation artifacts.
+#pragma once
+
+#include <string>
+
+#include "arch/topology.hpp"
+#include "core/csdfg.hpp"
+#include "core/schedule.hpp"
+
+namespace ccs {
+
+/// DOT digraph of `g`: node labels "name (t)", edge labels "d=K c=V" (delay
+/// shown only when nonzero, volume only when > 1).
+[[nodiscard]] std::string to_dot(const Csdfg& g);
+
+/// DOT digraph of `g` colored by the processor assignment in `table`
+/// (placed tasks are annotated "@peN"); unplaced tasks are dashed.
+[[nodiscard]] std::string to_dot(const Csdfg& g, const ScheduleTable& table);
+
+/// DOT graph of a topology (undirected unless the topology is directed).
+[[nodiscard]] std::string to_dot(const Topology& topo);
+
+}  // namespace ccs

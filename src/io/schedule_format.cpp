@@ -1,0 +1,121 @@
+#include "io/schedule_format.hpp"
+
+#include <optional>
+#include <vector>
+#include <sstream>
+
+#include "util/contracts.hpp"
+#include "util/error.hpp"
+
+namespace ccs {
+
+namespace {
+
+[[noreturn]] void fail(std::size_t line, const std::string& what) {
+  std::ostringstream os;
+  os << "line " << line << ": " << what;
+  throw ParseError(os.str());
+}
+
+}  // namespace
+
+std::string serialize_schedule(const Csdfg& g, const ScheduleTable& table) {
+  CCS_EXPECTS(g.node_count() == table.node_count());
+  std::ostringstream os;
+  os << "schedule " << table.length() << ' ' << table.num_pes();
+  if (table.pipelined_pes()) os << " pipelined";
+  os << '\n';
+  bool heterogeneous = false;
+  for (PeId p = 0; p < table.num_pes(); ++p)
+    heterogeneous |= table.pe_speed(p) != 1;
+  if (heterogeneous) {
+    os << "speeds";
+    for (PeId p = 0; p < table.num_pes(); ++p) os << ' ' << table.pe_speed(p);
+    os << '\n';
+  }
+  for (const auto& [v, p] : table.placements())
+    os << "place " << g.node(v).name << ' ' << p.pe + 1 << ' ' << p.cb
+       << '\n';
+  return os.str();
+}
+
+ScheduleTable parse_schedule(const Csdfg& g, std::istream& in) {
+  std::optional<ScheduleTable> table;
+  int declared_length = 0;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream ls(line);
+    std::string keyword;
+    if (!(ls >> keyword)) continue;
+
+    if (keyword == "schedule") {
+      if (table) fail(lineno, "duplicate schedule directive");
+      int length = 0;
+      std::size_t pes = 0;
+      if (!(ls >> length >> pes) || length < 0 || pes < 1)
+        fail(lineno, "schedule: expected <length>=0> <pes>=1> [pipelined]");
+      std::string flag;
+      const bool pipelined = (ls >> flag) && flag == "pipelined";
+      table.emplace(g, pes, pipelined);
+      declared_length = length;
+    } else if (keyword == "speeds") {
+      if (!table) fail(lineno, "speeds before schedule directive");
+      if (table->placed_count() != 0)
+        fail(lineno, "speeds must precede every place directive");
+      const bool pipelined = table->pipelined_pes();
+      std::vector<int> speeds;
+      int s = 0;
+      while (ls >> s) {
+        if (s < 1) fail(lineno, "speed factors must be >= 1");
+        speeds.push_back(s);
+      }
+      if (speeds.size() != table->num_pes())
+        fail(lineno, "speeds: expected one factor per processor");
+      const int length = declared_length;
+      table.emplace(g, std::move(speeds), pipelined);
+      declared_length = length;
+    } else if (keyword == "place") {
+      if (!table) fail(lineno, "place before schedule directive");
+      std::string name;
+      std::size_t pe = 0;
+      int cb = 0;
+      if (!(ls >> name >> pe >> cb))
+        fail(lineno, "place: expected <task> <pe> <cb>");
+      if (pe < 1 || pe > table->num_pes())
+        fail(lineno, "pe " + std::to_string(pe) + " out of range");
+      if (cb < 1) fail(lineno, "cb must be >= 1");
+      NodeId v = 0;
+      try {
+        v = g.node_by_name(name);
+      } catch (const GraphError& e) {
+        fail(lineno, e.what());
+      }
+      if (table->is_placed(v))
+        fail(lineno, "task '" + name + "' placed twice");
+      const int span = table->pipelined_pes() ? 1 : table->time_on(v, pe - 1);
+      if (!table->is_free(pe - 1, cb, cb + span - 1))
+        fail(lineno, "slot conflict placing '" + name + "'");
+      table->place(v, pe - 1, cb);
+    } else {
+      fail(lineno, "unknown directive '" + keyword + "'");
+    }
+  }
+  if (!table) throw ParseError("missing schedule directive");
+  if (declared_length < table->occupied_length())
+    throw ParseError("declared length " + std::to_string(declared_length) +
+                     " shorter than the occupied span " +
+                     std::to_string(table->occupied_length()));
+  table->set_length(declared_length);
+  return std::move(*table);
+}
+
+ScheduleTable parse_schedule(const Csdfg& g, const std::string& text) {
+  std::istringstream in(text);
+  return parse_schedule(g, in);
+}
+
+}  // namespace ccs

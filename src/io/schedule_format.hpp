@@ -1,0 +1,38 @@
+// ccsched — textual interchange for schedule tables.
+//
+// Schedules are artifacts worth persisting: a compacted table is the
+// product of an expensive search, and downstream code generators (see
+// core/prologue.hpp) consume it.  The format is line-oriented like the
+// graph format:
+//
+//   schedule <length> <num_pes> [pipelined]
+//   place <task-name> <pe (1-based)> <cb>
+//
+// Task names are resolved against the graph the schedule belongs to, so a
+// file is only meaningful alongside its (possibly retimed) CSDFG — the
+// serializer for graphs lives in io/text_format.hpp.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/csdfg.hpp"
+#include "core/schedule.hpp"
+
+namespace ccs {
+
+/// Serializes `table` (placements in ascending task id).  parse_schedule
+/// round-trips it against the same graph.
+[[nodiscard]] std::string serialize_schedule(const Csdfg& g,
+                                             const ScheduleTable& table);
+
+/// Parses the schedule format against `g`.  Throws ParseError with a line
+/// number on malformed input (unknown task, double placement, occupancy
+/// conflict, length shorter than the occupied span).
+[[nodiscard]] ScheduleTable parse_schedule(const Csdfg& g, std::istream& in);
+
+/// Convenience overload for in-memory text.
+[[nodiscard]] ScheduleTable parse_schedule(const Csdfg& g,
+                                           const std::string& text);
+
+}  // namespace ccs

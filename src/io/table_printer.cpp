@@ -1,0 +1,47 @@
+#include "io/table_printer.hpp"
+
+#include <sstream>
+#include <vector>
+
+#include "util/contracts.hpp"
+#include "util/text_table.hpp"
+
+namespace ccs {
+
+std::string render_schedule(const Csdfg& g, const ScheduleTable& table) {
+  CCS_EXPECTS(g.node_count() == table.node_count());
+  const int L = std::max(table.length(), table.occupied_length());
+  const std::size_t P = table.num_pes();
+
+  std::vector<std::vector<std::string>> cell(
+      static_cast<std::size_t>(L), std::vector<std::string>(P));
+  for (const auto& [v, p] : table.placements()) {
+    for (int cs = p.cb; cs <= p.cb + table.time_on(v, p.pe) - 1; ++cs) {
+      auto& c = cell[static_cast<std::size_t>(cs - 1)][p.pe];
+      if (!c.empty()) c += '/';  // overlap (invalid tables still render)
+      c += g.node(v).name;
+    }
+  }
+
+  TextTable t;
+  std::vector<std::string> header{"cs"};
+  for (std::size_t pe = 0; pe < P; ++pe)
+    header.push_back("pe" + std::to_string(pe + 1));
+  t.set_header(std::move(header));
+  for (int cs = 1; cs <= L; ++cs) {
+    std::vector<std::string> row{std::to_string(cs)};
+    for (std::size_t pe = 0; pe < P; ++pe)
+      row.push_back(cell[static_cast<std::size_t>(cs - 1)][pe]);
+    t.add_row(std::move(row));
+  }
+  return t.to_string();
+}
+
+std::string summarize_schedule(const ScheduleTable& table) {
+  std::ostringstream os;
+  os << "length=" << table.length() << " pes=" << table.num_pes()
+     << " tasks=" << table.placed_count() << '/' << table.node_count();
+  return os.str();
+}
+
+}  // namespace ccs

@@ -1,0 +1,30 @@
+// ccsched — rendering schedule tables the way the paper prints them.
+//
+// The paper's Figures 2-3 and Tables 1-10 show schedules as control-step ×
+// processor grids in which a task occupies one cell per control step of its
+// execution ("B B" for the two-cycle task B).  render_schedule reproduces
+// that layout in ASCII for the examples, benches, and EXPERIMENTS.md.
+#pragma once
+
+#include <string>
+
+#include "core/csdfg.hpp"
+#include "core/schedule.hpp"
+
+namespace ccs {
+
+/// Renders `table` as the paper-style grid:
+///
+///   | cs | pe1 | pe2 | ... |
+///   |----|-----|-----|-----|
+///   | 1  | A   |     | ... |
+///
+/// Task names come from `g`; a multi-step task repeats its name in every
+/// step it occupies.  Partial tables render placed tasks only.
+[[nodiscard]] std::string render_schedule(const Csdfg& g,
+                                          const ScheduleTable& table);
+
+/// One-line summary "length=5 pes=4 tasks=6/6" for logs.
+[[nodiscard]] std::string summarize_schedule(const ScheduleTable& table);
+
+}  // namespace ccs

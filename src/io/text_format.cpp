@@ -1,0 +1,124 @@
+#include "io/text_format.hpp"
+
+#include <sstream>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace ccs {
+
+namespace {
+
+[[noreturn]] void fail(std::size_t line, const std::string& what) {
+  std::ostringstream os;
+  os << "line " << line << ": " << what;
+  throw ParseError(os.str());
+}
+
+}  // namespace
+
+Csdfg parse_csdfg(std::istream& in) {
+  Csdfg g;
+  bool named = false;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream ls(line);
+    std::string keyword;
+    if (!(ls >> keyword)) continue;  // blank/comment line
+
+    if (keyword == "graph") {
+      std::string name;
+      if (!(ls >> name)) fail(lineno, "graph: missing name");
+      if (named) fail(lineno, "duplicate graph directive");
+      Csdfg renamed(name);
+      if (g.node_count() != 0)
+        fail(lineno, "graph directive must precede nodes");
+      g = std::move(renamed);
+      named = true;
+    } else if (keyword == "node") {
+      std::string name;
+      int time = 0;
+      if (!(ls >> name >> time)) fail(lineno, "node: expected <name> <time>");
+      try {
+        g.add_node(name, time);
+      } catch (const GraphError& e) {
+        fail(lineno, e.what());
+      }
+    } else if (keyword == "edge") {
+      std::string from, to;
+      int delay = 0;
+      std::size_t volume = 1;
+      if (!(ls >> from >> to >> delay))
+        fail(lineno, "edge: expected <from> <to> <delay> [volume]");
+      if (!(ls >> volume)) volume = 1;
+      try {
+        g.add_edge(g.node_by_name(from), g.node_by_name(to), delay, volume);
+      } catch (const GraphError& e) {
+        fail(lineno, e.what());
+      }
+    } else {
+      fail(lineno, "unknown directive '" + keyword + "'");
+    }
+  }
+  g.require_legal();
+  return g;
+}
+
+Csdfg parse_csdfg(const std::string& text) {
+  std::istringstream in(text);
+  return parse_csdfg(in);
+}
+
+std::string serialize_csdfg(const Csdfg& g) {
+  std::ostringstream os;
+  os << "graph " << g.name() << '\n';
+  for (NodeId v = 0; v < g.node_count(); ++v)
+    os << "node " << g.node(v).name << ' ' << g.node(v).time << '\n';
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    const Edge& edge = g.edge(e);
+    os << "edge " << g.node(edge.from).name << ' ' << g.node(edge.to).name
+       << ' ' << edge.delay << ' ' << edge.volume << '\n';
+  }
+  return os.str();
+}
+
+Topology parse_topology(const std::string& spec) {
+  std::istringstream ls(spec);
+  std::string kind;
+  if (!(ls >> kind)) throw ParseError("empty architecture spec");
+  std::vector<std::string> args;
+  std::string tok;
+  while (ls >> tok) args.push_back(tok);
+
+  auto num = [&](std::size_t i) -> std::size_t {
+    if (i >= args.size())
+      throw ParseError("architecture '" + kind + "': missing parameter");
+    try {
+      const long long v = std::stoll(args[i]);
+      if (v < 0) throw ParseError("negative parameter in '" + spec + "'");
+      return static_cast<std::size_t>(v);
+    } catch (const std::invalid_argument&) {
+      throw ParseError("architecture '" + kind + "': bad number '" + args[i] +
+                       "'");
+    }
+  };
+
+  if (kind == "linear_array") return make_linear_array(num(0));
+  if (kind == "ring") {
+    const bool uni = args.size() > 1 && args[1] == "uni";
+    return make_ring(num(0), /*bidirectional=*/!uni);
+  }
+  if (kind == "complete") return make_complete(num(0));
+  if (kind == "mesh") return make_mesh(num(0), num(1));
+  if (kind == "torus") return make_torus(num(0), num(1));
+  if (kind == "hypercube") return make_hypercube(num(0));
+  if (kind == "star") return make_star(num(0));
+  if (kind == "binary_tree") return make_binary_tree(num(0));
+  throw ParseError("unknown architecture '" + kind + "'");
+}
+
+}  // namespace ccs

@@ -1,0 +1,40 @@
+// ccsched — textual interchange formats.
+//
+// A small line-oriented format so graphs and architectures can live in
+// files, be diffed, and round-trip through the CLI example:
+//
+//   # comment
+//   graph my_loop
+//   node A 1
+//   node B 2
+//   edge A B 0 1          # from to delay volume
+//
+// Architectures are one-liners:
+//
+//   linear_array 8 | ring 8 [uni] | complete 8 | mesh 4 2 | torus 4 4 |
+//   hypercube 3 | star 8 | binary_tree 7
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "arch/topology.hpp"
+#include "core/csdfg.hpp"
+
+namespace ccs {
+
+/// Parses the CSDFG text format.  Throws ParseError with a line number on
+/// malformed input, GraphError on structurally invalid graphs.
+[[nodiscard]] Csdfg parse_csdfg(std::istream& in);
+
+/// Parses from a string (convenience for tests and embedded specs).
+[[nodiscard]] Csdfg parse_csdfg(const std::string& text);
+
+/// Serializes `g` to the text format; parse_csdfg round-trips it.
+[[nodiscard]] std::string serialize_csdfg(const Csdfg& g);
+
+/// Parses an architecture one-liner such as "mesh 4 2" or "ring 8 uni".
+/// Throws ParseError on unknown topology names or bad parameters.
+[[nodiscard]] Topology parse_topology(const std::string& spec);
+
+}  // namespace ccs

@@ -1,0 +1,98 @@
+#include "sdf/sdf_format.hpp"
+
+#include <map>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace ccs {
+
+namespace {
+
+[[noreturn]] void fail(std::size_t line, const std::string& what) {
+  std::ostringstream os;
+  os << "line " << line << ": " << what;
+  throw ParseError(os.str());
+}
+
+}  // namespace
+
+SdfGraph parse_sdf(std::istream& in) {
+  SdfGraph sdf;
+  bool named = false;
+  std::map<std::string, ActorId> by_name;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream ls(line);
+    std::string keyword;
+    if (!(ls >> keyword)) continue;
+
+    if (keyword == "sdf") {
+      std::string name;
+      if (!(ls >> name)) fail(lineno, "sdf: missing name");
+      if (named || sdf.actor_count() != 0)
+        fail(lineno, "sdf directive must come first, once");
+      sdf = SdfGraph(name);
+      named = true;
+    } else if (keyword == "actor") {
+      std::string name;
+      int time = 0;
+      if (!(ls >> name >> time)) fail(lineno, "actor: expected <name> <time>");
+      if (by_name.count(name)) fail(lineno, "duplicate actor '" + name + "'");
+      try {
+        by_name[name] = sdf.add_actor(name, time);
+      } catch (const GraphError& e) {
+        fail(lineno, e.what());
+      }
+    } else if (keyword == "channel") {
+      std::string from, to;
+      int produce = 0, consume = 0, tokens = 0;
+      long long volume = 1;
+      if (!(ls >> from >> to >> produce >> consume))
+        fail(lineno,
+             "channel: expected <from> <to> <produce> <consume> "
+             "[tokens [volume]]");
+      if (!(ls >> tokens)) tokens = 0;
+      if (!(ls >> volume)) volume = 1;
+      const auto f = by_name.find(from);
+      const auto t = by_name.find(to);
+      if (f == by_name.end()) fail(lineno, "unknown actor '" + from + "'");
+      if (t == by_name.end()) fail(lineno, "unknown actor '" + to + "'");
+      if (volume < 1) fail(lineno, "token volume must be >= 1");
+      try {
+        sdf.add_channel(f->second, t->second, produce, consume, tokens,
+                        static_cast<std::size_t>(volume));
+      } catch (const GraphError& e) {
+        fail(lineno, e.what());
+      }
+    } else {
+      fail(lineno, "unknown directive '" + keyword + "'");
+    }
+  }
+  return sdf;
+}
+
+SdfGraph parse_sdf(const std::string& text) {
+  std::istringstream in(text);
+  return parse_sdf(in);
+}
+
+std::string serialize_sdf(const SdfGraph& sdf) {
+  std::ostringstream os;
+  os << "sdf " << sdf.name() << '\n';
+  for (ActorId a = 0; a < sdf.actor_count(); ++a)
+    os << "actor " << sdf.actor(a).name << ' ' << sdf.actor(a).time << '\n';
+  for (std::size_t c = 0; c < sdf.channel_count(); ++c) {
+    const SdfChannel& ch = sdf.channel(c);
+    os << "channel " << sdf.actor(ch.from).name << ' '
+       << sdf.actor(ch.to).name << ' ' << ch.produce << ' ' << ch.consume
+       << ' ' << ch.initial_tokens << ' ' << ch.token_volume << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace ccs

@@ -1,0 +1,29 @@
+// ccsched — textual interchange for SDF graphs.
+//
+//   sdf <name>
+//   actor <name> <time>
+//   channel <from> <to> <produce> <consume> [initial_tokens [token_volume]]
+//
+// Same conventions as the other formats: `#` comments, line-numbered
+// errors.  `ccsched expand` consumes this format and emits the expanded
+// single-rate CSDFG in the graph format.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "sdf/sdf.hpp"
+
+namespace ccs {
+
+/// Parses the SDF text format.  Throws ParseError with line numbers on
+/// malformed input; structural violations surface as GraphError.
+[[nodiscard]] SdfGraph parse_sdf(std::istream& in);
+
+/// Convenience overload for in-memory text.
+[[nodiscard]] SdfGraph parse_sdf(const std::string& text);
+
+/// Serializes; parse_sdf round-trips it.
+[[nodiscard]] std::string serialize_sdf(const SdfGraph& sdf);
+
+}  // namespace ccs

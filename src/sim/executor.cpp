@@ -1,0 +1,211 @@
+#include "sim/executor.hpp"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <queue>
+
+#include "util/contracts.hpp"
+
+namespace ccs {
+
+namespace {
+
+struct LinkClock {
+  std::map<std::pair<PeId, PeId>, long long> free_at;
+
+  long long traverse(const std::vector<PeId>& path, long long depart,
+                     std::size_t volume, bool contended) {
+    long long t = depart;
+    for (std::size_t h = 0; h + 1 < path.size(); ++h) {
+      if (contended) {
+        auto& slot = free_at[{path[h], path[h + 1]}];
+        const long long start = std::max(t, slot);
+        slot = start + static_cast<long long>(volume);
+        t = slot;
+      } else {
+        t += static_cast<long long>(volume);
+      }
+    }
+    return t;
+  }
+};
+
+/// Evaluation order for one self-timed iteration: a linear extension of the
+/// zero-delay data edges plus the per-processor CB chains.  On a valid
+/// table this is simply CB order; on an arbitrary table the combined
+/// constraints may be cyclic — a genuine deadlock under blocking receives —
+/// in which case nullopt is returned.
+std::optional<std::vector<NodeId>> self_timed_order(
+    const Csdfg& g, const ScheduleTable& table) {
+  const std::size_t n = g.node_count();
+  std::vector<std::vector<NodeId>> succ(n);
+  std::vector<std::size_t> indeg(n, 0);
+  auto add_edge = [&](NodeId a, NodeId b) {
+    succ[a].push_back(b);
+    ++indeg[b];
+  };
+  for (EdgeId eid = 0; eid < g.edge_count(); ++eid) {
+    const Edge& e = g.edge(eid);
+    if (e.delay == 0 && e.from != e.to) add_edge(e.from, e.to);
+  }
+  // Per-PE chains in CB order.
+  std::vector<std::vector<NodeId>> on_pe(table.num_pes());
+  for (NodeId v = 0; v < n; ++v) on_pe[table.pe(v)].push_back(v);
+  for (auto& chain : on_pe) {
+    std::stable_sort(chain.begin(), chain.end(), [&](NodeId a, NodeId b) {
+      if (table.cb(a) != table.cb(b)) return table.cb(a) < table.cb(b);
+      return a < b;
+    });
+    for (std::size_t i = 0; i + 1 < chain.size(); ++i)
+      add_edge(chain[i], chain[i + 1]);
+  }
+  // Kahn with (cb, id) priority for determinism.
+  auto later = [&](NodeId a, NodeId b) {
+    if (table.cb(a) != table.cb(b)) return table.cb(a) > table.cb(b);
+    return a > b;
+  };
+  std::priority_queue<NodeId, std::vector<NodeId>, decltype(later)> ready(
+      later);
+  for (NodeId v = 0; v < n; ++v)
+    if (indeg[v] == 0) ready.push(v);
+  std::vector<NodeId> order;
+  order.reserve(n);
+  while (!ready.empty()) {
+    const NodeId v = ready.top();
+    ready.pop();
+    order.push_back(v);
+    for (NodeId w : succ[v])
+      if (--indeg[w] == 0) ready.push(w);
+  }
+  if (order.size() != n) return std::nullopt;  // deadlock
+  return order;
+}
+
+enum class Mode { kStatic, kSelfTimed };
+
+ExecutionStats run(const Csdfg& g, const ScheduleTable& table,
+                   const Topology& topo, const ExecutorOptions& options,
+                   Mode mode) {
+  CCS_EXPECTS(table.complete());
+  CCS_EXPECTS(options.iterations >= 1);
+  CCS_EXPECTS(options.warmup >= 0 && options.warmup < options.iterations);
+
+  const int K = options.iterations;
+  const std::size_t n = g.node_count();
+  const int L = table.length();
+  const ShortestPathRouter default_router(topo);
+  const Router& router = options.router ? *options.router : default_router;
+
+  ExecutionStats stats;
+  stats.iteration_finish.assign(static_cast<std::size_t>(K), 0);
+
+  // Evaluation order within one iteration.
+  std::vector<NodeId> order;
+  if (mode == Mode::kSelfTimed) {
+    auto maybe = self_timed_order(g, table);
+    if (!maybe) {
+      stats.deadlocked = true;
+      return stats;
+    }
+    order = std::move(*maybe);
+  } else {
+    // Static starts are fixed; evaluation order is irrelevant to the
+    // results, so plain CB order keeps traces readable.
+    order.resize(n);
+    for (NodeId v = 0; v < n; ++v) order[v] = v;
+    std::stable_sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
+      if (table.cb(a) != table.cb(b)) return table.cb(a) < table.cb(b);
+      return a < b;
+    });
+  }
+
+  // finish[i*n + v] = absolute cycle at which iteration i of v completes.
+  // In static mode every finish is known a priori.
+  std::vector<long long> finish(static_cast<std::size_t>(K) * n, 0);
+  if (mode == Mode::kStatic) {
+    for (int i = 0; i < K; ++i)
+      for (NodeId v = 0; v < n; ++v)
+        finish[static_cast<std::size_t>(i) * n + v] =
+            static_cast<long long>(i) * L + table.cb(v) +
+            table.time_on(v, table.pe(v)) - 1;
+  }
+
+  std::vector<long long> pe_free(topo.size(), 0);
+  LinkClock links;
+
+  for (int i = 0; i < K; ++i) {
+    long long iter_finish = 0;
+    for (NodeId v : order) {
+      const PeId pv = table.pe(v);
+
+      // Latest operand arrival across incoming edges.
+      long long arrival = 0;
+      for (EdgeId eid : g.in_edges(v)) {
+        const Edge& e = g.edge(eid);
+        const int src_iter = i - e.delay;
+        if (src_iter < 0) continue;  // initial token, present from cycle 0
+        const long long produced =
+            finish[static_cast<std::size_t>(src_iter) * n + e.from];
+        const PeId pu = table.pe(e.from);
+        long long at = produced;
+        if (pu != pv) {
+          at = links.traverse(router.route(pu, pv), produced, e.volume,
+                              options.link_contention &&
+                                  mode == Mode::kSelfTimed);
+          stats.total_messages += 1;
+          stats.total_traffic +=
+              static_cast<long long>(topo.distance(pu, pv)) *
+              static_cast<long long>(e.volume);
+        }
+        arrival = std::max(arrival, at);
+      }
+
+      long long start;
+      if (mode == Mode::kStatic) {
+        start = static_cast<long long>(i) * L + table.cb(v);
+        if (arrival + 1 > start) stats.late_arrivals += 1;
+      } else {
+        start = std::max({pe_free[pv] + 1, arrival + 1, 1LL});
+      }
+      const long long done = start + table.time_on(v, pv) - 1;
+      if (mode == Mode::kSelfTimed) {
+        finish[static_cast<std::size_t>(i) * n + v] = done;
+        pe_free[pv] = done;
+      }
+      if (options.record_trace)
+        stats.trace.push_back({v, i, pv, start, done});
+      iter_finish = std::max(iter_finish, done);
+    }
+    stats.iteration_finish[static_cast<std::size_t>(i)] = iter_finish;
+  }
+
+  stats.makespan = stats.iteration_finish.back();
+  if (K - 1 > options.warmup) {
+    stats.steady_initiation_interval =
+        static_cast<double>(
+            stats.iteration_finish.back() -
+            stats.iteration_finish[static_cast<std::size_t>(options.warmup)]) /
+        static_cast<double>(K - 1 - options.warmup);
+  } else {
+    stats.steady_initiation_interval =
+        static_cast<double>(stats.makespan) / static_cast<double>(K);
+  }
+  return stats;
+}
+
+}  // namespace
+
+ExecutionStats execute_static(const Csdfg& g, const ScheduleTable& table,
+                              const Topology& topo,
+                              const ExecutorOptions& options) {
+  return run(g, table, topo, options, Mode::kStatic);
+}
+
+ExecutionStats execute_self_timed(const Csdfg& g, const ScheduleTable& table,
+                                  const Topology& topo,
+                                  const ExecutorOptions& options) {
+  return run(g, table, topo, options, Mode::kSelfTimed);
+}
+
+}  // namespace ccs

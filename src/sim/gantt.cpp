@@ -1,0 +1,49 @@
+#include "sim/gantt.hpp"
+
+#include <cctype>
+#include <sstream>
+
+#include "util/contracts.hpp"
+
+namespace ccs {
+
+std::string render_gantt(const Csdfg& g, const std::vector<TaskEvent>& trace,
+                         std::size_t num_pes, long long from_cycle,
+                         long long to_cycle) {
+  CCS_EXPECTS(num_pes >= 1);
+  CCS_EXPECTS(from_cycle >= 1 && from_cycle <= to_cycle);
+  const std::size_t width = static_cast<std::size_t>(to_cycle - from_cycle + 1);
+  std::vector<std::string> row(num_pes, std::string(width, '.'));
+
+  for (const TaskEvent& ev : trace) {
+    CCS_EXPECTS(ev.pe < num_pes);
+    CCS_EXPECTS(ev.node < g.node_count());
+    const char mark = static_cast<char>(
+        std::toupper(static_cast<unsigned char>(g.node(ev.node).name[0])));
+    for (long long t = std::max(ev.start, from_cycle);
+         t <= std::min(ev.finish, to_cycle); ++t) {
+      char& cell = row[ev.pe][static_cast<std::size_t>(t - from_cycle)];
+      cell = cell == '.' ? mark : '#';
+    }
+  }
+
+  std::ostringstream os;
+  os << "cycles " << from_cycle << ".." << to_cycle << '\n';
+  for (std::size_t pe = 0; pe < num_pes; ++pe)
+    os << "pe" << pe + 1 << " |" << row[pe] << "|\n";
+  return os.str();
+}
+
+std::string trace_to_csv(const Csdfg& g,
+                         const std::vector<TaskEvent>& trace) {
+  std::ostringstream os;
+  os << "task,iteration,pe,start,finish\n";
+  for (const TaskEvent& ev : trace) {
+    CCS_EXPECTS(ev.node < g.node_count());
+    os << g.node(ev.node).name << ',' << ev.iteration << ',' << ev.pe + 1
+       << ',' << ev.start << ',' << ev.finish << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace ccs

@@ -1,0 +1,33 @@
+// ccsched — execution-trace rendering.
+//
+// Turns the executor's TaskEvent trace into (a) an ASCII Gantt chart, one
+// row per processor with a column per cycle (task names abbreviated to one
+// character, '.' idle), and (b) a CSV stream for external tooling.  The
+// Gantt view makes iteration overlap — the whole point of loop pipelining —
+// directly visible: after compaction, instances of consecutive iterations
+// interleave on the chart.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/csdfg.hpp"
+#include "sim/executor.hpp"
+
+namespace ccs {
+
+/// Renders cycles [from_cycle, to_cycle] of `trace` as an ASCII Gantt
+/// chart over `num_pes` processors.  Each busy cycle shows the first
+/// character of the task's name (uppercased); collisions (only possible on
+/// an invalid trace) show '#'; idle cycles show '.'.
+[[nodiscard]] std::string render_gantt(const Csdfg& g,
+                                       const std::vector<TaskEvent>& trace,
+                                       std::size_t num_pes, long long from_cycle,
+                                       long long to_cycle);
+
+/// Serializes the trace as CSV: `task,iteration,pe,start,finish` with a
+/// header row.  Deterministic (trace order).
+[[nodiscard]] std::string trace_to_csv(const Csdfg& g,
+                                       const std::vector<TaskEvent>& trace);
+
+}  // namespace ccs

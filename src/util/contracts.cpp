@@ -1,0 +1,15 @@
+#include "util/contracts.hpp"
+
+#include <sstream>
+
+namespace ccs::detail {
+
+void contract_failed(const char* kind, const char* expr, const char* file,
+                     int line) {
+  std::ostringstream os;
+  os << "ccsched " << kind << " violated: (" << expr << ") at " << file << ':'
+     << line;
+  throw ContractViolation(os.str());
+}
+
+}  // namespace ccs::detail

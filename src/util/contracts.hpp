@@ -1,0 +1,55 @@
+// ccsched — contract checking macros.
+//
+// Following the C++ Core Guidelines (I.6 "Prefer Expects() for expressing
+// preconditions", I.8 "Prefer Ensures() for expressing postconditions"), the
+// library states its contracts explicitly.  Violations throw
+// ccs::ContractViolation rather than aborting so that the test suite can
+// assert on them (failure-injection tests rely on this), while release builds
+// keep the checks enabled — scheduling runs are short and correctness is the
+// product.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace ccs {
+
+/// Thrown when a precondition, postcondition, or internal invariant of the
+/// library is violated.  Indicates a bug in the caller (for CCS_EXPECTS) or
+/// in the library itself (for CCS_ENSURES / CCS_ASSERT).
+class ContractViolation : public std::logic_error {
+public:
+  explicit ContractViolation(const std::string& what_arg)
+      : std::logic_error(what_arg) {}
+};
+
+namespace detail {
+[[noreturn]] void contract_failed(const char* kind, const char* expr,
+                                  const char* file, int line);
+}  // namespace detail
+
+}  // namespace ccs
+
+/// Precondition check: the caller must guarantee `cond`.
+#define CCS_EXPECTS(cond)                                                    \
+  do {                                                                       \
+    if (!(cond))                                                             \
+      ::ccs::detail::contract_failed("precondition", #cond, __FILE__,        \
+                                     __LINE__);                              \
+  } while (false)
+
+/// Postcondition check: the callee guarantees `cond` on exit.
+#define CCS_ENSURES(cond)                                                    \
+  do {                                                                       \
+    if (!(cond))                                                             \
+      ::ccs::detail::contract_failed("postcondition", #cond, __FILE__,       \
+                                     __LINE__);                              \
+  } while (false)
+
+/// Internal invariant check.
+#define CCS_ASSERT(cond)                                                     \
+  do {                                                                       \
+    if (!(cond))                                                             \
+      ::ccs::detail::contract_failed("invariant", #cond, __FILE__,           \
+                                     __LINE__);                              \
+  } while (false)

@@ -1,0 +1,48 @@
+// ccsched — user-facing error type.
+//
+// Per Core Guidelines I.10, failures to perform a requested task (malformed
+// input graphs, unparsable files, infeasible requests) are reported with
+// exceptions.  ccs::Error is the base for all such conditions; it is distinct
+// from ContractViolation, which flags API misuse.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace ccs {
+
+/// Base class for all recoverable ccsched errors (bad input, infeasible
+/// request, parse failure).
+class Error : public std::runtime_error {
+public:
+  explicit Error(const std::string& what_arg) : std::runtime_error(what_arg) {}
+};
+
+/// An input CSDFG violates a structural requirement (e.g. a cycle with zero
+/// total delay, an edge endpoint out of range, a non-positive execution time).
+class GraphError : public Error {
+public:
+  using Error::Error;
+};
+
+/// An architecture description is malformed (disconnected topology, bad
+/// dimensions, unknown processor index).
+class ArchitectureError : public Error {
+public:
+  using Error::Error;
+};
+
+/// A textual artifact (graph file, architecture spec) failed to parse.
+class ParseError : public Error {
+public:
+  using Error::Error;
+};
+
+/// A scheduling request cannot be satisfied (e.g. no feasible placement under
+/// the requested policy).
+class ScheduleError : public Error {
+public:
+  using Error::Error;
+};
+
+}  // namespace ccs

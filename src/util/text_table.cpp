@@ -1,0 +1,46 @@
+#include "util/text_table.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace ccs {
+
+void TextTable::set_header(std::vector<std::string> cells) {
+  header_ = std::move(cells);
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::to_string() const {
+  std::size_t cols = header_.size();
+  for (const auto& r : rows_) cols = std::max(cols, r.size());
+
+  std::vector<std::size_t> width(cols, 0);
+  auto widen = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+  };
+  widen(header_);
+  for (const auto& r : rows_) widen(r);
+
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      const std::string cell = c < row.size() ? row[c] : std::string{};
+      os << "| " << cell << std::string(width[c] - cell.size() + 1, ' ');
+    }
+    os << "|\n";
+  };
+  if (!header_.empty()) {
+    emit(header_);
+    for (std::size_t c = 0; c < cols; ++c)
+      os << '|' << std::string(width[c] + 2, '-');
+    os << "|\n";
+  }
+  for (const auto& r : rows_) emit(r);
+  return os.str();
+}
+
+}  // namespace ccs

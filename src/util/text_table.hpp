@@ -1,0 +1,42 @@
+// ccsched — plain-text table rendering.
+//
+// The paper communicates its results as schedule tables (control steps ×
+// processors) and summary tables (Table 11).  TextTable renders both kinds in
+// aligned ASCII, used by the examples, the benches, and EXPERIMENTS.md
+// regeneration.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace ccs {
+
+/// Builds an aligned, pipe-separated ASCII table.
+///
+/// Usage:
+///   TextTable t;
+///   t.set_header({"cs", "pe1", "pe2"});
+///   t.add_row({"1", "A", ""});
+///   std::string s = t.to_string();
+class TextTable {
+public:
+  /// Sets the header row.  Column count is fixed by the longest row seen.
+  void set_header(std::vector<std::string> cells);
+
+  /// Appends a data row.  Rows may have differing lengths; missing cells
+  /// render empty.
+  void add_row(std::vector<std::string> cells);
+
+  /// Number of data rows added so far.
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+
+  /// Renders the table with a header underline and single-space padding.
+  [[nodiscard]] std::string to_string() const;
+
+private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ccs

@@ -1,0 +1,43 @@
+// ccsched — seeded random CSDFG generation.
+//
+// The ablation and scaling benches (A1-A5 in DESIGN.md) sweep over families
+// of synthetic loop bodies.  Graphs are generated layered-DAG-first (which
+// makes zero-delay legality true by construction) and then closed with
+// loop-carried back edges; every quantity is drawn from a deterministic
+// seeded stream, so an experiment is identified by its config + seed.
+#pragma once
+
+#include <cstdint>
+
+#include "core/csdfg.hpp"
+#include "util/rng.hpp"
+
+namespace ccs {
+
+/// Shape parameters of a random CSDFG.
+struct RandomDfgConfig {
+  std::size_t num_nodes = 20;  ///< >= 2.
+  std::size_t num_layers = 5;  ///< >= 1; depth of the zero-delay DAG.
+  /// Probability of an extra zero-delay edge between consecutive-layer
+  /// pairs beyond the connectivity spine.
+  double extra_edge_prob = 0.25;
+  std::size_t num_back_edges = 3;  ///< Loop-carried edges (delay >= 1).
+  int max_time = 3;                ///< Node times drawn from [1, max_time].
+  std::size_t max_volume = 3;      ///< Volumes drawn from [1, max_volume].
+  int max_delay = 3;               ///< Back-edge delays from [1, max_delay].
+};
+
+/// Generates a legal CSDFG:
+///  * nodes are split across `num_layers` layers (each layer non-empty),
+///  * every non-first-layer node receives at least one zero-delay edge from
+///    the previous layer (the DAG is connected layer to layer),
+///  * extra zero-delay edges are added between consecutive layers with
+///    probability `extra_edge_prob`,
+///  * `num_back_edges` loop-carried edges run from later to earlier layers
+///    (or self-loops) with delay in [1, max_delay].
+/// Deterministic in (config, seed).  Throws GraphError on nonsensical
+/// configs (num_nodes < num_layers, num_nodes < 2, ...).
+[[nodiscard]] Csdfg random_csdfg(const RandomDfgConfig& config,
+                                 std::uint64_t seed);
+
+}  // namespace ccs

@@ -1,0 +1,64 @@
+// ccsched — the benchmark CSDFGs used across the paper's experiments.
+//
+// * paper_example6   — Figure 1(b) verbatim: the 6-task general-time CSDFG
+//   whose scheduling on a 2x2 mesh the paper walks through (7 -> 5 steps).
+// * paper_example19  — the 19-task general-time CSDFG of Figure 7.  The scan
+//   preserves only the node names and the execution times (t = 2 for C, F,
+//   J, L, P); the edge list is reconstructed to be consistent with the
+//   printed start-up tables (three pipelined chains, a reduction tail, and
+//   five loop-carried feedback edges).  See DESIGN.md §5.
+// * elliptic_filter  — a 5th-order elliptic wave-digital filter structure
+//   with the community benchmark's op counts (26 additions, 8
+//   multiplications; t(add)=1, t(mul)=2) and eight loop-carried state edges.
+// * lattice_filter   — a 5-stage all-pole IIR lattice filter (10 mul, 15
+//   add) with per-stage state recurrences; total computation 35, matching
+//   the paper's reported start-up band after time scaling.
+// * iir_biquad_cascade, fir_filter, diffeq_solver — additional realistic
+//   workloads for the examples and sweeps.
+#pragma once
+
+#include <cstddef>
+
+#include "core/csdfg.hpp"
+
+namespace ccs {
+
+/// Figure 1(b): six tasks, t(B)=t(E)=2, delays d(D->A)=3, d(F->E)=1,
+/// volumes c(B->E)=c(D->F)=2, c(D->A)=3, all others 1.
+[[nodiscard]] Csdfg paper_example6();
+
+/// Figure 7: nineteen tasks A..S with t(C)=t(F)=t(J)=t(L)=t(P)=2
+/// (reconstructed edges; see DESIGN.md §5).
+[[nodiscard]] Csdfg paper_example19();
+
+/// 5th-order elliptic wave filter: 34 operations (26 add @ t=1, 8 mul @
+/// t=2), 8 state (delay) edges; iteration-bound-limited like the classic
+/// HLS benchmark.
+[[nodiscard]] Csdfg elliptic_filter();
+
+/// 5-stage all-pole IIR lattice filter: 25 operations (15 add @ t=1, 10 mul
+/// @ t=2), one state edge per stage.
+[[nodiscard]] Csdfg lattice_filter();
+
+/// Cascade of `sections` direct-form-II IIR biquads (each: 4 add, 5 mul,
+/// 2 state edges); sections >= 1.
+[[nodiscard]] Csdfg iir_biquad_cascade(std::size_t sections);
+
+/// Transversal FIR filter with `taps` taps: acyclic but delay-rich (the tap
+/// line carries one delay per stage); taps >= 2.
+[[nodiscard]] Csdfg fir_filter(std::size_t taps);
+
+/// The classic HAL differential-equation solver loop body (second-order
+/// Euler step): 6 multiplications (t=2), 4 additions/subtractions and one
+/// comparison (t=1), with the loop-carried updates of x, y and dy.
+[[nodiscard]] Csdfg diffeq_solver();
+
+/// Leiserson & Saxe's simple correlator (the canonical retiming example,
+/// "Retiming synchronous circuitry" Fig. 1), generalized to `taps`
+/// comparators (t=3) and adders (t=7) around a host (t=1): the delayed
+/// comparator chain feeds an undelayed adder reduction back to the host.
+/// Its zero-delay critical path collapses dramatically under min-period
+/// retiming.  taps >= 1.
+[[nodiscard]] Csdfg correlator(std::size_t taps);
+
+}  // namespace ccs

@@ -1,0 +1,58 @@
+#include "workloads/transforms.hpp"
+
+#include <string>
+
+#include "util/error.hpp"
+
+namespace ccs {
+
+namespace {
+
+/// Rebuilds `g` with per-node and per-edge rewrites (node structure is
+/// immutable by design, so transforms copy).
+template <typename NodeTimeFn, typename EdgeFn>
+Csdfg rebuild(const Csdfg& g, const std::string& suffix, NodeTimeFn node_time,
+              EdgeFn edge_rewrite) {
+  Csdfg out(g.name() + suffix);
+  for (NodeId v = 0; v < g.node_count(); ++v)
+    out.add_node(g.node(v).name, node_time(g.node(v)));
+  for (EdgeId eid = 0; eid < g.edge_count(); ++eid) {
+    const Edge e = edge_rewrite(g.edge(eid));
+    out.add_edge(e.from, e.to, e.delay, e.volume);
+  }
+  return out;
+}
+
+}  // namespace
+
+Csdfg slowdown(const Csdfg& g, int factor) {
+  if (factor < 1) throw GraphError("slowdown factor must be >= 1");
+  return rebuild(
+      g, "_slow" + std::to_string(factor),
+      [](const Node& n) { return n.time; },
+      [factor](Edge e) {
+        e.delay *= factor;
+        return e;
+      });
+}
+
+Csdfg scale_times(const Csdfg& g, int factor) {
+  if (factor < 1) throw GraphError("time scale factor must be >= 1");
+  return rebuild(
+      g, "_t" + std::to_string(factor),
+      [factor](const Node& n) { return n.time * factor; },
+      [](Edge e) { return e; });
+}
+
+Csdfg scale_volumes(const Csdfg& g, std::size_t factor) {
+  if (factor < 1) throw GraphError("volume scale factor must be >= 1");
+  return rebuild(
+      g, "_v" + std::to_string(factor),
+      [](const Node& n) { return n.time; },
+      [factor](Edge e) {
+        e.volume *= factor;
+        return e;
+      });
+}
+
+}  // namespace ccs

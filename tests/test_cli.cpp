@@ -1,0 +1,222 @@
+// In-process tests of the command-line driver (src/cli).
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "cli/cli.hpp"
+#include "io/text_format.hpp"
+#include "workloads/library.hpp"
+
+namespace ccs {
+namespace {
+
+struct CliResult {
+  int code;
+  std::string out;
+  std::string err;
+};
+
+CliResult cli(const std::vector<std::string>& args,
+              const std::string& stdin_text = "") {
+  std::istringstream in(stdin_text);
+  std::ostringstream out, err;
+  const int code = run_cli(args, in, out, err);
+  return {code, out.str(), err.str()};
+}
+
+/// Writes `text` under the test temp dir and returns the path.
+std::string temp_file(const std::string& name, const std::string& text) {
+  const std::string path = ::testing::TempDir() + "/" + name;
+  std::ofstream f(path);
+  f << text;
+  return path;
+}
+
+const char* kDemo =
+    "graph demo\nnode a 1\nnode b 2\nedge a b 0 2\nedge b a 2 1\n";
+
+TEST(Cli, NoArgsIsUsageError) {
+  const CliResult r = cli({});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("usage"), std::string::npos);
+}
+
+TEST(Cli, UnknownCommandIsUsageError) {
+  const CliResult r = cli({"frobnicate"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("unknown command"), std::string::npos);
+}
+
+TEST(Cli, InfoReportsStructureAndCriticalCycle) {
+  const CliResult r = cli({"info", "-"}, kDemo);
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("tasks:            2"), std::string::npos);
+  EXPECT_NE(r.out.find("iteration bound:  3/2"), std::string::npos);
+  EXPECT_NE(r.out.find("a -> b -> a"), std::string::npos);
+}
+
+TEST(Cli, BoundPrintsTheRational) {
+  const CliResult r = cli({"bound", "-"}, kDemo);
+  EXPECT_EQ(r.code, 0);
+  EXPECT_EQ(r.out, "3/2\n");
+}
+
+TEST(Cli, FilesAndStdinAreInterchangeable) {
+  const std::string path = temp_file("demo.csdfg", kDemo);
+  EXPECT_EQ(cli({"bound", path}).out, cli({"bound", "-"}, kDemo).out);
+}
+
+TEST(Cli, MissingFileIsAFailure) {
+  const CliResult r = cli({"bound", "/nonexistent/file.csdfg"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("cannot open"), std::string::npos);
+}
+
+TEST(Cli, RetimeEmitsAParsableGraphWithShorterPeriod) {
+  const std::string text = serialize_csdfg(paper_example6());
+  const CliResult r = cli({"retime", "-"}, text);
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("clock period 3"), std::string::npos);
+  // The emitted body (after the comment line) parses back.
+  const Csdfg back = parse_csdfg(r.out);
+  EXPECT_EQ(back.node_count(), 6u);
+}
+
+TEST(Cli, DotEmitsGraphviz) {
+  const CliResult r = cli({"dot", "-"}, kDemo);
+  EXPECT_EQ(r.code, 0);
+  EXPECT_NE(r.out.find("digraph \"demo\""), std::string::npos);
+}
+
+TEST(Cli, DotEmitsTopologies) {
+  const CliResult r = cli({"dot", "--arch", "ring 4"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("graph \"ring(4)\""), std::string::npos);
+  EXPECT_NE(r.out.find("p0 -- p1"), std::string::npos);
+  EXPECT_EQ(cli({"dot"}).code, 2);
+}
+
+TEST(Cli, ScheduleEndToEnd) {
+  const CliResult r =
+      cli({"schedule", "-", "--arch", "mesh 2 2"}, kDemo);
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("[valid]"), std::string::npos);
+  EXPECT_NE(r.out.find("| cs "), std::string::npos);
+}
+
+TEST(Cli, ScheduleRequiresArch) {
+  const CliResult r = cli({"schedule", "-"}, kDemo);
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("--arch"), std::string::npos);
+}
+
+TEST(Cli, SchedulePolicyAndPassesAreHonored) {
+  const CliResult strict = cli(
+      {"schedule", "-", "--arch", "complete 4", "--policy", "strict",
+       "--passes", "2", "--quiet"},
+      kDemo);
+  EXPECT_EQ(strict.code, 0) << strict.err;
+  const CliResult startup = cli(
+      {"schedule", "-", "--arch", "complete 4", "--policy", "startup",
+       "--quiet"},
+      kDemo);
+  EXPECT_EQ(startup.code, 0);
+  const CliResult modulo = cli(
+      {"schedule", "-", "--arch", "complete 4", "--policy", "modulo",
+       "--quiet"},
+      kDemo);
+  EXPECT_EQ(modulo.code, 0) << modulo.err;
+  EXPECT_NE(modulo.out.find("[valid]"), std::string::npos);
+  const CliResult bad = cli(
+      {"schedule", "-", "--arch", "complete 4", "--policy", "sideways"},
+      kDemo);
+  EXPECT_EQ(bad.code, 2);
+}
+
+TEST(Cli, ScheduleValidateSimulateRoundTrip) {
+  // schedule --emit-* produces artifacts that validate and simulate.
+  const std::string paper = serialize_csdfg(paper_example6());
+  const CliResult sched = cli({"schedule", "-", "--arch", "mesh 2 2",
+                               "--quiet", "--emit-schedule", "--emit-graph"},
+                              paper);
+  ASSERT_EQ(sched.code, 0) << sched.err;
+  // Split the output: graph part starts at "graph ", schedule at
+  // "schedule ".
+  const auto gpos = sched.out.find("graph ");
+  const auto spos = sched.out.find("schedule ");
+  ASSERT_NE(gpos, std::string::npos);
+  ASSERT_NE(spos, std::string::npos);
+  const std::string gfile =
+      temp_file("rt.csdfg", sched.out.substr(gpos, spos - gpos));
+  const std::string sfile = temp_file("rt.sched", sched.out.substr(spos));
+
+  const CliResult val =
+      cli({"validate", gfile, sfile, "--arch", "mesh 2 2"});
+  EXPECT_EQ(val.code, 0) << val.out << val.err;
+  EXPECT_NE(val.out.find("valid"), std::string::npos);
+
+  const CliResult sim = cli({"simulate", gfile, sfile, "--arch", "mesh 2 2",
+                             "--iterations", "16", "--gantt", "12"});
+  EXPECT_EQ(sim.code, 0) << sim.err;
+  EXPECT_NE(sim.out.find("late arrivals:   0"), std::string::npos);
+  EXPECT_NE(sim.out.find("pe1 |"), std::string::npos);
+
+  const CliResult self = cli({"simulate", gfile, sfile, "--arch", "mesh 2 2",
+                              "--self-timed", "--contention"});
+  EXPECT_EQ(self.code, 0) << self.err;
+  EXPECT_NE(self.out.find("self-timed"), std::string::npos);
+}
+
+TEST(Cli, ValidateFlagsABrokenSchedule) {
+  const std::string gfile = temp_file("bad.csdfg", kDemo);
+  // b placed before its producer's data can arrive (a ends at 1, volume 2
+  // over 1 hop -> b may start at 4 earliest on another PE of a pair).
+  const std::string sfile = temp_file(
+      "bad.sched", "schedule 6 2\nplace a 1 1\nplace b 2 2\n");
+  const CliResult r = cli({"validate", gfile, sfile, "--arch",
+                           "linear_array 2"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.out.find("a->b"), std::string::npos);
+}
+
+TEST(Cli, HeterogeneousSpeedsFlowThrough) {
+  const CliResult r = cli({"schedule", "-", "--arch", "linear_array 2",
+                           "--speeds", "1,2", "--quiet", "--emit-schedule"},
+                          kDemo);
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("speeds 1 2"), std::string::npos);
+  const CliResult bad = cli({"schedule", "-", "--arch", "linear_array 2",
+                             "--speeds", "1,2,3"},
+                            kDemo);
+  EXPECT_EQ(bad.code, 2);
+}
+
+TEST(Cli, UnknownOptionRejected) {
+  const CliResult r =
+      cli({"schedule", "-", "--arch", "mesh 2 2", "--turbo"}, kDemo);
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("--turbo"), std::string::npos);
+}
+
+TEST(Cli, EqualsFormOptionsAreAccepted) {
+  const CliResult r = cli(
+      {"schedule", "-", "--arch=complete 4", "--policy=strict",
+       "--passes=2", "--quiet"},
+      kDemo);
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("[valid]"), std::string::npos);
+  const CliResult bad =
+      cli({"schedule", "-", "--arch=complete 4", "--passes=soon"}, kDemo);
+  EXPECT_EQ(bad.code, 2);
+  EXPECT_NE(bad.err.find("--passes"), std::string::npos);
+}
+
+TEST(Cli, TwoStdinArgumentsRejected) {
+  const CliResult r = cli({"validate", "-", "-", "--arch", "mesh 2 2"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("stdin"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ccs

@@ -1,0 +1,68 @@
+// Unit tests for the communication cost models (Definition 3.5).
+#include <gtest/gtest.h>
+
+#include "arch/comm_model.hpp"
+#include "arch/topology.hpp"
+#include "util/contracts.hpp"
+
+namespace ccs {
+namespace {
+
+TEST(StoreAndForward, CostIsHopsTimesVolume) {
+  const Topology mesh = make_mesh(2, 2);
+  const StoreAndForwardModel m(mesh);
+  // The paper's example under Def. 3.5: B on PE1, E on PE3 (2 hops on their
+  // 2x2 mesh), volume 2 -> cost 4... their worked number is hops(2) x m(3) =
+  // 6 for a volume-3 transfer.
+  EXPECT_EQ(m.cost(0, 3, 3), 6);
+  EXPECT_EQ(m.cost(0, 1, 2), 2);
+  EXPECT_EQ(m.cost(2, 2, 5), 0);  // same PE is free
+  EXPECT_EQ(m.name(), "store_and_forward");
+}
+
+TEST(StoreAndForward, ScalesLinearlyInDistance) {
+  const Topology line = make_linear_array(8);
+  const StoreAndForwardModel m(line);
+  for (std::size_t d = 1; d < 8; ++d) EXPECT_EQ(m.cost(0, d, 1), static_cast<CommCost>(d));
+  EXPECT_EQ(m.cost(0, 7, 4), 28);
+}
+
+TEST(StoreAndForward, CompleteTopologyChargesOneHop) {
+  const Topology cc = make_complete(5);
+  const StoreAndForwardModel m(cc);
+  EXPECT_EQ(m.cost(0, 4, 7), 7);
+  EXPECT_EQ(m.cost(3, 1, 1), 1);
+}
+
+TEST(ZeroCommModel, AlwaysFree) {
+  const ZeroCommModel z;
+  EXPECT_EQ(z.cost(0, 5, 100), 0);
+  EXPECT_EQ(z.name(), "zero");
+}
+
+TEST(FixedLatency, FlatInterPeCost) {
+  const Topology line = make_linear_array(4);
+  const FixedLatencyModel m(line, 3);
+  EXPECT_EQ(m.cost(0, 3, 99), 3);
+  EXPECT_EQ(m.cost(0, 1, 1), 3);
+  EXPECT_EQ(m.cost(2, 2, 1), 0);
+}
+
+TEST(CutThrough, DistanceAdditiveVolumeOnce) {
+  const Topology line = make_linear_array(5);
+  const CutThroughModel m(line, 2);
+  EXPECT_EQ(m.cost(0, 4, 3), 2 * 4 + 3);
+  EXPECT_EQ(m.cost(0, 0, 3), 0);
+  // Weaker distance dependence than store-and-forward for large volumes.
+  const StoreAndForwardModel sf(line);
+  EXPECT_LT(m.cost(0, 4, 10), sf.cost(0, 4, 10));
+}
+
+TEST(CommModels, OutOfRangePeIsContractChecked) {
+  const Topology line = make_linear_array(3);
+  const StoreAndForwardModel m(line);
+  EXPECT_THROW((void)m.cost(0, 7, 1), ContractViolation);
+}
+
+}  // namespace
+}  // namespace ccs

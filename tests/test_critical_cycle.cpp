@@ -1,0 +1,99 @@
+// Unit tests for critical-cycle extraction.
+#include <gtest/gtest.h>
+
+#include "core/critical_cycle.hpp"
+#include "workloads/library.hpp"
+#include "workloads/transforms.hpp"
+
+namespace ccs {
+namespace {
+
+/// The witness must be a closed walk of `g` whose ratio equals the bound.
+void expect_valid_witness(const Csdfg& g) {
+  const CycleWitness c = critical_cycle(g);
+  const Rational b = iteration_bound(g);
+  if (b.num == 0) {
+    EXPECT_TRUE(c.edges.empty());
+    return;
+  }
+  ASSERT_FALSE(c.edges.empty()) << g.name();
+  EXPECT_EQ(c.ratio(), b) << g.name();
+  for (std::size_t i = 0; i < c.edges.size(); ++i) {
+    const Edge& cur = g.edge(c.edges[i]);
+    const Edge& next = g.edge(c.edges[(i + 1) % c.edges.size()]);
+    EXPECT_EQ(cur.to, next.from) << g.name() << " hop " << i;
+  }
+  // Simple cycle: no node repeats as an edge source.
+  std::vector<NodeId> sources;
+  for (const EdgeId e : c.edges) sources.push_back(g.edge(e).from);
+  std::sort(sources.begin(), sources.end());
+  EXPECT_EQ(std::adjacent_find(sources.begin(), sources.end()),
+            sources.end())
+      << g.name();
+}
+
+TEST(CriticalCycle, PaperExampleWitnessIsTheEFLoop) {
+  const Csdfg g = paper_example6();
+  const CycleWitness c = critical_cycle(g);
+  EXPECT_EQ(c.ratio(), (Rational{3, 1}));
+  EXPECT_EQ(c.total_time, 3);
+  EXPECT_EQ(c.total_delay, 1);
+  // The only ratio-3 cycle is E->F->E.
+  EXPECT_EQ(c.edges.size(), 2u);
+  const std::string desc = describe_cycle(g, c);
+  EXPECT_NE(desc.find("E"), std::string::npos);
+  EXPECT_NE(desc.find("F"), std::string::npos);
+  EXPECT_NE(desc.find("ratio 3"), std::string::npos);
+}
+
+TEST(CriticalCycle, SelfLoopWitness) {
+  Csdfg g;
+  g.add_node("a", 4);
+  g.add_edge(0, 0, 2, 1);
+  const CycleWitness c = critical_cycle(g);
+  ASSERT_EQ(c.edges.size(), 1u);
+  EXPECT_EQ(c.ratio(), (Rational{2, 1}));
+}
+
+TEST(CriticalCycle, AcyclicGraphsHaveNoWitness) {
+  const CycleWitness c = critical_cycle(fir_filter(4));
+  EXPECT_TRUE(c.edges.empty());
+  EXPECT_EQ(describe_cycle(fir_filter(4), c), "(acyclic)");
+}
+
+TEST(CriticalCycle, FractionalRatioWitness) {
+  Csdfg g;
+  g.add_node("a", 3);
+  g.add_node("b", 2);
+  g.add_edge(0, 1, 0, 1);
+  g.add_edge(1, 0, 2, 1);
+  const CycleWitness c = critical_cycle(g);
+  EXPECT_EQ(c.ratio(), (Rational{5, 2}));
+  EXPECT_EQ(c.edges.size(), 2u);
+}
+
+TEST(CriticalCycle, WitnessesAcrossTheLibrary) {
+  for (const Csdfg& g :
+       {paper_example6(), paper_example19(), elliptic_filter(),
+        lattice_filter(), iir_biquad_cascade(2), diffeq_solver(),
+        slowdown(paper_example6(), 3)}) {
+    expect_valid_witness(g);
+  }
+}
+
+TEST(CriticalCycle, PicksTheWorstOfSeveralCycles) {
+  Csdfg g;
+  g.add_node("a", 1);
+  g.add_node("b", 1);
+  g.add_node("c", 9);
+  g.add_edge(0, 1, 0, 1);
+  g.add_edge(1, 0, 1, 1);  // ratio 2
+  g.add_edge(1, 2, 0, 1);
+  g.add_edge(2, 1, 2, 1);  // ratio (1+9)/2 = 5
+  const CycleWitness c = critical_cycle(g);
+  EXPECT_EQ(c.ratio(), (Rational{5, 1}));
+  EXPECT_EQ(c.total_delay, 2);
+}
+
+}  // namespace
+}  // namespace ccs

@@ -1,0 +1,150 @@
+// Integration-level tests of the full cyclo-compaction algorithm
+// (Section 4), including the paper's walkthrough and Theorem 4.4.
+#include <gtest/gtest.h>
+
+#include "arch/comm_model.hpp"
+#include "arch/topology.hpp"
+#include "core/cyclo_compaction.hpp"
+#include "core/iteration_bound.hpp"
+#include "core/validator.hpp"
+#include "workloads/library.hpp"
+
+namespace ccs {
+namespace {
+
+class CycloTest : public ::testing::Test {
+protected:
+  Csdfg g_ = paper_example6();
+  Topology mesh_ = make_mesh(2, 2);
+  StoreAndForwardModel comm_{mesh_};
+};
+
+TEST_F(CycloTest, PaperWalkthroughSevenToFive) {
+  // Figures 2-3: start-up length 7; cyclo-compaction reaches 5 within a few
+  // passes (the paper reports 5 after its third iteration).
+  CycloCompactionOptions opt;
+  opt.policy = RemapPolicy::kWithoutRelaxation;
+  const auto res = cyclo_compact(g_, mesh_, comm_, opt);
+  EXPECT_EQ(res.startup_length(), 7);
+  EXPECT_LE(res.best_length(), 5);
+  EXPECT_LE(res.best_pass, 3);
+  EXPECT_TRUE(validate_schedule(res.retimed_graph, res.best, comm_).ok());
+  EXPECT_TRUE(validate_schedule(g_, res.startup, comm_).ok());
+}
+
+TEST_F(CycloTest, RelaxationReachesTheIterationBoundHere) {
+  // This graph's iteration bound is 3 (cycle E-F); with relaxation the
+  // compactor finds a length-3 table on the 2x2 mesh.
+  CycloCompactionOptions opt;
+  opt.policy = RemapPolicy::kWithRelaxation;
+  const auto res = cyclo_compact(g_, mesh_, comm_, opt);
+  EXPECT_EQ(res.best_length(), 3);
+  EXPECT_TRUE(validate_schedule(res.retimed_graph, res.best, comm_).ok());
+}
+
+TEST_F(CycloTest, Theorem44MonotoneWithoutRelaxation) {
+  CycloCompactionOptions opt;
+  opt.policy = RemapPolicy::kWithoutRelaxation;
+  for (const Csdfg& g : {paper_example6(), paper_example19(),
+                         lattice_filter(), diffeq_solver()}) {
+    const auto res = cyclo_compact(g, mesh_, comm_, opt);
+    int prev = res.startup_length();
+    for (const int len : res.length_trace) {
+      EXPECT_LE(len, prev) << g.name();
+      prev = len;
+    }
+  }
+}
+
+TEST_F(CycloTest, BestNeverExceedsStartup) {
+  for (auto policy :
+       {RemapPolicy::kWithoutRelaxation, RemapPolicy::kWithRelaxation}) {
+    CycloCompactionOptions opt;
+    opt.policy = policy;
+    const auto res = cyclo_compact(paper_example19(), mesh_, comm_, opt);
+    EXPECT_LE(res.best_length(), res.startup_length());
+  }
+}
+
+TEST_F(CycloTest, ScheduleLengthRespectsTheIterationBound) {
+  // No static cyclic schedule can beat ceil(iteration bound).
+  for (const Csdfg& g :
+       {paper_example6(), paper_example19(), lattice_filter()}) {
+    CycloCompactionOptions opt;
+    opt.policy = RemapPolicy::kWithRelaxation;
+    const auto res = cyclo_compact(g, mesh_, comm_, opt);
+    const Rational b = iteration_bound(g);
+    EXPECT_GE(static_cast<double>(res.best_length()) + 1e-9, b.value())
+        << g.name();
+  }
+}
+
+TEST_F(CycloTest, RetimingGluesGraphToSchedule) {
+  // The reported retiming applied to the input graph must reproduce the
+  // retimed graph the best schedule validates against.
+  CycloCompactionOptions opt;
+  opt.policy = RemapPolicy::kWithRelaxation;
+  const auto res = cyclo_compact(g_, mesh_, comm_, opt);
+  Csdfg replay = g_;
+  res.retiming.apply(replay);
+  ASSERT_EQ(replay.edge_count(), res.retimed_graph.edge_count());
+  for (EdgeId e = 0; e < replay.edge_count(); ++e)
+    EXPECT_EQ(replay.edge(e).delay, res.retimed_graph.edge(e).delay);
+}
+
+TEST_F(CycloTest, ExplicitPassCountIsHonored) {
+  CycloCompactionOptions opt;
+  opt.passes = 2;
+  const auto res = cyclo_compact(g_, mesh_, comm_, opt);
+  EXPECT_LE(res.length_trace.size(), 2u);
+}
+
+TEST_F(CycloTest, TraceRecordsEveryPass) {
+  CycloCompactionOptions opt;
+  opt.policy = RemapPolicy::kWithRelaxation;
+  opt.passes = 10;
+  const auto res = cyclo_compact(g_, mesh_, comm_, opt);
+  EXPECT_EQ(res.length_trace.size(), 10u);
+}
+
+TEST_F(CycloTest, SinglePeCompactionCannotBeatSerialExecution) {
+  const Topology solo = make_linear_array(1);
+  const StoreAndForwardModel m(solo);
+  const auto res = cyclo_compact(g_, solo, m);
+  EXPECT_EQ(res.best_length(), static_cast<int>(g_.total_computation()));
+}
+
+TEST_F(CycloTest, PaperExample19AcrossAllFiveArchitectures) {
+  // Tables 1-10 shape: start-up 12-15, compacted roughly half; the
+  // completely connected machine does at least as well as the linear array.
+  const Csdfg g = paper_example19();
+  CycloCompactionOptions opt;
+  opt.policy = RemapPolicy::kWithRelaxation;
+  int cc_best = 0, lin_best = 0;
+  const Topology archs[] = {make_complete(8), make_linear_array(8),
+                            make_ring(8), make_mesh(4, 2), make_hypercube(3)};
+  for (const Topology& topo : archs) {
+    const StoreAndForwardModel m(topo);
+    const auto res = cyclo_compact(g, topo, m, opt);
+    EXPECT_TRUE(validate_schedule(res.retimed_graph, res.best, m).ok())
+        << topo.name();
+    EXPECT_LT(res.best_length(), res.startup_length()) << topo.name();
+    if (topo.name() == "complete(8)") cc_best = res.best_length();
+    if (topo.name() == "linear_array(8)") lin_best = res.best_length();
+  }
+  // The compactor is a heuristic: allow one step of slack in the topology
+  // ordering (both machines land within a step of the best found).
+  EXPECT_LE(cc_best, lin_best + 1);
+}
+
+TEST_F(CycloTest, PipelinedPesCompactAtLeastAsWell) {
+  CycloCompactionOptions plain;
+  CycloCompactionOptions piped;
+  piped.startup.pipelined_pes = true;
+  const auto a = cyclo_compact(g_, mesh_, comm_, plain);
+  const auto b = cyclo_compact(g_, mesh_, comm_, piped);
+  EXPECT_LE(b.best_length(), a.best_length());
+}
+
+}  // namespace
+}  // namespace ccs

@@ -1,0 +1,132 @@
+// Unit tests for trace recording and Gantt/CSV rendering.
+#include <gtest/gtest.h>
+
+#include "arch/comm_model.hpp"
+#include "arch/topology.hpp"
+#include "core/cyclo_compaction.hpp"
+#include "sim/gantt.hpp"
+#include "util/contracts.hpp"
+#include "workloads/library.hpp"
+
+namespace ccs {
+namespace {
+
+class GanttTest : public ::testing::Test {
+protected:
+  Csdfg g_ = paper_example6();
+  Topology mesh_ = make_mesh(2, 2);
+  StoreAndForwardModel comm_{mesh_};
+  ScheduleTable startup_ = start_up_schedule(g_, mesh_, comm_);
+};
+
+TEST_F(GanttTest, TraceRecordsEveryInstance) {
+  ExecutorOptions opt;
+  opt.iterations = 3;
+  opt.warmup = 0;
+  opt.record_trace = true;
+  const ExecutionStats s = execute_static(g_, startup_, mesh_, opt);
+  EXPECT_EQ(s.trace.size(), 3 * g_.node_count());
+  for (const TaskEvent& ev : s.trace) {
+    EXPECT_EQ(ev.finish - ev.start + 1, g_.node(ev.node).time);
+    EXPECT_EQ(ev.pe, startup_.pe(ev.node));
+    // Static mode: start = iteration*L + CB.
+    EXPECT_EQ(ev.start, ev.iteration * startup_.length() +
+                            startup_.cb(ev.node));
+  }
+}
+
+TEST_F(GanttTest, TraceIsOffByDefault) {
+  const ExecutionStats s = execute_static(g_, startup_, mesh_, {});
+  EXPECT_TRUE(s.trace.empty());
+}
+
+TEST_F(GanttTest, GanttShowsTasksAtTheirCycles) {
+  ExecutorOptions opt;
+  opt.iterations = 2;
+  opt.warmup = 0;
+  opt.record_trace = true;
+  const ExecutionStats s = execute_static(g_, startup_, mesh_, opt);
+  const std::string chart = render_gantt(g_, s.trace, 4, 1, 14);
+  // pe1 runs A B B D E E F twice; pe2 shows C at cycles 3 and 10.
+  EXPECT_NE(chart.find("pe1 |ABBDEEFABBDEEF|"), std::string::npos) << chart;
+  EXPECT_NE(chart.find("pe2 |..C......C....|"), std::string::npos) << chart;
+  EXPECT_NE(chart.find("pe4 |..............|"), std::string::npos);
+}
+
+TEST_F(GanttTest, GanttWindowsClipEvents) {
+  ExecutorOptions opt;
+  opt.iterations = 2;
+  opt.warmup = 0;
+  opt.record_trace = true;
+  const ExecutionStats s = execute_static(g_, startup_, mesh_, opt);
+  const std::string chart = render_gantt(g_, s.trace, 4, 5, 8);
+  EXPECT_NE(chart.find("cycles 5..8"), std::string::npos);
+  EXPECT_NE(chart.find("pe1 |EEFA|"), std::string::npos) << chart;
+}
+
+TEST_F(GanttTest, CompactedGanttShowsIterationOverlap) {
+  // After compaction, an iteration's tasks interleave with the next one's:
+  // the chart for one period contains tasks of two different iterations.
+  CycloCompactionOptions copt;
+  copt.policy = RemapPolicy::kWithRelaxation;
+  const auto res = cyclo_compact(g_, mesh_, comm_, copt);
+  ExecutorOptions opt;
+  opt.iterations = 6;
+  opt.warmup = 0;
+  opt.record_trace = true;
+  const ExecutionStats s =
+      execute_static(res.retimed_graph, res.best, mesh_, opt);
+  const int L = res.best_length();
+  // Window over the 3rd period.
+  const std::string chart = render_gantt(g_, s.trace, 4, 2 * L + 1, 3 * L);
+  EXPECT_NE(chart.find('A'), std::string::npos);
+  EXPECT_NE(chart.find('E'), std::string::npos);
+}
+
+TEST_F(GanttTest, CsvHasHeaderAndOneRowPerEvent) {
+  ExecutorOptions opt;
+  opt.iterations = 2;
+  opt.warmup = 0;
+  opt.record_trace = true;
+  const ExecutionStats s = execute_static(g_, startup_, mesh_, opt);
+  const std::string csv = trace_to_csv(g_, s.trace);
+  EXPECT_NE(csv.find("task,iteration,pe,start,finish\n"), std::string::npos);
+  EXPECT_NE(csv.find("A,0,1,1,1\n"), std::string::npos);
+  EXPECT_NE(csv.find("C,1,2,10,10\n"), std::string::npos);
+  const auto rows = std::count(csv.begin(), csv.end(), '\n');
+  EXPECT_EQ(rows, 1 + 2 * static_cast<long>(g_.node_count()));
+}
+
+TEST_F(GanttTest, RouterChoiceChangesContendedTimingOnly) {
+  const Topology mesh = make_mesh(2, 4);
+  const StoreAndForwardModel comm(mesh);
+  const Csdfg g = paper_example19();
+  const ScheduleTable t = start_up_schedule(g, mesh, comm);
+  const ShortestPathRouter bfs(mesh);
+  const XyMeshRouter xy(mesh, 2, 4);
+
+  ExecutorOptions a;
+  a.router = &bfs;
+  ExecutorOptions b;
+  b.router = &xy;
+  // Without contention both routers are minimal: identical timing.
+  EXPECT_EQ(execute_self_timed(g, t, mesh, a).makespan,
+            execute_self_timed(g, t, mesh, b).makespan);
+  // Under contention the policies may spread load differently; both must
+  // still be deterministic and no faster than contention-free.
+  a.link_contention = b.link_contention = true;
+  const auto sa = execute_self_timed(g, t, mesh, a);
+  const auto sb = execute_self_timed(g, t, mesh, b);
+  EXPECT_EQ(sa.makespan, execute_self_timed(g, t, mesh, a).makespan);
+  ExecutorOptions free_links;
+  EXPECT_GE(sa.makespan, execute_self_timed(g, t, mesh, free_links).makespan);
+  EXPECT_GE(sb.makespan, execute_self_timed(g, t, mesh, free_links).makespan);
+}
+
+TEST_F(GanttTest, RenderArgumentsAreContractChecked) {
+  EXPECT_THROW((void)render_gantt(g_, {}, 0, 1, 5), ContractViolation);
+  EXPECT_THROW((void)render_gantt(g_, {}, 2, 5, 1), ContractViolation);
+}
+
+}  // namespace
+}  // namespace ccs

@@ -1,0 +1,104 @@
+// Unit and property tests for the random CSDFG generator.
+#include <gtest/gtest.h>
+
+#include "core/graph_algo.hpp"
+#include "util/error.hpp"
+#include "workloads/generator.hpp"
+
+namespace ccs {
+namespace {
+
+TEST(Generator, DeterministicInSeed) {
+  RandomDfgConfig cfg;
+  const Csdfg a = random_csdfg(cfg, 123);
+  const Csdfg b = random_csdfg(cfg, 123);
+  ASSERT_EQ(a.edge_count(), b.edge_count());
+  for (EdgeId e = 0; e < a.edge_count(); ++e) {
+    EXPECT_EQ(a.edge(e).from, b.edge(e).from);
+    EXPECT_EQ(a.edge(e).to, b.edge(e).to);
+    EXPECT_EQ(a.edge(e).delay, b.edge(e).delay);
+    EXPECT_EQ(a.edge(e).volume, b.edge(e).volume);
+  }
+  for (NodeId v = 0; v < a.node_count(); ++v)
+    EXPECT_EQ(a.node(v).time, b.node(v).time);
+}
+
+TEST(Generator, DifferentSeedsProduceDifferentGraphs) {
+  RandomDfgConfig cfg;
+  const Csdfg a = random_csdfg(cfg, 1);
+  const Csdfg b = random_csdfg(cfg, 2);
+  bool differs = a.edge_count() != b.edge_count();
+  for (EdgeId e = 0; !differs && e < a.edge_count(); ++e)
+    differs = a.edge(e).from != b.edge(e).from ||
+              a.edge(e).to != b.edge(e).to || a.edge(e).delay != b.edge(e).delay;
+  EXPECT_TRUE(differs);
+}
+
+TEST(Generator, RespectsConfiguredBounds) {
+  RandomDfgConfig cfg;
+  cfg.num_nodes = 40;
+  cfg.num_layers = 8;
+  cfg.max_time = 4;
+  cfg.max_volume = 5;
+  cfg.max_delay = 2;
+  cfg.num_back_edges = 6;
+  const Csdfg g = random_csdfg(cfg, 7);
+  EXPECT_EQ(g.node_count(), 40u);
+  int back = 0;
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    EXPECT_GE(g.edge(e).volume, 1u);
+    EXPECT_LE(g.edge(e).volume, 5u);
+    EXPECT_GE(g.edge(e).delay, 0);
+    EXPECT_LE(g.edge(e).delay, 2);
+    back += g.edge(e).delay > 0;
+  }
+  EXPECT_EQ(back, 6);
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    EXPECT_GE(g.node(v).time, 1);
+    EXPECT_LE(g.node(v).time, 4);
+  }
+}
+
+// Property sweep: every generated graph is legal and structurally sane.
+class GeneratorSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GeneratorSweep, GeneratedGraphsAreLegalAndConnectedByLayers) {
+  RandomDfgConfig cfg;
+  cfg.num_nodes = 25;
+  cfg.num_layers = 5;
+  cfg.num_back_edges = 4;
+  const Csdfg g = random_csdfg(cfg, GetParam());
+  EXPECT_TRUE(g.is_legal());
+  EXPECT_NO_THROW((void)zero_delay_topological_order(g));
+  // Every node beyond the first layer has at least one zero-delay producer.
+  const auto roots = zero_delay_roots(g);
+  EXPECT_LT(roots.size(), g.node_count());
+  const DagTiming t = compute_dag_timing(g);
+  EXPECT_GE(t.critical_path, static_cast<int>(cfg.num_layers));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GeneratorSweep,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89,
+                                           144, 233));
+
+TEST(Generator, RejectsNonsenseConfigs) {
+  RandomDfgConfig cfg;
+  cfg.num_nodes = 1;
+  EXPECT_THROW((void)random_csdfg(cfg, 1), GraphError);
+  cfg = {};
+  cfg.num_layers = 0;
+  EXPECT_THROW((void)random_csdfg(cfg, 1), GraphError);
+  cfg = {};
+  cfg.num_nodes = 3;
+  cfg.num_layers = 5;
+  EXPECT_THROW((void)random_csdfg(cfg, 1), GraphError);
+  cfg = {};
+  cfg.extra_edge_prob = 1.5;
+  EXPECT_THROW((void)random_csdfg(cfg, 1), GraphError);
+  cfg = {};
+  cfg.max_time = 0;
+  EXPECT_THROW((void)random_csdfg(cfg, 1), GraphError);
+}
+
+}  // namespace
+}  // namespace ccs

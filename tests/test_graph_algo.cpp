@@ -1,0 +1,109 @@
+// Unit tests for the zero-delay-DAG algorithms feeding the start-up
+// scheduler (ASAP/ALAP/mobility of Definition 3.4).
+#include <gtest/gtest.h>
+
+#include "core/graph_algo.hpp"
+#include "util/error.hpp"
+#include "workloads/library.hpp"
+
+namespace ccs {
+namespace {
+
+TEST(GraphAlgo, TopologicalOrderRespectsZeroDelayEdgesOnly) {
+  const Csdfg g = paper_example6();
+  const auto order = zero_delay_topological_order(g);
+  ASSERT_EQ(order.size(), 6u);
+  std::vector<std::size_t> pos(6);
+  for (std::size_t i = 0; i < order.size(); ++i) pos[order[i]] = i;
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    if (g.edge(e).delay == 0) {
+      EXPECT_LT(pos[g.edge(e).from], pos[g.edge(e).to]);
+    }
+  }
+}
+
+TEST(GraphAlgo, TopologicalOrderIsDeterministicLowestIdFirst) {
+  Csdfg g;
+  g.add_node("a", 1);
+  g.add_node("b", 1);
+  g.add_node("c", 1);  // all three are roots
+  const auto order = zero_delay_topological_order(g);
+  EXPECT_EQ(order, (std::vector<NodeId>{0, 1, 2}));
+}
+
+TEST(GraphAlgo, TopologicalOrderThrowsOnZeroDelayCycle) {
+  Csdfg g;
+  g.add_node("a", 1);
+  g.add_node("b", 1);
+  g.add_edge(0, 1, 0);
+  g.add_edge(1, 0, 0);
+  EXPECT_THROW((void)zero_delay_topological_order(g), GraphError);
+}
+
+TEST(GraphAlgo, DagTimingOfPaperExample) {
+  // Zero-delay critical path of Figure 1(b): A,B,E,F = 1+2+2+1 = 6.
+  const Csdfg g = paper_example6();
+  const DagTiming t = compute_dag_timing(g);
+  EXPECT_EQ(t.critical_path, 6);
+  const NodeId A = g.node_by_name("A"), B = g.node_by_name("B"),
+               C = g.node_by_name("C"), D = g.node_by_name("D"),
+               E = g.node_by_name("E"), F = g.node_by_name("F");
+  EXPECT_EQ(t.asap_cb[A], 1);
+  EXPECT_EQ(t.asap_cb[B], 2);
+  EXPECT_EQ(t.asap_cb[C], 2);
+  EXPECT_EQ(t.asap_cb[E], 4);
+  EXPECT_EQ(t.asap_cb[F], 6);
+  // A, B, E, F are on the critical path: zero mobility.
+  EXPECT_EQ(t.mobility(A), 0);
+  EXPECT_EQ(t.mobility(B), 0);
+  EXPECT_EQ(t.mobility(E), 0);
+  EXPECT_EQ(t.mobility(F), 0);
+  // C can slide: ALAP(C) = 3 (must end before E at 4).
+  EXPECT_EQ(t.alap_cb[C], 3);
+  EXPECT_EQ(t.mobility(C), 1);
+  // D must end before F at 6: ALAP(D) = 5, ASAP(D) = 4.
+  EXPECT_EQ(t.asap_cb[D], 4);
+  EXPECT_EQ(t.alap_cb[D], 5);
+  EXPECT_EQ(t.mobility(D), 1);
+}
+
+TEST(GraphAlgo, AlapNeverBelowAsap) {
+  for (const Csdfg& g : {paper_example6(), paper_example19(),
+                         elliptic_filter(), lattice_filter()}) {
+    const DagTiming t = compute_dag_timing(g);
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+      EXPECT_LE(t.asap_cb[v], t.alap_cb[v]) << g.name();
+      EXPECT_GE(t.asap_cb[v], 1) << g.name();
+      EXPECT_LE(t.alap_cb[v] + g.node(v).time - 1, t.critical_path)
+          << g.name();
+    }
+  }
+}
+
+TEST(GraphAlgo, ZeroDelayRootsIgnoreDelayedInEdges) {
+  const Csdfg g = paper_example6();
+  // A's only incoming edge (D->A) carries delay 3; E has F->E with delay 1
+  // but also zero-delay in-edges.
+  const auto roots = zero_delay_roots(g);
+  EXPECT_EQ(roots, std::vector<NodeId>{g.node_by_name("A")});
+}
+
+TEST(GraphAlgo, MultiRootGraphs) {
+  const Csdfg g = paper_example19();
+  const auto roots = zero_delay_roots(g);
+  // Reconstructed Figure 7: A, C, D, E, F are sources of the DAG view.
+  EXPECT_EQ(roots.size(), 5u);
+}
+
+TEST(GraphAlgo, ReachabilityFollowsZeroDelayEdges) {
+  const Csdfg g = paper_example6();
+  const NodeId A = g.node_by_name("A"), F = g.node_by_name("F"),
+               C = g.node_by_name("C"), D = g.node_by_name("D");
+  EXPECT_TRUE(zero_delay_reachable(g, A, F));
+  EXPECT_FALSE(zero_delay_reachable(g, F, A));  // D->A has delay
+  EXPECT_FALSE(zero_delay_reachable(g, C, D));
+  EXPECT_TRUE(zero_delay_reachable(g, C, C));  // trivially reachable
+}
+
+}  // namespace
+}  // namespace ccs

@@ -1,0 +1,97 @@
+// Property sweep for the heterogeneous extension: the P1-P9 style
+// invariants must hold on machines with mixed speed factors too.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "arch/comm_model.hpp"
+#include "arch/topology.hpp"
+#include "core/buffers.hpp"
+#include "core/cyclo_compaction.hpp"
+#include "core/validator.hpp"
+#include "io/schedule_format.hpp"
+#include "sim/executor.hpp"
+#include "workloads/generator.hpp"
+
+namespace ccs {
+namespace {
+
+using Param = std::tuple<std::uint64_t, int>;  // (seed, profile index)
+
+std::vector<int> profile(int index, std::size_t pes) {
+  std::vector<int> speeds(pes, 1);
+  switch (index) {
+    case 0:  // uniform fast
+      break;
+    case 1:  // alternating 1/2
+      for (std::size_t p = 1; p < pes; p += 2) speeds[p] = 2;
+      break;
+    case 2:  // one fast PE in a slow sea
+      speeds.assign(pes, 3);
+      speeds[0] = 1;
+      break;
+    default:
+      std::abort();
+  }
+  return speeds;
+}
+
+class HeterogeneousSweep : public ::testing::TestWithParam<Param> {};
+
+TEST_P(HeterogeneousSweep, PipelineInvariantsHold) {
+  const auto [seed, prof] = GetParam();
+  RandomDfgConfig cfg;
+  cfg.num_nodes = 16;
+  cfg.num_layers = 4;
+  cfg.num_back_edges = 4;
+  const Csdfg g = random_csdfg(cfg, seed);
+  const Topology topo = make_mesh(2, 3);
+  const StoreAndForwardModel comm(topo);
+
+  CycloCompactionOptions opt;
+  opt.policy = RemapPolicy::kWithRelaxation;
+  opt.startup.pe_speeds = profile(prof, topo.size());
+  const auto res = cyclo_compact(g, topo, comm, opt);
+
+  // Validity, both referees.
+  const auto report = validate_schedule(res.retimed_graph, res.best, comm);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+  ExecutorOptions sim;
+  sim.iterations = 16;
+  sim.warmup = 2;
+  EXPECT_EQ(
+      execute_static(res.retimed_graph, res.best, topo, sim).late_arrivals,
+      0);
+
+  // Improvement and monotone best.
+  EXPECT_LE(res.best_length(), res.startup_length());
+
+  // Self-timed never behind static, per iteration.
+  const auto st = execute_self_timed(res.retimed_graph, res.best, topo, sim);
+  const auto fixed = execute_static(res.retimed_graph, res.best, topo, sim);
+  ASSERT_FALSE(st.deadlocked);
+  for (std::size_t i = 0; i < st.iteration_finish.size(); ++i)
+    EXPECT_LE(st.iteration_finish[i], fixed.iteration_finish[i]);
+
+  // Buffers and the interchange format keep working.
+  EXPECT_GE(buffer_requirements(res.retimed_graph, res.best, comm).total,
+            buffer_lower_bound(res.retimed_graph));
+  const ScheduleTable back = parse_schedule(
+      res.retimed_graph, serialize_schedule(res.retimed_graph, res.best));
+  EXPECT_TRUE(validate_schedule(res.retimed_graph, back, comm).ok());
+  for (PeId p = 0; p < topo.size(); ++p)
+    EXPECT_EQ(back.pe_speed(p), res.best.pe_speed(p));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, HeterogeneousSweep,
+    ::testing::Combine(::testing::Values<std::uint64_t>(5, 10, 15, 20, 25,
+                                                        30),
+                       ::testing::Values(0, 1, 2)),
+    [](const ::testing::TestParamInfo<Param>& param_info) {
+      return "seed" + std::to_string(std::get<0>(param_info.param)) +
+             "_profile" + std::to_string(std::get<1>(param_info.param));
+    });
+
+}  // namespace
+}  // namespace ccs

@@ -1,0 +1,142 @@
+// End-to-end integration tests: the full pipeline over the benchmark
+// library and the paper's architectures, and the text-format CLI loop
+// (parse -> schedule -> render -> serialize).
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "arch/comm_model.hpp"
+#include "arch/topology.hpp"
+#include "core/baselines.hpp"
+#include "core/cyclo_compaction.hpp"
+#include "core/validator.hpp"
+#include "io/table_printer.hpp"
+#include "io/text_format.hpp"
+#include "sim/executor.hpp"
+#include "workloads/library.hpp"
+#include "workloads/transforms.hpp"
+
+namespace ccs {
+namespace {
+
+TEST(Integration, LibraryGraphsTimesFiveArchitectures) {
+  const Csdfg graphs[] = {paper_example6(), paper_example19(),
+                          lattice_filter(), iir_biquad_cascade(2),
+                          diffeq_solver(), fir_filter(5)};
+  const char* specs[] = {"complete 8", "linear_array 8", "ring 8", "mesh 4 2",
+                         "hypercube 3"};
+  for (const Csdfg& g : graphs) {
+    for (const char* spec : specs) {
+      const Topology topo = parse_topology(spec);
+      const StoreAndForwardModel comm(topo);
+      CycloCompactionOptions opt;
+      opt.policy = RemapPolicy::kWithRelaxation;
+      const auto res = cyclo_compact(g, topo, comm, opt);
+      ASSERT_TRUE(validate_schedule(res.retimed_graph, res.best, comm).ok())
+          << g.name() << " on " << spec;
+      EXPECT_LE(res.best_length(), res.startup_length());
+      EXPECT_EQ(
+          execute_static(res.retimed_graph, res.best, topo, {}).late_arrivals,
+          0)
+          << g.name() << " on " << spec;
+    }
+  }
+}
+
+TEST(Integration, Table11ConfigurationBehavesLikeThePaper) {
+  // Elliptic + lattice with slowdown 3 (Table 11 configuration).  Checks
+  // the headline qualitative claims on a reduced architecture set (the
+  // full sweep lives in bench_table11_filters):
+  //   (a) relaxation >= strict improvement everywhere,
+  //   (b) the completely connected machine compacts at least as well as
+  //       the linear array under relaxation.
+  std::map<std::string, int> relax_best, strict_best;
+  for (const char* spec : {"complete 8", "linear_array 8"}) {
+    const Topology topo = parse_topology(spec);
+    const StoreAndForwardModel comm(topo);
+    const Csdfg g = scale_times(slowdown(elliptic_filter(), 3), 3);
+    for (auto policy :
+         {RemapPolicy::kWithRelaxation, RemapPolicy::kWithoutRelaxation}) {
+      CycloCompactionOptions opt;
+      opt.policy = policy;
+      const auto res = cyclo_compact(g, topo, comm, opt);
+      ASSERT_TRUE(validate_schedule(res.retimed_graph, res.best, comm).ok());
+      // Start-up length is the paper's 126 band (the DAG view is a chain).
+      EXPECT_GE(res.startup_length(), 100);
+      EXPECT_LE(res.startup_length(), 140);
+      (policy == RemapPolicy::kWithRelaxation ? relax_best
+                                              : strict_best)[spec] =
+          res.best_length();
+    }
+  }
+  for (const auto& [spec, best] : relax_best)
+    EXPECT_LE(best, strict_best[spec]) << spec;
+  // Both architectures compact to the 33-step iteration-bound floor (the
+  // paper's Table 11 reports 35 for the completely connected machine), so
+  // the topology ordering is asserted with one step of heuristic slack.
+  EXPECT_LE(relax_best["complete 8"], relax_best["linear_array 8"] + 1);
+}
+
+TEST(Integration, CommAwareBeatsObliviousUnderHonestPricing) {
+  // The paper's core claim: architecture-aware compaction wins once the
+  // oblivious schedule pays its real communication bill.
+  const Csdfg g = paper_example19();
+  const Topology topo = make_linear_array(8);
+  const StoreAndForwardModel comm(topo);
+
+  CycloCompactionOptions opt;
+  opt.policy = RemapPolicy::kWithRelaxation;
+  const auto aware = cyclo_compact(g, topo, comm, opt);
+  const auto oblivious = rotation_scheduling_no_comm(g, topo);
+
+  ExecutorOptions sim;
+  sim.iterations = 48;
+  sim.warmup = 8;
+  const double aware_ii =
+      execute_self_timed(aware.retimed_graph, aware.best, topo, sim)
+          .steady_initiation_interval;
+  const double oblivious_ii =
+      execute_self_timed(oblivious.retimed_graph, oblivious.best, topo, sim)
+          .steady_initiation_interval;
+  EXPECT_LE(aware_ii, oblivious_ii + 1e-9);
+}
+
+TEST(Integration, TextFormatDrivesTheFullPipeline) {
+  // Simulates the CLI loop: a graph written in the text format is
+  // scheduled, rendered, and re-serialized without loss.
+  const std::string source =
+      "graph pipeline\n"
+      "node in 1\nnode fir1 2\nnode fir2 2\nnode dec 1\nnode out 1\n"
+      "edge in fir1 0 2\n"
+      "edge fir1 fir2 0 2\n"
+      "edge fir2 dec 0 1\n"
+      "edge dec out 0 1\n"
+      "edge out in 2 1\n"
+      "edge dec fir1 1 1\n";
+  const Csdfg g = parse_csdfg(source);
+  const Topology topo = parse_topology("ring 4");
+  const StoreAndForwardModel comm(topo);
+  const auto res = cyclo_compact(g, topo, comm, {});
+  EXPECT_TRUE(validate_schedule(res.retimed_graph, res.best, comm).ok());
+  const std::string rendered = render_schedule(res.retimed_graph, res.best);
+  EXPECT_NE(rendered.find("fir1"), std::string::npos);
+  const Csdfg round = parse_csdfg(serialize_csdfg(res.retimed_graph));
+  EXPECT_EQ(round.total_delay(), res.retimed_graph.total_delay());
+}
+
+TEST(Integration, ArchitectureOrderingUnderHeavyTraffic) {
+  // With bulky volumes the topology ordering sharpens: diameter-1 machines
+  // must not lose to the linear array on the same workload.
+  const Csdfg g = scale_volumes(paper_example19(), 2);
+  CycloCompactionOptions opt;
+  opt.policy = RemapPolicy::kWithRelaxation;
+  const Topology cc = make_complete(8);
+  const Topology line = make_linear_array(8);
+  const StoreAndForwardModel mc(cc), ml(line);
+  const int best_cc = cyclo_compact(g, cc, mc, opt).best_length();
+  const int best_line = cyclo_compact(g, line, ml, opt).best_length();
+  EXPECT_LE(best_cc, best_line);
+}
+
+}  // namespace
+}  // namespace ccs

@@ -1,0 +1,93 @@
+// Unit tests for DOT export and the paper-style schedule renderer.
+#include <gtest/gtest.h>
+
+#include "arch/comm_model.hpp"
+#include "arch/topology.hpp"
+#include "core/list_scheduler.hpp"
+#include "io/dot.hpp"
+#include "io/table_printer.hpp"
+#include "workloads/library.hpp"
+
+namespace ccs {
+namespace {
+
+TEST(Dot, GraphExportContainsNodesAndAnnotatedEdges) {
+  const std::string dot = to_dot(paper_example6());
+  EXPECT_NE(dot.find("digraph \"paper6\""), std::string::npos);
+  EXPECT_NE(dot.find("label=\"A (1)\""), std::string::npos);
+  EXPECT_NE(dot.find("label=\"B (2)\""), std::string::npos);
+  // D->A carries 3 delays and volume 3.
+  EXPECT_NE(dot.find("d=3 c=3"), std::string::npos);
+  // Unit-volume zero-delay edges carry no label.
+  EXPECT_EQ(dot.find("c=1"), std::string::npos);
+}
+
+TEST(Dot, ScheduleOverlayAnnotatesPlacements) {
+  const Csdfg g = paper_example6();
+  const Topology mesh = make_mesh(2, 2);
+  const StoreAndForwardModel comm(mesh);
+  const ScheduleTable t = start_up_schedule(g, mesh, comm);
+  const std::string dot = to_dot(g, t);
+  EXPECT_NE(dot.find("@pe1 cs1"), std::string::npos);  // A
+  EXPECT_NE(dot.find("@pe2 cs3"), std::string::npos);  // C
+  EXPECT_EQ(dot.find("style=dashed"), std::string::npos);
+}
+
+TEST(Dot, PartialScheduleDashesUnplacedTasks) {
+  const Csdfg g = paper_example6();
+  ScheduleTable t(g, 2);
+  t.place(0, 0, 1);
+  const std::string dot = to_dot(g, t);
+  EXPECT_NE(dot.find("style=dashed"), std::string::npos);
+}
+
+TEST(Dot, TopologyExportUsesUndirectedEdgesWhenApt) {
+  const std::string mesh = to_dot(make_mesh(2, 2));
+  EXPECT_NE(mesh.find("graph \"mesh(2x2)\""), std::string::npos);
+  EXPECT_NE(mesh.find("p0 -- p1"), std::string::npos);
+  const std::string uni = to_dot(make_ring(3, /*bidirectional=*/false));
+  EXPECT_NE(uni.find("digraph"), std::string::npos);
+  EXPECT_NE(uni.find("p0 -> p1"), std::string::npos);
+}
+
+TEST(TablePrinter, RendersThePaperStartupTable) {
+  const Csdfg g = paper_example6();
+  const Topology mesh = make_mesh(2, 2);
+  const StoreAndForwardModel comm(mesh);
+  const ScheduleTable t = start_up_schedule(g, mesh, comm);
+  const std::string s = render_schedule(g, t);
+  // Header and the 7 control-step rows.
+  EXPECT_NE(s.find("| cs "), std::string::npos);
+  EXPECT_NE(s.find("| pe1 "), std::string::npos);
+  EXPECT_NE(s.find("| 7 "), std::string::npos);
+  // B occupies two consecutive rows on pe1.
+  const auto first_b = s.find("| B ");
+  ASSERT_NE(first_b, std::string::npos);
+  EXPECT_NE(s.find("| B ", first_b + 1), std::string::npos);
+}
+
+TEST(TablePrinter, MultiCycleTasksRepeatAcrossRows) {
+  Csdfg g;
+  const NodeId a = g.add_node("long", 3);
+  g.add_edge(a, a, 1, 1);
+  ScheduleTable t(g, 1);
+  t.place(a, 0, 2);
+  const std::string s = render_schedule(g, t);
+  int occurrences = 0;
+  std::size_t pos = 0;
+  while ((pos = s.find("long", pos)) != std::string::npos) {
+    ++occurrences;
+    pos += 4;
+  }
+  EXPECT_EQ(occurrences, 3);
+}
+
+TEST(TablePrinter, SummaryLine) {
+  const Csdfg g = paper_example6();
+  ScheduleTable t(g, 4);
+  t.place(0, 0, 1);
+  EXPECT_EQ(summarize_schedule(t), "length=1 pes=4 tasks=1/6");
+}
+
+}  // namespace
+}  // namespace ccs

@@ -1,0 +1,135 @@
+// Unit tests for the start-up scheduler (Section 3.1), pinned to the
+// paper's worked example.
+#include <gtest/gtest.h>
+
+#include "arch/comm_model.hpp"
+#include "arch/topology.hpp"
+#include "core/list_scheduler.hpp"
+#include "core/validator.hpp"
+#include "workloads/library.hpp"
+
+namespace ccs {
+namespace {
+
+class StartUpTest : public ::testing::Test {
+protected:
+  Csdfg g_ = paper_example6();
+  Topology mesh_ = make_mesh(2, 2);
+  StoreAndForwardModel comm_{mesh_};
+};
+
+TEST_F(StartUpTest, ReproducesThePaperScheduleExactly) {
+  // Figure 2(a)/6(b): A@(pe1,1), B@(pe1,2-3), C@(pe2,3), D@(pe1,4),
+  // E@(pe1,5-6), F@(pe1,7); length 7.
+  const ScheduleTable t = start_up_schedule(g_, mesh_, comm_);
+  EXPECT_EQ(t.length(), 7);
+  auto at = [&](const char* n) { return t.placement(g_.node_by_name(n)); };
+  EXPECT_EQ(at("A").pe, 0u);
+  EXPECT_EQ(at("A").cb, 1);
+  EXPECT_EQ(at("B").pe, 0u);
+  EXPECT_EQ(at("B").cb, 2);
+  EXPECT_EQ(at("C").pe, 1u);  // PE2: the comm-feasible early slot
+  EXPECT_EQ(at("C").cb, 3);
+  EXPECT_EQ(at("D").pe, 0u);
+  EXPECT_EQ(at("D").cb, 4);
+  EXPECT_EQ(at("E").pe, 0u);
+  EXPECT_EQ(at("E").cb, 5);
+  EXPECT_EQ(at("F").pe, 0u);
+  EXPECT_EQ(at("F").cb, 7);
+}
+
+TEST_F(StartUpTest, ScheduleIsValidUnderTheCommModel) {
+  const ScheduleTable t = start_up_schedule(g_, mesh_, comm_);
+  const auto report = validate_schedule(g_, t, comm_);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+}
+
+TEST_F(StartUpTest, CompleteArchitectureSchedulesShorterOrEqual) {
+  // The completely connected machine can only help: every inter-PE distance
+  // is 1 vs up to 2 on the mesh.
+  const Topology cc = make_complete(4);
+  const StoreAndForwardModel cc_comm(cc);
+  const int mesh_len = start_up_schedule(g_, mesh_, comm_).length();
+  const int cc_len = start_up_schedule(g_, cc, cc_comm).length();
+  EXPECT_LE(cc_len, mesh_len);
+}
+
+TEST_F(StartUpTest, SinglePeSerializesEverything) {
+  const Topology solo = make_linear_array(1);
+  const StoreAndForwardModel m(solo);
+  const ScheduleTable t = start_up_schedule(g_, solo, m);
+  EXPECT_EQ(t.length(), static_cast<int>(g_.total_computation()));
+  EXPECT_TRUE(validate_schedule(g_, t, m).ok());
+}
+
+TEST_F(StartUpTest, ObliviousModeIgnoresTransport) {
+  // With communication ignored, C may sit at (pe2, cs2) — one step earlier
+  // than the communication-aware schedule allows.
+  StartUpOptions opt;
+  opt.comm_aware = false;
+  const ScheduleTable t = start_up_schedule(g_, mesh_, ZeroCommModel{}, opt);
+  EXPECT_EQ(t.cb(g_.node_by_name("C")), 2);
+  EXPECT_LE(t.length(), 7);
+}
+
+TEST_F(StartUpTest, PipelinedPesOverlapExecutions) {
+  // With pipelined PEs a 2-cycle task blocks only its issue slot, so the
+  // schedule can only get shorter or stay equal.
+  StartUpOptions pip;
+  pip.pipelined_pes = true;
+  const int plain = start_up_schedule(g_, mesh_, comm_).length();
+  const int piped = start_up_schedule(g_, mesh_, comm_, pip).length();
+  EXPECT_LE(piped, plain);
+}
+
+TEST_F(StartUpTest, EveryPriorityRuleYieldsAValidSchedule) {
+  for (auto rule : {PriorityRule::kCommunicationSensitive,
+                    PriorityRule::kMobilityOnly, PriorityRule::kFifo}) {
+    StartUpOptions opt;
+    opt.priority = rule;
+    const ScheduleTable t = start_up_schedule(g_, mesh_, comm_, opt);
+    EXPECT_TRUE(validate_schedule(g_, t, comm_).ok());
+  }
+}
+
+TEST_F(StartUpTest, LargerExampleSchedulesOnAllPaperArchitectures) {
+  const Csdfg g = paper_example19();
+  const Topology archs[] = {make_complete(8), make_linear_array(8),
+                            make_ring(8), make_mesh(4, 2), make_hypercube(3)};
+  int previous = 0;
+  for (const Topology& topo : archs) {
+    const StoreAndForwardModel m(topo);
+    const ScheduleTable t = start_up_schedule(g, topo, m);
+    EXPECT_TRUE(validate_schedule(g, t, m).ok()) << topo.name();
+    EXPECT_TRUE(t.complete()) << topo.name();
+    // Start-up lengths land in the paper's 12-15 band for this example.
+    EXPECT_GE(t.length(), 10) << topo.name();
+    EXPECT_LE(t.length(), 18) << topo.name();
+    (void)previous;
+  }
+}
+
+TEST_F(StartUpTest, EmptyGraphYieldsEmptySchedule) {
+  Csdfg empty("none");
+  const ScheduleTable t = start_up_schedule(empty, mesh_, comm_);
+  EXPECT_EQ(t.length(), 0);
+  EXPECT_TRUE(t.complete());
+}
+
+TEST_F(StartUpTest, DelayOnlyGraphParallelizesFreely) {
+  // Two tasks joined solely by a loop-carried edge are independent within
+  // an iteration and must land in parallel at step 1.
+  Csdfg g;
+  const NodeId a = g.add_node("a", 2);
+  const NodeId b = g.add_node("b", 2);
+  g.add_edge(a, b, 1, 1);
+  const ScheduleTable t = start_up_schedule(g, mesh_, comm_);
+  EXPECT_EQ(t.cb(a), 1);
+  EXPECT_EQ(t.cb(b), 1);
+  EXPECT_NE(t.pe(a), t.pe(b));
+  // PSL padding still accounts for the loop-carried transport.
+  EXPECT_TRUE(validate_schedule(g, t, comm_).ok());
+}
+
+}  // namespace
+}  // namespace ccs

@@ -1,0 +1,91 @@
+// Unit tests for the priority functions (Definitions 3.4 and 3.6).
+#include <gtest/gtest.h>
+
+#include "core/graph_algo.hpp"
+#include "core/priority.hpp"
+#include "workloads/library.hpp"
+
+namespace ccs {
+namespace {
+
+class PriorityTest : public ::testing::Test {
+protected:
+  Csdfg g_ = paper_example6();
+  DagTiming timing_ = compute_dag_timing(g_);
+  NodeId A_ = g_.node_by_name("A"), B_ = g_.node_by_name("B"),
+         C_ = g_.node_by_name("C");
+};
+
+TEST_F(PriorityTest, PaperWorkedValuesAtStepTwo) {
+  // After A is placed at (pe0, 1), the ready list at cs 2 holds B and C.
+  // PF(B) = c(A->B) - (2 - (CE(A)+1)) - MB(B) = 1 - 0 - 0 = 1.
+  // PF(C) = 1 - 0 - 1 = 0 (C has mobility 1).
+  // The paper schedules B first accordingly.
+  ScheduleTable t(g_, 4);
+  t.place(A_, 0, 1);
+  EXPECT_EQ(priority_pf(g_, t, timing_, B_, 2), 1);
+  EXPECT_EQ(priority_pf(g_, t, timing_, C_, 2), 0);
+}
+
+TEST_F(PriorityTest, DeferringANodeDiscountsItsCommTerm) {
+  // The (cs - (CE+1)) term erodes the volume's weight as cs advances, but
+  // mobility shrinks too (MB = ALAP - cs), so PF for C stays level: at cs 3
+  // PF(C) = 1 - 1 - (3-3) = 0.
+  ScheduleTable t(g_, 4);
+  t.place(A_, 0, 1);
+  EXPECT_EQ(priority_pf(g_, t, timing_, C_, 3), 0);
+}
+
+TEST_F(PriorityTest, VolumeRaisesPriority) {
+  // B->E ships volume 2, C->E volume 1: with B and C just finished, E's
+  // comm term is dominated by the bulkier producer.
+  ScheduleTable t(g_, 4);
+  t.place(A_, 0, 1);
+  t.place(B_, 0, 2);
+  t.place(C_, 1, 3);
+  const NodeId E = g_.node_by_name("E");
+  // cs 4: max(2 - (4 - (3+1)), 1 - (4 - (3+1)), 1 - (4 - (1+1))) - MB(E)
+  //      = max(2, 1, -1) - (4 - 4) = 2.
+  EXPECT_EQ(priority_pf(g_, t, timing_, E, 4), 2);
+}
+
+TEST_F(PriorityTest, RootsHaveZeroCommTerm) {
+  ScheduleTable t(g_, 4);
+  // A has no zero-delay predecessors: PF = -MB(A) = -(1 - cs)... at cs 1,
+  // MB(A) = ALAP(A) - 1 = 0.
+  EXPECT_EQ(priority_pf(g_, t, timing_, A_, 1), 0);
+  EXPECT_EQ(priority_pf(g_, t, timing_, A_, 3), 2);  // overdue root urgency
+}
+
+TEST_F(PriorityTest, UnplacedPredecessorsDoNotContribute) {
+  ScheduleTable t(g_, 4);
+  const NodeId E = g_.node_by_name("E");
+  // None of E's producers are placed: comm term 0, PF = -MB(E).
+  EXPECT_EQ(priority_pf(g_, t, timing_, E, 4), 0);
+}
+
+TEST_F(PriorityTest, RuleDispatch) {
+  ScheduleTable t(g_, 4);
+  t.place(A_, 0, 1);
+  EXPECT_EQ(priority_value(PriorityRule::kCommunicationSensitive, g_, t,
+                           timing_, B_, 2),
+            priority_pf(g_, t, timing_, B_, 2));
+  EXPECT_EQ(
+      priority_value(PriorityRule::kMobilityOnly, g_, t, timing_, C_, 2),
+      -1);
+  EXPECT_EQ(priority_value(PriorityRule::kFifo, g_, t, timing_, C_, 2),
+            -static_cast<long long>(C_));
+}
+
+TEST_F(PriorityTest, MobilityOnlyPrefersCriticalPathNodes) {
+  ScheduleTable t(g_, 4);
+  t.place(A_, 0, 1);
+  const auto pb =
+      priority_value(PriorityRule::kMobilityOnly, g_, t, timing_, B_, 2);
+  const auto pc =
+      priority_value(PriorityRule::kMobilityOnly, g_, t, timing_, C_, 2);
+  EXPECT_GT(pb, pc);  // B is critical (mobility 0), C has slack
+}
+
+}  // namespace
+}  // namespace ccs

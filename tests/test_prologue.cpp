@@ -1,0 +1,127 @@
+// Unit and property tests for prologue/epilogue realization — the proof
+// that rotation (retiming) preserves the loop's semantics end to end.
+#include <gtest/gtest.h>
+
+#include "arch/comm_model.hpp"
+#include "arch/topology.hpp"
+#include "core/cyclo_compaction.hpp"
+#include "core/prologue.hpp"
+#include "util/contracts.hpp"
+#include "workloads/generator.hpp"
+#include "workloads/library.hpp"
+
+namespace ccs {
+namespace {
+
+class PrologueTest : public ::testing::Test {
+protected:
+  Csdfg g_ = paper_example6();
+  Topology mesh_ = make_mesh(2, 2);
+  StoreAndForwardModel comm_{mesh_};
+};
+
+TEST_F(PrologueTest, SingleRotationMakesAThePrologue) {
+  // The paper, end of Section 2: after retiming A once, "the instruction A
+  // becomes the prologue".
+  Retiming r(g_.node_count());
+  r.add(g_.node_by_name("A"), 1);
+  const LoopRealization real(g_, r);
+  EXPECT_EQ(real.depth(), 1);
+  EXPECT_EQ(real.prologue(),
+            (std::vector<TaskInstance>{{g_.node_by_name("A"), 0}}));
+  // Epilogue of a 10-iteration run: everyone except A runs once more.
+  const auto epi = real.epilogue(10);
+  EXPECT_EQ(epi.size(), 5u);
+  for (const TaskInstance& inst : epi) {
+    EXPECT_EQ(inst.iteration, 9);
+    EXPECT_NE(inst.node, g_.node_by_name("A"));
+  }
+  EXPECT_EQ(real.steady_iterations(10), 9);
+}
+
+TEST_F(PrologueTest, NormalizationIgnoresUniformShift) {
+  Retiming r(g_.node_count());
+  for (NodeId v = 0; v < g_.node_count(); ++v) r.set(v, 5);
+  r.add(g_.node_by_name("A"), 1);
+  const LoopRealization real(g_, r);
+  EXPECT_EQ(real.depth(), 1);
+  EXPECT_EQ(real.advance(g_.node_by_name("A")), 1);
+  EXPECT_EQ(real.advance(g_.node_by_name("B")), 0);
+}
+
+TEST_F(PrologueTest, IdentityRetimingHasEmptyPrologue) {
+  const LoopRealization real(g_, Retiming(g_.node_count()));
+  EXPECT_EQ(real.depth(), 0);
+  EXPECT_TRUE(real.prologue().empty());
+  EXPECT_TRUE(real.epilogue(4).empty());
+  EXPECT_EQ(real.steady_iterations(4), 4);
+}
+
+TEST_F(PrologueTest, FlattenedRunIsALegalSerialExecution) {
+  CycloCompactionOptions opt;
+  opt.policy = RemapPolicy::kWithRelaxation;
+  const auto res = cyclo_compact(g_, mesh_, comm_, opt);
+  const LoopRealization real(g_, res.retiming);
+  const long long N = real.depth() + 12;
+  const auto seq = real.flatten(g_, res.best, N);
+  EXPECT_EQ(seq.size(), static_cast<std::size_t>(N) * g_.node_count());
+  EXPECT_EQ(check_flattening(g_, seq, N), "");
+}
+
+TEST_F(PrologueTest, CheckerCatchesBrokenSequences) {
+  Retiming r(g_.node_count());
+  r.add(g_.node_by_name("A"), 1);
+  const LoopRealization real(g_, r);
+  CycloCompactionOptions opt;
+  const auto res = cyclo_compact(g_, mesh_, comm_, opt);
+  auto seq = real.flatten(g_, res.startup, 5);
+  // Duplicate an instance.
+  auto dup = seq;
+  dup.push_back(dup.front());
+  EXPECT_NE(check_flattening(g_, dup, 5), "");
+  // Drop an instance.
+  auto missing = seq;
+  missing.pop_back();
+  EXPECT_NE(check_flattening(g_, missing, 5), "");
+  // Swap a dependent pair: B of iteration 0 before A of iteration 0... the
+  // flatten puts (A,0) in the prologue at position 0; move it to the end.
+  auto reordered = seq;
+  std::rotate(reordered.begin(), reordered.begin() + 1, reordered.end());
+  EXPECT_NE(check_flattening(g_, reordered, 5), "");
+}
+
+TEST_F(PrologueTest, RealizationRejectsIllegalRetiming) {
+  Retiming r(g_.node_count());
+  r.add(g_.node_by_name("B"), 1);  // A->B carries no delay
+  EXPECT_THROW(LoopRealization(g_, r), ContractViolation);
+}
+
+TEST_F(PrologueTest, FlattenAcrossTheLibraryAndRandomGraphs) {
+  RandomDfgConfig cfg;
+  cfg.num_nodes = 14;
+  cfg.num_layers = 4;
+  cfg.num_back_edges = 3;
+  std::vector<Csdfg> graphs{paper_example19(), lattice_filter(),
+                            diffeq_solver()};
+  for (std::uint64_t seed : {9ull, 99ull, 999ull})
+    graphs.push_back(random_csdfg(cfg, seed));
+
+  for (const Csdfg& g : graphs) {
+    CycloCompactionOptions opt;
+    opt.policy = RemapPolicy::kWithRelaxation;
+    const auto res = cyclo_compact(g, mesh_, comm_, opt);
+    const LoopRealization real(g, res.retiming);
+    const long long N = real.depth() + 8;
+    const auto seq = real.flatten(g, res.best, N);
+    EXPECT_EQ(check_flattening(g, seq, N), "") << g.name();
+    // Sizes reconcile: prologue + steady*|V| + epilogue = N*|V|.
+    EXPECT_EQ(real.prologue().size() + real.epilogue(N).size() +
+                  static_cast<std::size_t>(real.steady_iterations(N)) *
+                      g.node_count(),
+              static_cast<std::size_t>(N) * g.node_count())
+        << g.name();
+  }
+}
+
+}  // namespace
+}  // namespace ccs

@@ -1,0 +1,199 @@
+// Property-based sweeps: for a grid of (workload seed, architecture,
+// remapping policy) the whole pipeline must uphold its invariants —
+//
+//   P1  start-up and compacted schedules pass the algebraic validator;
+//   P2  the cycle-accurate static simulation sees zero late arrivals
+//       (the two independent referees agree);
+//   P3  cyclo-compaction never returns worse than start-up, and without
+//       relaxation the per-pass trace is monotone (Theorem 4.4);
+//   P4  no schedule beats the iteration bound;
+//   P5  rotation is a legal retiming at every pass (implied: the retimed
+//       graph stays legal and the accumulated retiming reproduces it);
+//   P6  self-timed execution of a valid table sustains at most its length.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <tuple>
+
+#include "arch/comm_model.hpp"
+#include "arch/topology.hpp"
+#include "core/buffers.hpp"
+#include "core/cyclo_compaction.hpp"
+#include "core/prologue.hpp"
+#include "core/iteration_bound.hpp"
+#include "core/validator.hpp"
+#include "io/schedule_format.hpp"
+#include "sim/executor.hpp"
+#include "workloads/generator.hpp"
+
+namespace ccs {
+namespace {
+
+enum class Arch { kComplete, kLinear, kRing, kMesh, kHypercube, kStar };
+
+Topology make_arch(Arch a) {
+  switch (a) {
+    case Arch::kComplete: return make_complete(8);
+    case Arch::kLinear: return make_linear_array(8);
+    case Arch::kRing: return make_ring(8);
+    case Arch::kMesh: return make_mesh(4, 2);
+    case Arch::kHypercube: return make_hypercube(3);
+    case Arch::kStar: return make_star(8);
+  }
+  throw std::logic_error("unreachable");
+}
+
+using Param = std::tuple<std::uint64_t, Arch, RemapPolicy>;
+
+class PipelineSweep : public ::testing::TestWithParam<Param> {
+protected:
+  Csdfg make_graph(std::uint64_t seed) {
+    RandomDfgConfig cfg;
+    cfg.num_nodes = 18;
+    cfg.num_layers = 4;
+    cfg.num_back_edges = 4;
+    cfg.max_time = 3;
+    cfg.max_volume = 3;
+    cfg.max_delay = 3;
+    return random_csdfg(cfg, seed);
+  }
+};
+
+TEST_P(PipelineSweep, EndToEndInvariantsHold) {
+  const auto [seed, arch, policy] = GetParam();
+  const Csdfg g = make_graph(seed);
+  const Topology topo = make_arch(arch);
+  const StoreAndForwardModel comm(topo);
+
+  CycloCompactionOptions opt;
+  opt.policy = policy;
+  const CycloCompactionResult res = cyclo_compact(g, topo, comm, opt);
+
+  // P1: both schedules validate.
+  const auto startup_report = validate_schedule(g, res.startup, comm);
+  EXPECT_TRUE(startup_report.ok()) << startup_report.to_string();
+  const auto best_report =
+      validate_schedule(res.retimed_graph, res.best, comm);
+  EXPECT_TRUE(best_report.ok()) << best_report.to_string();
+
+  // P2: the independent referee agrees.
+  ExecutorOptions sim;
+  sim.iterations = 24;
+  sim.warmup = 4;
+  EXPECT_EQ(execute_static(g, res.startup, topo, sim).late_arrivals, 0);
+  EXPECT_EQ(
+      execute_static(res.retimed_graph, res.best, topo, sim).late_arrivals,
+      0);
+
+  // P3: improvement is monotone in the sense of Theorem 4.4.
+  EXPECT_LE(res.best_length(), res.startup_length());
+  if (policy == RemapPolicy::kWithoutRelaxation) {
+    int prev = res.startup_length();
+    for (const int len : res.length_trace) {
+      EXPECT_LE(len, prev);
+      prev = len;
+    }
+  }
+
+  // P4: the iteration bound is a hard floor.
+  const Rational bound = iteration_bound(g);
+  EXPECT_GE(static_cast<double>(res.best_length()) + 1e-9, bound.value());
+
+  // P5: the reported retiming reproduces the retimed graph and is legal.
+  EXPECT_TRUE(res.retiming.is_legal_for(g));
+  Csdfg replay = g;
+  res.retiming.apply(replay);
+  for (EdgeId e = 0; e < g.edge_count(); ++e)
+    EXPECT_EQ(replay.edge(e).delay, res.retimed_graph.edge(e).delay);
+  EXPECT_TRUE(res.retimed_graph.is_legal());
+
+  // P7: the buffer analysis is defined on every valid table and respects
+  // the graph-intrinsic lower bound.
+  {
+    const BufferReport buf =
+        buffer_requirements(res.retimed_graph, res.best, comm);
+    EXPECT_GE(buf.total, buffer_lower_bound(res.retimed_graph));
+    EXPECT_GE(buf.max_edge, 1);
+  }
+
+  // P8: schedules round-trip through the interchange format.
+  {
+    const ScheduleTable back = parse_schedule(
+        res.retimed_graph, serialize_schedule(res.retimed_graph, res.best));
+    EXPECT_EQ(back.length(), res.best.length());
+    EXPECT_TRUE(validate_schedule(res.retimed_graph, back, comm).ok());
+  }
+
+  // P9: the prologue/steady/epilogue realization replays the ORIGINAL loop
+  // semantics exactly.
+  {
+    const LoopRealization real(g, res.retiming);
+    const long long N = real.depth() + 6;
+    EXPECT_EQ(check_flattening(g, real.flatten(g, res.best, N), N), "");
+  }
+
+  // P6: self-timed execution never falls behind the static cadence —
+  // every iteration finishes no later than its static finish time.  (The
+  // windowed rate can transiently exceed L while the pipeline fills, so
+  // the rigorous comparison is makespan against makespan.)
+  const ExecutionStats st =
+      execute_self_timed(res.retimed_graph, res.best, topo, sim);
+  const ExecutionStats stat =
+      execute_static(res.retimed_graph, res.best, topo, sim);
+  ASSERT_EQ(st.iteration_finish.size(), stat.iteration_finish.size());
+  for (std::size_t i = 0; i < st.iteration_finish.size(); ++i)
+    EXPECT_LE(st.iteration_finish[i], stat.iteration_finish[i]);
+}
+
+std::string sweep_name(const ::testing::TestParamInfo<Param>& param_info) {
+  const auto [seed, arch, policy] = param_info.param;
+  std::string name = "seed" + std::to_string(seed);
+  switch (arch) {
+    case Arch::kComplete: name += "_complete"; break;
+    case Arch::kLinear: name += "_linear"; break;
+    case Arch::kRing: name += "_ring"; break;
+    case Arch::kMesh: name += "_mesh"; break;
+    case Arch::kHypercube: name += "_hypercube"; break;
+    case Arch::kStar: name += "_star"; break;
+  }
+  name += policy == RemapPolicy::kWithRelaxation ? "_relax" : "_strict";
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, PipelineSweep,
+    ::testing::Combine(
+        ::testing::Values<std::uint64_t>(11, 22, 33, 44, 55, 66, 77, 88),
+        ::testing::Values(Arch::kComplete, Arch::kLinear, Arch::kRing,
+                          Arch::kMesh, Arch::kHypercube, Arch::kStar),
+        ::testing::Values(RemapPolicy::kWithoutRelaxation,
+                          RemapPolicy::kWithRelaxation)),
+    sweep_name);
+
+// A second, smaller sweep exercising the paper's literal anticipation-only
+// remapping: it must stay valid too (its successor slack is bought with PSL
+// padding).
+class AnticipationSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AnticipationSweep, LiteralProcedureStaysValid) {
+  RandomDfgConfig cfg;
+  cfg.num_nodes = 14;
+  cfg.num_layers = 4;
+  cfg.num_back_edges = 3;
+  const Csdfg g = random_csdfg(cfg, GetParam());
+  const Topology topo = make_mesh(2, 2);
+  const StoreAndForwardModel comm(topo);
+  CycloCompactionOptions opt;
+  opt.policy = RemapPolicy::kWithRelaxation;
+  opt.selection = RemapSelection::kAnticipationOnly;
+  const auto res = cyclo_compact(g, topo, comm, opt);
+  const auto report = validate_schedule(res.retimed_graph, res.best, comm);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+  EXPECT_LE(res.best_length(), res.startup_length());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AnticipationSweep,
+                         ::testing::Values(3, 14, 159, 2653, 58979));
+
+}  // namespace
+}  // namespace ccs

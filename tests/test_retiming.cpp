@@ -1,0 +1,182 @@
+// Unit tests for the retiming engine (paper sign convention) and the
+// Leiserson–Saxe minimum-period substrate.
+#include <gtest/gtest.h>
+
+#include "core/graph_algo.hpp"
+#include "core/iteration_bound.hpp"
+#include "core/retiming.hpp"
+#include "util/error.hpp"
+#include "workloads/library.hpp"
+#include "workloads/transforms.hpp"
+
+namespace ccs {
+namespace {
+
+TEST(Retiming, PaperConventionMovesDelaysDownstream) {
+  // Figure 1(b) -> Figure 1(c): retiming A by 1 takes one delay from D->A
+  // and pushes one onto each of A->B, A->C, A->E.
+  Csdfg g = paper_example6();
+  const NodeId A = g.node_by_name("A");
+  Retiming r(g.node_count());
+  r.add(A, 1);
+  EXPECT_TRUE(r.is_legal_for(g));
+  r.apply(g);
+  auto delay = [&](const char* u, const char* v) {
+    for (EdgeId e = 0; e < g.edge_count(); ++e)
+      if (g.node(g.edge(e).from).name == u && g.node(g.edge(e).to).name == v)
+        return g.edge(e).delay;
+    ADD_FAILURE() << "no edge " << u << "->" << v;
+    return -1;
+  };
+  EXPECT_EQ(delay("D", "A"), 2);
+  EXPECT_EQ(delay("A", "B"), 1);
+  EXPECT_EQ(delay("A", "C"), 1);
+  EXPECT_EQ(delay("A", "E"), 1);
+  EXPECT_EQ(delay("F", "E"), 1);  // untouched
+  EXPECT_TRUE(g.is_legal());
+}
+
+TEST(Retiming, IllegalRetimingDetectedAndAtomic) {
+  Csdfg g = paper_example6();
+  const Csdfg original = g;
+  Retiming r(g.node_count());
+  r.add(g.node_by_name("B"), 1);  // A->B has no delay to draw
+  EXPECT_FALSE(r.is_legal_for(g));
+  EXPECT_THROW(r.apply(g), GraphError);
+  // apply is atomic: no delay was modified.
+  for (EdgeId e = 0; e < g.edge_count(); ++e)
+    EXPECT_EQ(g.edge(e).delay, original.edge(e).delay);
+}
+
+TEST(Retiming, RetimedDelayFormula) {
+  Csdfg g;
+  const NodeId a = g.add_node("a", 1);
+  const NodeId b = g.add_node("b", 1);
+  const EdgeId e = g.add_edge(a, b, 2, 1);
+  Retiming r(2);
+  r.set(a, 3);
+  r.set(b, 1);
+  EXPECT_EQ(r.retimed_delay(g, e), 2 + 3 - 1);
+}
+
+TEST(Retiming, CompositionEqualsSequentialApplication) {
+  Csdfg g = paper_example6();
+  Retiming r1(g.node_count()), r2(g.node_count());
+  r1.add(g.node_by_name("A"), 1);
+  r2.add(g.node_by_name("A"), 1);  // second rotation of A would need D->A>=1
+  r2.add(g.node_by_name("B"), 1);
+
+  Csdfg sequential = g;
+  r1.apply(sequential);
+  r2.apply(sequential);
+
+  Csdfg composed = g;
+  (r1 + r2).apply(composed);
+
+  for (EdgeId e = 0; e < g.edge_count(); ++e)
+    EXPECT_EQ(sequential.edge(e).delay, composed.edge(e).delay);
+}
+
+TEST(Retiming, UniformRetimingIsIdentity) {
+  Csdfg g = paper_example6();
+  const Csdfg original = g;
+  Retiming r(g.node_count());
+  for (NodeId v = 0; v < g.node_count(); ++v) r.set(v, 7);
+  r.apply(g);
+  for (EdgeId e = 0; e < g.edge_count(); ++e)
+    EXPECT_EQ(g.edge(e).delay, original.edge(e).delay);
+}
+
+TEST(Retiming, PreservesIterationBound) {
+  // Retiming redistributes delays around cycles without changing cycle
+  // totals, so the iteration bound is invariant.
+  Csdfg g = paper_example6();
+  const Rational before = iteration_bound(g);
+  Retiming r(g.node_count());
+  r.add(g.node_by_name("A"), 1);
+  r.apply(g);
+  EXPECT_EQ(iteration_bound(g), before);
+}
+
+TEST(ClockPeriod, IsZeroDelayCriticalPath) {
+  EXPECT_EQ(clock_period(paper_example6()), 6);
+  Csdfg g = paper_example6();
+  Retiming r(g.node_count());
+  r.add(g.node_by_name("A"), 1);
+  r.apply(g);
+  // With A's outputs registered, the longest zero-delay path is B,E,F = 5.
+  EXPECT_EQ(clock_period(g), 5);
+}
+
+TEST(MinPeriod, ClassicTwoNodePipeline) {
+  // a(10) -> b(10) with the loop closed by 2 delays: period 10 achievable
+  // by moving one delay between the two.
+  Csdfg g;
+  g.add_node("a", 10);
+  g.add_node("b", 10);
+  g.add_edge(0, 1, 0, 1);
+  g.add_edge(1, 0, 2, 1);
+  const MinPeriodResult r = min_period_retiming(g);
+  EXPECT_EQ(r.period, 10);
+  Csdfg retimed = g;
+  r.retiming.apply(retimed);
+  EXPECT_EQ(clock_period(retimed), 10);
+}
+
+TEST(MinPeriod, PaperExampleReachesFour) {
+  // Iteration bound of Figure 1(b) is 3 but delays are integral; the best
+  // achievable clock period: retime A (period 5) and further?  Verify the
+  // algorithm and that the result is legal and consistent.
+  const Csdfg g = paper_example6();
+  const MinPeriodResult r = min_period_retiming(g);
+  EXPECT_TRUE(r.retiming.is_legal_for(g));
+  Csdfg retimed = g;
+  r.retiming.apply(retimed);
+  EXPECT_EQ(clock_period(retimed), r.period);
+  EXPECT_LE(r.period, clock_period(g));
+  // No legal retiming can beat ceil(iteration bound) on any cycle-bound
+  // graph: E-F-E has t=3 over d=1, so period >= 3.
+  EXPECT_GE(r.period, 3);
+}
+
+TEST(MinPeriod, NeverWorseThanIdentityAcrossLibrary) {
+  for (const Csdfg& g : {paper_example6(), paper_example19(),
+                         elliptic_filter(), lattice_filter(),
+                         iir_biquad_cascade(2), diffeq_solver()}) {
+    const MinPeriodResult r = min_period_retiming(g);
+    EXPECT_TRUE(r.retiming.is_legal_for(g)) << g.name();
+    Csdfg retimed = g;
+    r.retiming.apply(retimed);
+    EXPECT_TRUE(retimed.is_legal()) << g.name();
+    EXPECT_EQ(clock_period(retimed), r.period) << g.name();
+    EXPECT_LE(r.period, clock_period(g)) << g.name();
+    // Period can never beat the heaviest node or the iteration bound.
+    int max_t = 0;
+    for (NodeId v = 0; v < g.node_count(); ++v)
+      max_t = std::max(max_t, g.node(v).time);
+    EXPECT_GE(r.period, max_t) << g.name();
+    const Rational b = iteration_bound(g);
+    EXPECT_GE(static_cast<double>(r.period) + 1e-9, b.value()) << g.name();
+  }
+}
+
+TEST(MinPeriod, SlowdownEnablesShorterPeriods) {
+  // c-slowing a graph divides its iteration bound by c, letting min-period
+  // retiming pipeline deeper: the retimed period must not increase.
+  const Csdfg g = elliptic_filter();
+  const int p1 = min_period_retiming(g).period;
+  const int p3 = min_period_retiming(slowdown(g, 3)).period;
+  EXPECT_LE(p3, p1);
+}
+
+TEST(MinPeriod, RejectsIllegalGraphs) {
+  Csdfg g;
+  g.add_node("a", 1);
+  g.add_node("b", 1);
+  g.add_edge(0, 1, 0, 1);
+  g.add_edge(1, 0, 0, 1);
+  EXPECT_THROW((void)min_period_retiming(g), GraphError);
+}
+
+}  // namespace
+}  // namespace ccs

@@ -1,0 +1,145 @@
+// Unit tests for the rotation phase (Definition 4.1 / Lemma 4.1).
+#include <gtest/gtest.h>
+
+#include "arch/comm_model.hpp"
+#include "arch/topology.hpp"
+#include "core/list_scheduler.hpp"
+#include "core/rotation.hpp"
+#include "workloads/library.hpp"
+
+namespace ccs {
+namespace {
+
+class RotationTest : public ::testing::Test {
+protected:
+  Csdfg g_ = paper_example6();
+  Topology mesh_ = make_mesh(2, 2);
+  StoreAndForwardModel comm_{mesh_};
+  ScheduleTable startup_ = start_up_schedule(g_, mesh_, comm_);
+};
+
+TEST_F(RotationTest, FirstRotationExtractsAAndRetimesIt) {
+  Csdfg g = g_;
+  ScheduleTable t = startup_;
+  Retiming acc(g.node_count());
+  const auto rotated = rotate_first_row(g, t, &acc);
+  ASSERT_EQ(rotated, std::vector<NodeId>{g_.node_by_name("A")});
+  EXPECT_EQ(acc.of(g_.node_by_name("A")), 1);
+  // Figure 1(c): D->A drops to 2, A's out-edges gain one delay each.
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    const Edge& ed = g.edge(e);
+    const std::string from = g.node(ed.from).name;
+    const std::string to = g.node(ed.to).name;
+    if (from == "D" && to == "A") {
+      EXPECT_EQ(ed.delay, 2);
+    }
+    if (from == "A") {
+      EXPECT_EQ(ed.delay, 1);
+    }
+  }
+  EXPECT_TRUE(g.is_legal());
+}
+
+TEST_F(RotationTest, TableShiftsUpAndShrinksByOne) {
+  Csdfg g = g_;
+  ScheduleTable t = startup_;
+  const int before = t.length();
+  (void)rotate_first_row(g, t);
+  EXPECT_EQ(t.length(), before - 1);
+  EXPECT_FALSE(t.is_placed(g_.node_by_name("A")));
+  EXPECT_EQ(t.cb(g_.node_by_name("B")), 1);
+  EXPECT_EQ(t.cb(g_.node_by_name("C")), 2);
+  EXPECT_EQ(t.cb(g_.node_by_name("F")), 6);
+}
+
+TEST_F(RotationTest, SecondRotationTakesTheNewFirstRow) {
+  Csdfg g = g_;
+  ScheduleTable t = startup_;
+  (void)rotate_first_row(g, t);
+  // Rotation requires a complete table: remap A somewhere first (pe2 at
+  // step 5 is free and dependence-safe for this purpose).
+  t.place(g_.node_by_name("A"), 1, 5);
+  const auto second = rotate_first_row(g, t);
+  ASSERT_EQ(second, std::vector<NodeId>{g_.node_by_name("B")});
+  // B's incoming A->B had gained a delay in rotation 1; it returns to 0.
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    const Edge& ed = g.edge(e);
+    if (g.node(ed.from).name == "A" && g.node(ed.to).name == "B") {
+      EXPECT_EQ(ed.delay, 0);
+    }
+    if (g.node(ed.from).name == "B") {
+      EXPECT_GE(ed.delay, 1);
+    }
+  }
+  EXPECT_TRUE(g.is_legal());
+}
+
+TEST_F(RotationTest, RotationPreservesIterationStructure) {
+  // Rotation is a retiming: cycle delay sums are invariant.
+  Csdfg g = g_;
+  ScheduleTable t = startup_;
+  const long long total_before = g.total_delay();
+  (void)rotate_first_row(g, t);
+  // Total delay may change (A has 3 out-edges vs 1 in-edge) but legality
+  // and per-cycle sums hold; spot-check the E-F cycle: F->E=1, E->F=0.
+  EXPECT_TRUE(g.is_legal());
+  EXPECT_EQ(total_before + 2, g.total_delay());  // +3 out, -1 in
+}
+
+TEST_F(RotationTest, MultipleStartersRotateTogether) {
+  // Put two independent tasks in row 1 and rotate: both extracted.
+  Csdfg g;
+  const NodeId a = g.add_node("a", 1);
+  const NodeId b = g.add_node("b", 1);
+  const NodeId c = g.add_node("c", 1);
+  g.add_edge(a, c, 0, 1);
+  g.add_edge(b, c, 0, 1);
+  g.add_edge(c, a, 1, 1);
+  g.add_edge(c, b, 2, 1);
+  ScheduleTable t(g, 2);
+  t.place(a, 0, 1);
+  t.place(b, 1, 1);
+  t.place(c, 0, 2);
+  Csdfg rg = g;
+  const auto rotated = rotate_first_row(rg, t);
+  EXPECT_EQ(rotated, (std::vector<NodeId>{a, b}));
+  EXPECT_EQ(t.cb(c), 1);
+  EXPECT_EQ(t.length(), 1);
+  // c->a delay 1 drained to 0; a->c gained 1 (and symmetrically for b).
+  EXPECT_EQ(rg.edge(0).delay, 1);  // a->c
+  EXPECT_EQ(rg.edge(2).delay, 0);  // c->a
+  EXPECT_EQ(rg.edge(3).delay, 1);  // c->b
+}
+
+TEST_F(RotationTest, AccumulatedRetimingComposesAcrossRotations) {
+  Csdfg g = g_;
+  ScheduleTable t = startup_;
+  Retiming acc(g.node_count());
+  (void)rotate_first_row(g, t, &acc);
+  t.place(g_.node_by_name("A"), 1, 5);  // complete the table between passes
+  (void)rotate_first_row(g, t, &acc);
+  // Applying the accumulated retiming to the *original* graph must equal
+  // the doubly-rotated graph.
+  Csdfg replay = g_;
+  acc.apply(replay);
+  for (EdgeId e = 0; e < g.edge_count(); ++e)
+    EXPECT_EQ(replay.edge(e).delay, g.edge(e).delay);
+}
+
+TEST_F(RotationTest, EmptyFirstRowIsAPureShift) {
+  Csdfg g;
+  const NodeId a = g.add_node("a", 1);
+  g.add_edge(a, a, 1, 1);
+  ScheduleTable t(g, 1);
+  t.place(a, 0, 2);
+  t.set_length(3);
+  Csdfg rg = g;
+  const auto rotated = rotate_first_row(rg, t);
+  EXPECT_TRUE(rotated.empty());
+  EXPECT_EQ(t.cb(a), 1);
+  EXPECT_EQ(t.length(), 2);
+  EXPECT_EQ(rg.edge(0).delay, 1);  // untouched
+}
+
+}  // namespace
+}  // namespace ccs

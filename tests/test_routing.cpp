@@ -1,0 +1,88 @@
+// Unit tests for the routing policies (BFS, XY mesh, e-cube).
+#include <gtest/gtest.h>
+
+#include "arch/routing.hpp"
+#include "util/error.hpp"
+
+namespace ccs {
+namespace {
+
+void expect_minimal_walk(const Topology& topo, const Router& router) {
+  for (PeId a = 0; a < topo.size(); ++a) {
+    for (PeId b = 0; b < topo.size(); ++b) {
+      const auto path = router.route(a, b);
+      ASSERT_EQ(path.size(), topo.distance(a, b) + 1)
+          << router.name() << " " << a << "->" << b;
+      EXPECT_EQ(path.front(), a);
+      EXPECT_EQ(path.back(), b);
+      for (std::size_t i = 0; i + 1 < path.size(); ++i)
+        EXPECT_EQ(topo.distance(path[i], path[i + 1]), 1u)
+            << router.name() << " hop " << i;
+    }
+  }
+}
+
+TEST(Routing, ShortestPathRouterIsMinimalEverywhere) {
+  for (const Topology& topo :
+       {make_mesh(3, 4), make_ring(7), make_hypercube(3), make_star(6)}) {
+    const ShortestPathRouter router(topo);
+    expect_minimal_walk(topo, router);
+  }
+}
+
+TEST(Routing, XyRouterIsMinimalAndColumnFirst) {
+  const Topology mesh = make_mesh(3, 4);
+  const XyMeshRouter router(mesh, 3, 4);
+  expect_minimal_walk(mesh, router);
+  // From (0,0)=0 to (2,3)=11: the X phase visits 1, 2, 3 before any row
+  // move.
+  const auto path = router.route(0, 11);
+  ASSERT_EQ(path.size(), 6u);
+  EXPECT_EQ(path[1], 1u);
+  EXPECT_EQ(path[2], 2u);
+  EXPECT_EQ(path[3], 3u);
+  EXPECT_EQ(path[4], 7u);
+  EXPECT_EQ(path[5], 11u);
+}
+
+TEST(Routing, XyAndBfsDisagreeOnIntermediateHops) {
+  // Both are minimal, but from 5 to 0 on a 2x4 mesh BFS's lowest-id
+  // tie-break goes up first (5,1,0) while XY corrects the column first
+  // (5,4,0) — the difference the contention model feels.
+  const Topology mesh = make_mesh(2, 4);
+  const ShortestPathRouter bfs(mesh);
+  const XyMeshRouter xy(mesh, 2, 4);
+  const auto pb = bfs.route(5, 0);
+  const auto px = xy.route(5, 0);
+  EXPECT_EQ(pb, (std::vector<PeId>{5, 1, 0}));
+  EXPECT_EQ(px, (std::vector<PeId>{5, 4, 0}));
+}
+
+TEST(Routing, EcubeFlipsBitsLowToHigh) {
+  const Topology cube = make_hypercube(3);
+  const EcubeRouter router(cube, 3);
+  expect_minimal_walk(cube, router);
+  const auto path = router.route(0, 7);
+  EXPECT_EQ(path, (std::vector<PeId>{0, 1, 3, 7}));
+  const auto back = router.route(7, 0);
+  EXPECT_EQ(back, (std::vector<PeId>{7, 6, 4, 0}));
+}
+
+TEST(Routing, ConstructorsValidateTheTopology) {
+  const Topology mesh = make_mesh(2, 4);
+  EXPECT_THROW(XyMeshRouter(mesh, 4, 2), ArchitectureError);  // transposed
+  EXPECT_THROW(XyMeshRouter(make_ring(8), 2, 4), ArchitectureError);
+  EXPECT_THROW(EcubeRouter(make_ring(8), 3), ArchitectureError);
+  EXPECT_THROW(EcubeRouter(make_hypercube(3), 4), ArchitectureError);
+  EXPECT_NO_THROW(XyMeshRouter(mesh, 2, 4));
+  EXPECT_NO_THROW(EcubeRouter(make_hypercube(4), 4));
+}
+
+TEST(Routing, SelfRouteIsTrivial) {
+  const Topology mesh = make_mesh(2, 2);
+  const XyMeshRouter router(mesh, 2, 2);
+  EXPECT_EQ(router.route(3, 3), std::vector<PeId>{3});
+}
+
+}  // namespace
+}  // namespace ccs

@@ -1,0 +1,100 @@
+// Unit tests for the schedule interchange format.
+#include <gtest/gtest.h>
+
+#include "arch/comm_model.hpp"
+#include "arch/topology.hpp"
+#include "core/cyclo_compaction.hpp"
+#include "core/validator.hpp"
+#include "io/schedule_format.hpp"
+#include "util/error.hpp"
+#include "workloads/library.hpp"
+
+namespace ccs {
+namespace {
+
+class ScheduleFormatTest : public ::testing::Test {
+protected:
+  Csdfg g_ = paper_example6();
+  Topology mesh_ = make_mesh(2, 2);
+  StoreAndForwardModel comm_{mesh_};
+};
+
+TEST_F(ScheduleFormatTest, RoundTripsTheStartupSchedule) {
+  const ScheduleTable t = start_up_schedule(g_, mesh_, comm_);
+  const ScheduleTable back = parse_schedule(g_, serialize_schedule(g_, t));
+  EXPECT_EQ(back.length(), t.length());
+  EXPECT_EQ(back.num_pes(), t.num_pes());
+  for (NodeId v = 0; v < g_.node_count(); ++v) {
+    EXPECT_EQ(back.cb(v), t.cb(v));
+    EXPECT_EQ(back.pe(v), t.pe(v));
+  }
+  EXPECT_TRUE(validate_schedule(g_, back, comm_).ok());
+}
+
+TEST_F(ScheduleFormatTest, RoundTripsCompactedSchedulesWithPadding) {
+  // A PSL-padded table declares a length beyond its occupied span; the
+  // format must preserve it.
+  Csdfg g;
+  const NodeId u = g.add_node("u", 1);
+  const NodeId v = g.add_node("v", 1);
+  g.add_edge(u, v, 0, 1);
+  g.add_edge(v, u, 1, 6);
+  ScheduleTable t(g, 4);
+  t.place(u, 0, 1);
+  t.place(v, 3, 4);
+  t.set_length(16);
+  const ScheduleTable back = parse_schedule(g, serialize_schedule(g, t));
+  EXPECT_EQ(back.length(), 16);
+}
+
+TEST_F(ScheduleFormatTest, PreservesThePipelinedFlag) {
+  ScheduleTable t(g_, 2, /*pipelined_pes=*/true);
+  t.place(g_.node_by_name("B"), 0, 1);
+  t.place(g_.node_by_name("E"), 0, 2);
+  const std::string text = serialize_schedule(g_, t);
+  EXPECT_NE(text.find("pipelined"), std::string::npos);
+  const ScheduleTable back = parse_schedule(g_, text);
+  EXPECT_TRUE(back.pipelined_pes());
+  EXPECT_EQ(back.cb(g_.node_by_name("E")), 2);
+}
+
+TEST_F(ScheduleFormatTest, PartialTablesRoundTrip) {
+  ScheduleTable t(g_, 4);
+  t.place(g_.node_by_name("A"), 2, 3);
+  const ScheduleTable back = parse_schedule(g_, serialize_schedule(g_, t));
+  EXPECT_EQ(back.placed_count(), 1u);
+  EXPECT_EQ(back.pe(g_.node_by_name("A")), 2u);
+}
+
+TEST_F(ScheduleFormatTest, RejectsMalformedInput) {
+  EXPECT_THROW((void)parse_schedule(g_, "place A 1 1\n"), ParseError);
+  EXPECT_THROW((void)parse_schedule(g_, "schedule 5 0\n"), ParseError);
+  EXPECT_THROW((void)parse_schedule(g_, "schedule 5 2\nplace Z 1 1\n"),
+               ParseError);
+  EXPECT_THROW((void)parse_schedule(g_, "schedule 5 2\nplace A 3 1\n"),
+               ParseError);
+  EXPECT_THROW((void)parse_schedule(g_, "schedule 5 2\nplace A 1 0\n"),
+               ParseError);
+  EXPECT_THROW(
+      (void)parse_schedule(g_, "schedule 5 2\nplace A 1 1\nplace A 2 2\n"),
+      ParseError);
+  EXPECT_THROW(
+      (void)parse_schedule(g_, "schedule 5 2\nplace A 1 1\nplace C 1 1\n"),
+      ParseError);
+  // Declared length shorter than the span of B (2 cycles from cb 5).
+  EXPECT_THROW((void)parse_schedule(g_, "schedule 5 2\nplace B 1 5\n"),
+               ParseError);
+  EXPECT_THROW((void)parse_schedule(g_, "frobnicate\n"), ParseError);
+}
+
+TEST_F(ScheduleFormatTest, CommentsAreIgnored) {
+  const ScheduleTable t = parse_schedule(g_,
+                                         "# saved by ccsched\n"
+                                         "schedule 3 2\n"
+                                         "place A 1 1  # the source\n");
+  EXPECT_EQ(t.length(), 3);
+  EXPECT_EQ(t.cb(g_.node_by_name("A")), 1);
+}
+
+}  // namespace
+}  // namespace ccs

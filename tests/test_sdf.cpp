@@ -1,0 +1,175 @@
+// Unit tests for the SDF front end: repetition vectors, single-rate
+// expansion, deadlock and consistency detection, end-to-end scheduling.
+#include <gtest/gtest.h>
+
+#include "arch/comm_model.hpp"
+#include "arch/topology.hpp"
+#include "core/cyclo_compaction.hpp"
+#include "core/validator.hpp"
+#include "sdf/sdf.hpp"
+#include "util/error.hpp"
+
+namespace ccs {
+namespace {
+
+/// The textbook sample-rate converter: A fires 3 tokens, B consumes 2.
+SdfGraph rate_converter() {
+  SdfGraph sdf("conv");
+  const ActorId a = sdf.add_actor("A", 1);
+  const ActorId b = sdf.add_actor("B", 2);
+  sdf.add_channel(a, b, 3, 2);
+  sdf.add_channel(b, a, 2, 3, /*initial_tokens=*/6);
+  return sdf;
+}
+
+TEST(Sdf, BuilderValidates) {
+  SdfGraph sdf;
+  const ActorId a = sdf.add_actor("a", 1);
+  EXPECT_THROW(sdf.add_actor("bad", 0), GraphError);
+  EXPECT_THROW(sdf.add_channel(a, 7, 1, 1), GraphError);
+  EXPECT_THROW(sdf.add_channel(a, a, 0, 1), GraphError);
+  EXPECT_THROW(sdf.add_channel(a, a, 1, 1, -1), GraphError);
+  EXPECT_THROW(sdf.add_channel(a, a, 1, 1, 0, 0), GraphError);
+}
+
+TEST(Sdf, RepetitionVectorOfTheRateConverter) {
+  // q(A)*3 == q(B)*2 -> smallest q = (2, 3).
+  const auto q = repetition_vector(rate_converter());
+  EXPECT_EQ(q, (std::vector<long long>{2, 3}));
+}
+
+TEST(Sdf, RepetitionVectorOfAChain) {
+  SdfGraph sdf("chain");
+  const ActorId a = sdf.add_actor("a", 1);
+  const ActorId b = sdf.add_actor("b", 1);
+  const ActorId c = sdf.add_actor("c", 1);
+  sdf.add_channel(a, b, 2, 3);
+  sdf.add_channel(b, c, 1, 4);
+  // q(a)*2 = q(b)*3; q(b)*1 = q(c)*4 -> q = (6, 4, 1).
+  EXPECT_EQ(repetition_vector(sdf), (std::vector<long long>{6, 4, 1}));
+}
+
+TEST(Sdf, SingleRateGraphsHaveUnitRepetitions) {
+  SdfGraph sdf("unit");
+  const ActorId a = sdf.add_actor("a", 1);
+  const ActorId b = sdf.add_actor("b", 1);
+  sdf.add_channel(a, b, 1, 1);
+  sdf.add_channel(b, a, 1, 1, 1);
+  EXPECT_EQ(repetition_vector(sdf), (std::vector<long long>{1, 1}));
+  const SdfExpansion x = expand_sdf(sdf);
+  EXPECT_EQ(x.graph.node_count(), 2u);
+  EXPECT_EQ(x.graph.edge_count(), 2u);
+}
+
+TEST(Sdf, InconsistentRatesAreRejected) {
+  SdfGraph sdf("bad");
+  const ActorId a = sdf.add_actor("a", 1);
+  const ActorId b = sdf.add_actor("b", 1);
+  sdf.add_channel(a, b, 2, 1);      // q(a)*2 = q(b)
+  sdf.add_channel(a, b, 1, 1);      // q(a)   = q(b): contradiction
+  EXPECT_THROW((void)repetition_vector(sdf), GraphError);
+}
+
+TEST(Sdf, DisconnectedGraphsAreRejected) {
+  SdfGraph sdf("parts");
+  (void)sdf.add_actor("a", 1);
+  (void)sdf.add_actor("b", 1);
+  EXPECT_THROW((void)repetition_vector(sdf), GraphError);
+}
+
+TEST(Sdf, ExpansionCopiesAndTokenEdges) {
+  const SdfExpansion x = expand_sdf(rate_converter());
+  EXPECT_EQ(x.graph.node_count(), 5u);  // 2 copies of A + 3 of B
+  EXPECT_EQ(x.graph.node(x.copy_of[0][1]).name, "A.1");
+  EXPECT_TRUE(x.graph.is_legal());
+  // Balance: 6 tokens flow each way per iteration; bundled edges carry
+  // the summed volume.
+  std::size_t volume_ab = 0;
+  for (EdgeId e = 0; e < x.graph.edge_count(); ++e) {
+    const Edge& ed = x.graph.edge(e);
+    const bool from_a = x.graph.node(ed.from).name[0] == 'A';
+    const bool to_b = x.graph.node(ed.to).name[0] == 'B';
+    if (from_a && to_b) volume_ab += ed.volume;
+  }
+  EXPECT_EQ(volume_ab, 6u);
+}
+
+TEST(Sdf, InitialTokensBecomeDelays) {
+  // a -> b single-rate with 2 initial tokens: b's firing k consumes the
+  // token a produced two firings (= two iterations) earlier.
+  SdfGraph sdf("delayline");
+  const ActorId a = sdf.add_actor("a", 1);
+  const ActorId b = sdf.add_actor("b", 1);
+  sdf.add_channel(a, b, 1, 1, /*initial_tokens=*/2);
+  sdf.add_channel(b, a, 1, 1);
+  const SdfExpansion x = expand_sdf(sdf);
+  bool found = false;
+  for (EdgeId e = 0; e < x.graph.edge_count(); ++e) {
+    const Edge& ed = x.graph.edge(e);
+    if (x.graph.node(ed.from).name == "a.0" &&
+        x.graph.node(ed.to).name == "b.0") {
+      EXPECT_EQ(ed.delay, 2);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Sdf, DeadlockIsDetectedAtExpansion) {
+  // A cycle with no initial tokens anywhere cannot fire.
+  SdfGraph sdf("stuck");
+  const ActorId a = sdf.add_actor("a", 1);
+  const ActorId b = sdf.add_actor("b", 1);
+  sdf.add_channel(a, b, 1, 1);
+  sdf.add_channel(b, a, 1, 1);  // no initial tokens
+  try {
+    (void)expand_sdf(sdf);
+    FAIL() << "expected deadlock";
+  } catch (const GraphError& e) {
+    EXPECT_NE(std::string(e.what()).find("deadlock"), std::string::npos);
+  }
+}
+
+TEST(Sdf, MultiRateDeadlockNeedsEnoughTokens) {
+  // The converter loop needs >= some tokens on the return channel; with
+  // only 1 it deadlocks, with 6 it runs.
+  SdfGraph starved("starved");
+  const ActorId a = starved.add_actor("A", 1);
+  const ActorId b = starved.add_actor("B", 2);
+  starved.add_channel(a, b, 3, 2);
+  starved.add_channel(b, a, 2, 3, /*initial_tokens=*/1);
+  EXPECT_THROW((void)expand_sdf(starved), GraphError);
+  EXPECT_NO_THROW((void)expand_sdf(rate_converter()));
+}
+
+TEST(Sdf, ExpandedGraphSchedulesEndToEnd) {
+  const SdfExpansion x = expand_sdf(rate_converter());
+  const Topology mesh = make_mesh(2, 2);
+  const StoreAndForwardModel comm(mesh);
+  CycloCompactionOptions opt;
+  opt.policy = RemapPolicy::kWithRelaxation;
+  const auto res = cyclo_compact(x.graph, mesh, comm, opt);
+  EXPECT_TRUE(validate_schedule(res.retimed_graph, res.best, comm).ok());
+  EXPECT_LE(res.best_length(), res.startup_length());
+}
+
+TEST(Sdf, ThreeStageMultiratePipeline) {
+  // 44.1k -> 48k style two-step converter closed by a feedback channel.
+  SdfGraph sdf("resampler");
+  const ActorId src = sdf.add_actor("src", 1);
+  const ActorId up = sdf.add_actor("up", 2);
+  const ActorId down = sdf.add_actor("down", 1);
+  sdf.add_channel(src, up, 2, 1);
+  sdf.add_channel(up, down, 3, 4);
+  sdf.add_channel(down, src, 2, 3, /*initial_tokens=*/12);
+  const auto q = repetition_vector(sdf);
+  // q(src)*2 = q(up); q(up)*3 = q(down)*4; q(down)*2 = q(src)*3
+  // -> (2, 4, 3).
+  EXPECT_EQ(q, (std::vector<long long>{2, 4, 3}));
+  const SdfExpansion x = expand_sdf(sdf);
+  EXPECT_EQ(x.graph.node_count(), 9u);
+  EXPECT_TRUE(x.graph.is_legal());
+}
+
+}  // namespace
+}  // namespace ccs

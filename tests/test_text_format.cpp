@@ -1,0 +1,103 @@
+// Unit tests for the text interchange formats.
+#include <gtest/gtest.h>
+
+#include "io/text_format.hpp"
+#include "util/error.hpp"
+#include "workloads/library.hpp"
+
+namespace ccs {
+namespace {
+
+TEST(TextFormat, ParsesAMinimalGraph) {
+  const Csdfg g = parse_csdfg(
+      "graph demo\n"
+      "node A 1\n"
+      "node B 2\n"
+      "edge A B 0 1\n"
+      "edge B A 2 3\n");
+  EXPECT_EQ(g.name(), "demo");
+  EXPECT_EQ(g.node_count(), 2u);
+  EXPECT_EQ(g.edge_count(), 2u);
+  EXPECT_EQ(g.edge(1).delay, 2);
+  EXPECT_EQ(g.edge(1).volume, 3u);
+}
+
+TEST(TextFormat, VolumeDefaultsToOne) {
+  const Csdfg g = parse_csdfg(
+      "node A 1\nnode B 1\nedge A B 0\n");
+  EXPECT_EQ(g.edge(0).volume, 1u);
+}
+
+TEST(TextFormat, CommentsAndBlankLinesAreIgnored) {
+  const Csdfg g = parse_csdfg(
+      "# a loop body\n"
+      "\n"
+      "graph g   # trailing comment\n"
+      "node A 1  # the source\n"
+      "node B 1\n"
+      "edge A B 0 1\n");
+  EXPECT_EQ(g.node_count(), 2u);
+}
+
+TEST(TextFormat, RoundTripsEveryLibraryGraph) {
+  for (const Csdfg& g : {paper_example6(), paper_example19(),
+                         elliptic_filter(), lattice_filter(),
+                         diffeq_solver()}) {
+    const Csdfg back = parse_csdfg(serialize_csdfg(g));
+    ASSERT_EQ(back.node_count(), g.node_count()) << g.name();
+    ASSERT_EQ(back.edge_count(), g.edge_count()) << g.name();
+    EXPECT_EQ(back.name(), g.name());
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+      EXPECT_EQ(back.node(v).name, g.node(v).name);
+      EXPECT_EQ(back.node(v).time, g.node(v).time);
+    }
+    for (EdgeId e = 0; e < g.edge_count(); ++e) {
+      EXPECT_EQ(back.edge(e).from, g.edge(e).from);
+      EXPECT_EQ(back.edge(e).to, g.edge(e).to);
+      EXPECT_EQ(back.edge(e).delay, g.edge(e).delay);
+      EXPECT_EQ(back.edge(e).volume, g.edge(e).volume);
+    }
+  }
+}
+
+TEST(TextFormat, ReportsLineNumbersOnErrors) {
+  try {
+    (void)parse_csdfg("node A 1\nnode B\n");
+    FAIL() << "should have thrown";
+  } catch (const ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(TextFormat, RejectsStructuralErrors) {
+  EXPECT_THROW((void)parse_csdfg("frobnicate\n"), ParseError);
+  EXPECT_THROW((void)parse_csdfg("node A 0\n"), ParseError);  // bad time
+  EXPECT_THROW((void)parse_csdfg("node A 1\nedge A Z 0 1\n"), ParseError);
+  EXPECT_THROW((void)parse_csdfg("node A 1\ngraph late\n"), ParseError);
+  // Zero-delay cycle surfaces as GraphError after parsing.
+  EXPECT_THROW((void)parse_csdfg("node A 1\nnode B 1\n"
+                                 "edge A B 0 1\nedge B A 0 1\n"),
+               GraphError);
+}
+
+TEST(TextFormat, ParsesEveryArchitectureKind) {
+  EXPECT_EQ(parse_topology("linear_array 8").size(), 8u);
+  EXPECT_EQ(parse_topology("ring 6").diameter(), 3u);
+  EXPECT_EQ(parse_topology("ring 6 uni").diameter(), 5u);
+  EXPECT_EQ(parse_topology("complete 5").diameter(), 1u);
+  EXPECT_EQ(parse_topology("mesh 4 2").size(), 8u);
+  EXPECT_EQ(parse_topology("torus 3 3").size(), 9u);
+  EXPECT_EQ(parse_topology("hypercube 3").size(), 8u);
+  EXPECT_EQ(parse_topology("star 5").size(), 5u);
+  EXPECT_EQ(parse_topology("binary_tree 7").size(), 7u);
+}
+
+TEST(TextFormat, RejectsBadArchitectureSpecs) {
+  EXPECT_THROW((void)parse_topology(""), ParseError);
+  EXPECT_THROW((void)parse_topology("megastructure 8"), ParseError);
+  EXPECT_THROW((void)parse_topology("mesh 4"), ParseError);
+  EXPECT_THROW((void)parse_topology("mesh four two"), ParseError);
+}
+
+}  // namespace
+}  // namespace ccs

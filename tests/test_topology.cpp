@@ -1,0 +1,167 @@
+// Unit tests for the architecture topologies (Section 2 / Figures 5 and 8).
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "arch/topology.hpp"
+#include "util/error.hpp"
+
+namespace ccs {
+namespace {
+
+TEST(Topology, LinearArrayDistancesAreIndexDifferences) {
+  const Topology t = make_linear_array(8);
+  EXPECT_EQ(t.size(), 8u);
+  EXPECT_EQ(t.diameter(), 7u);
+  for (PeId a = 0; a < 8; ++a)
+    for (PeId b = 0; b < 8; ++b)
+      EXPECT_EQ(t.distance(a, b), a > b ? a - b : b - a);
+  EXPECT_EQ(t.degree(0), 1u);
+  EXPECT_EQ(t.degree(3), 2u);
+}
+
+TEST(Topology, BidirectionalRingWrapsAround) {
+  const Topology t = make_ring(8);
+  EXPECT_EQ(t.diameter(), 4u);
+  EXPECT_EQ(t.distance(0, 7), 1u);
+  EXPECT_EQ(t.distance(0, 4), 4u);
+  EXPECT_EQ(t.distance(2, 6), 4u);
+  for (PeId p = 0; p < 8; ++p) EXPECT_EQ(t.degree(p), 2u);
+}
+
+TEST(Topology, UnidirectionalRingIsAsymmetric) {
+  const Topology t = make_ring(5, /*bidirectional=*/false);
+  EXPECT_TRUE(t.directed());
+  EXPECT_EQ(t.distance(0, 1), 1u);
+  EXPECT_EQ(t.distance(1, 0), 4u);
+  EXPECT_EQ(t.diameter(), 4u);
+}
+
+TEST(Topology, CompleteHasUnitDistances) {
+  const Topology t = make_complete(8);
+  EXPECT_EQ(t.diameter(), 1u);
+  EXPECT_EQ(t.links().size(), 28u);
+  for (PeId a = 0; a < 8; ++a)
+    for (PeId b = 0; b < 8; ++b)
+      EXPECT_EQ(t.distance(a, b), a == b ? 0u : 1u);
+}
+
+TEST(Topology, MeshUsesManhattanDistance) {
+  const Topology t = make_mesh(2, 2);  // the paper's Figure 1(a)
+  EXPECT_EQ(t.size(), 4u);
+  // PE layout: 0 1 / 2 3.  Diagonal pairs are 2 hops apart.
+  EXPECT_EQ(t.distance(0, 1), 1u);
+  EXPECT_EQ(t.distance(0, 2), 1u);
+  EXPECT_EQ(t.distance(0, 3), 2u);
+  EXPECT_EQ(t.distance(1, 2), 2u);
+
+  const Topology big = make_mesh(4, 2);
+  for (PeId a = 0; a < big.size(); ++a)
+    for (PeId b = 0; b < big.size(); ++b) {
+      const std::size_t ra = a / 2, ca = a % 2, rb = b / 2, cb = b % 2;
+      const std::size_t manhattan =
+          (ra > rb ? ra - rb : rb - ra) + (ca > cb ? ca - cb : cb - ca);
+      EXPECT_EQ(big.distance(a, b), manhattan);
+    }
+}
+
+TEST(Topology, TorusWrapsBothDimensions) {
+  const Topology t = make_torus(4, 4);
+  EXPECT_EQ(t.distance(0, 3), 1u);   // row wrap
+  EXPECT_EQ(t.distance(0, 12), 1u);  // column wrap
+  EXPECT_EQ(t.diameter(), 4u);
+}
+
+TEST(Topology, HypercubeDistanceIsHammingDistance) {
+  const Topology t = make_hypercube(3);
+  EXPECT_EQ(t.size(), 8u);
+  EXPECT_EQ(t.diameter(), 3u);
+  for (PeId a = 0; a < 8; ++a)
+    for (PeId b = 0; b < 8; ++b)
+      EXPECT_EQ(t.distance(a, b),
+                static_cast<std::size_t>(__builtin_popcountll(a ^ b)));
+}
+
+TEST(Topology, StarRoutesThroughHub) {
+  const Topology t = make_star(6);
+  EXPECT_EQ(t.degree(0), 5u);
+  EXPECT_EQ(t.distance(1, 5), 2u);
+  EXPECT_EQ(t.distance(0, 4), 1u);
+  EXPECT_EQ(t.diameter(), 2u);
+}
+
+TEST(Topology, BinaryTreeParentChildLinks) {
+  const Topology t = make_binary_tree(7);
+  EXPECT_EQ(t.distance(0, 3), 2u);  // root -> left -> its left child
+  EXPECT_EQ(t.distance(3, 4), 2u);  // siblings via parent
+  EXPECT_EQ(t.distance(3, 6), 4u);  // across the root
+}
+
+TEST(Topology, ShortestPathMatchesDistanceAndEndpoints) {
+  for (const Topology& t :
+       {make_mesh(3, 3), make_ring(6), make_hypercube(3), make_star(5)}) {
+    for (PeId a = 0; a < t.size(); ++a)
+      for (PeId b = 0; b < t.size(); ++b) {
+        const auto path = t.shortest_path(a, b);
+        ASSERT_EQ(path.size(), t.distance(a, b) + 1) << t.name();
+        EXPECT_EQ(path.front(), a);
+        EXPECT_EQ(path.back(), b);
+        for (std::size_t i = 0; i + 1 < path.size(); ++i)
+          EXPECT_EQ(t.distance(path[i], path[i + 1]), 1u);
+      }
+  }
+}
+
+TEST(Topology, DistanceSatisfiesTriangleInequality) {
+  for (const Topology& t : {make_mesh(3, 4), make_binary_tree(10),
+                           make_linear_array(9), make_torus(3, 5)}) {
+    for (PeId a = 0; a < t.size(); ++a)
+      for (PeId b = 0; b < t.size(); ++b)
+        for (PeId c = 0; c < t.size(); ++c)
+          EXPECT_LE(t.distance(a, c),
+                    t.distance(a, b) + t.distance(b, c))
+              << t.name();
+  }
+}
+
+TEST(Topology, UndirectedDistanceIsSymmetric) {
+  for (const Topology& t : {make_mesh(3, 3), make_ring(7), make_hypercube(4),
+                           make_star(6), make_binary_tree(9)}) {
+    for (PeId a = 0; a < t.size(); ++a)
+      for (PeId b = 0; b < t.size(); ++b)
+        EXPECT_EQ(t.distance(a, b), t.distance(b, a)) << t.name();
+  }
+}
+
+TEST(Topology, CustomLinksAreDeduplicatedAndNormalized) {
+  const Topology t(3, {{0, 1}, {1, 0}, {1, 2}}, false, "dedup");
+  EXPECT_EQ(t.links().size(), 2u);
+  EXPECT_EQ(t.links()[0], (std::pair<PeId, PeId>{0, 1}));
+}
+
+TEST(Topology, RejectsBadConstructions) {
+  EXPECT_THROW(Topology(0, {}), ArchitectureError);
+  EXPECT_THROW(Topology(2, {{0, 0}}), ArchitectureError);           // self-loop
+  EXPECT_THROW(Topology(2, {{0, 5}}), ArchitectureError);           // range
+  EXPECT_THROW(Topology(3, {{0, 1}}), ArchitectureError);           // disconnected
+  EXPECT_THROW(make_ring(2), ArchitectureError);
+  EXPECT_THROW(make_torus(2, 4), ArchitectureError);
+  EXPECT_THROW(make_mesh(0, 3), ArchitectureError);
+  EXPECT_THROW(make_star(1), ArchitectureError);
+}
+
+TEST(Topology, SinglePeTopologyIsValid) {
+  const Topology t = make_linear_array(1);
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_EQ(t.diameter(), 0u);
+  EXPECT_EQ(t.distance(0, 0), 0u);
+}
+
+TEST(Topology, NamesDescribeShape) {
+  EXPECT_EQ(make_mesh(4, 2).name(), "mesh(4x2)");
+  EXPECT_EQ(make_hypercube(3).name(), "hypercube(3)");
+  EXPECT_EQ(make_ring(8, false).name(), "uniring(8)");
+}
+
+}  // namespace
+}  // namespace ccs

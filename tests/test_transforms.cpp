@@ -1,0 +1,78 @@
+// Unit tests for the workload transforms (slowdown, time/volume scaling).
+#include <gtest/gtest.h>
+
+#include "core/graph_algo.hpp"
+#include "util/error.hpp"
+#include "workloads/library.hpp"
+#include "workloads/transforms.hpp"
+
+namespace ccs {
+namespace {
+
+TEST(Transforms, SlowdownMultipliesDelaysOnly) {
+  const Csdfg g = paper_example6();
+  const Csdfg s = slowdown(g, 3);
+  ASSERT_EQ(s.edge_count(), g.edge_count());
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    EXPECT_EQ(s.edge(e).delay, 3 * g.edge(e).delay);
+    EXPECT_EQ(s.edge(e).volume, g.edge(e).volume);
+  }
+  for (NodeId v = 0; v < g.node_count(); ++v)
+    EXPECT_EQ(s.node(v).time, g.node(v).time);
+  EXPECT_TRUE(s.is_legal());
+  EXPECT_EQ(s.name(), "paper6_slow3");
+}
+
+TEST(Transforms, ScaleTimesMultipliesNodeTimesOnly) {
+  const Csdfg g = lattice_filter();
+  const Csdfg s = scale_times(g, 3);
+  EXPECT_EQ(s.total_computation(), 3 * g.total_computation());
+  EXPECT_EQ(s.total_delay(), g.total_delay());
+  // The paper's Table 11 band: 35 -> 105.
+  EXPECT_EQ(s.total_computation(), 105);
+}
+
+TEST(Transforms, ScaleVolumesMultipliesVolumesOnly) {
+  const Csdfg g = paper_example6();
+  const Csdfg s = scale_volumes(g, 4);
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    EXPECT_EQ(s.edge(e).volume, 4 * g.edge(e).volume);
+    EXPECT_EQ(s.edge(e).delay, g.edge(e).delay);
+  }
+}
+
+TEST(Transforms, SlowdownPreservesZeroDelayStructure) {
+  const Csdfg g = paper_example19();
+  const Csdfg s = slowdown(g, 2);
+  EXPECT_EQ(compute_dag_timing(s).critical_path,
+            compute_dag_timing(g).critical_path);
+}
+
+TEST(Transforms, IdentityFactorsAreNoOps) {
+  const Csdfg g = paper_example6();
+  for (const Csdfg& t :
+       {slowdown(g, 1), scale_times(g, 1), scale_volumes(g, 1)}) {
+    EXPECT_EQ(t.total_computation(), g.total_computation());
+    EXPECT_EQ(t.total_delay(), g.total_delay());
+  }
+}
+
+TEST(Transforms, RejectBadFactors) {
+  const Csdfg g = paper_example6();
+  EXPECT_THROW((void)slowdown(g, 0), GraphError);
+  EXPECT_THROW((void)scale_times(g, -1), GraphError);
+  EXPECT_THROW((void)scale_volumes(g, 0), GraphError);
+}
+
+TEST(Transforms, ComposeForTable11Preparation) {
+  // The Table 11 configuration: both transforms, either order.
+  const Csdfg a = scale_times(slowdown(elliptic_filter(), 3), 3);
+  const Csdfg b = slowdown(scale_times(elliptic_filter(), 3), 3);
+  EXPECT_EQ(a.total_computation(), 126);
+  EXPECT_EQ(b.total_computation(), 126);
+  EXPECT_EQ(a.total_delay(), b.total_delay());
+  EXPECT_TRUE(a.is_legal());
+}
+
+}  // namespace
+}  // namespace ccs

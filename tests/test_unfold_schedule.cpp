@@ -1,0 +1,85 @@
+// Unit tests for unfold-and-compact (fractional initiation intervals).
+#include <gtest/gtest.h>
+
+#include "arch/comm_model.hpp"
+#include "arch/topology.hpp"
+#include "core/iteration_bound.hpp"
+#include "core/unfold_schedule.hpp"
+#include "core/validator.hpp"
+#include "workloads/library.hpp"
+
+namespace ccs {
+namespace {
+
+class UnfoldScheduleTest : public ::testing::Test {
+protected:
+  Topology cc_ = make_complete(8);
+  StoreAndForwardModel comm_{cc_};
+  CycloCompactionOptions opt_ = [] {
+    CycloCompactionOptions o;
+    o.policy = RemapPolicy::kWithRelaxation;
+    return o;
+  }();
+};
+
+TEST_F(UnfoldScheduleTest, FactorOneMatchesPlainCompaction) {
+  const Csdfg g = paper_example6();
+  const auto r = unfold_and_compact(g, 1, cc_, comm_, opt_);
+  const auto plain = cyclo_compact(g, cc_, comm_, opt_);
+  EXPECT_EQ(r.run.best_length(), plain.best_length());
+  EXPECT_DOUBLE_EQ(r.rate(), static_cast<double>(plain.best_length()));
+}
+
+TEST_F(UnfoldScheduleTest, SchedulesAreValidForTheUnfoldedGraph) {
+  for (int f : {2, 3}) {
+    const auto r =
+        unfold_and_compact(paper_example6(), f, cc_, comm_, opt_);
+    EXPECT_TRUE(
+        validate_schedule(r.run.retimed_graph, r.run.best, comm_).ok())
+        << "f=" << f;
+    EXPECT_EQ(r.factor, f);
+    EXPECT_EQ(r.unfolded.graph.node_count(), 6u * static_cast<unsigned>(f));
+  }
+}
+
+TEST_F(UnfoldScheduleTest, RateNeverBeatsTheIterationBound) {
+  const Csdfg g = paper_example6();  // bound 3
+  for (int f : {1, 2, 3, 4}) {
+    const auto r = unfold_and_compact(g, f, cc_, comm_, opt_);
+    EXPECT_GE(r.rate() + 1e-9, iteration_bound(g).value()) << "f=" << f;
+  }
+}
+
+TEST_F(UnfoldScheduleTest, UnfoldingCanBreakTheIntegralityFloor) {
+  // A two-task loop with bound 3/2: any single-iteration schedule needs
+  // L >= 2, but unfolding by 2 can reach rate 3/2.
+  Csdfg g("frac");
+  const NodeId a = g.add_node("a", 1);
+  const NodeId b = g.add_node("b", 2);
+  g.add_edge(a, b, 0, 1);
+  g.add_edge(b, a, 2, 1);
+  EXPECT_EQ(iteration_bound(g), (Rational{3, 2}));
+
+  const auto f1 = unfold_and_compact(g, 1, cc_, comm_, opt_);
+  EXPECT_GE(f1.run.best_length(), 2);
+
+  const auto f2 = unfold_and_compact(g, 2, cc_, comm_, opt_);
+  EXPECT_LE(f2.rate(), f1.rate() + 1e-9);
+  // The unfolded bound doubles, so the best reachable length is 3 = 2*1.5.
+  EXPECT_GE(f2.run.best_length(), 3);
+}
+
+TEST_F(UnfoldScheduleTest, CopyMapIsUsableForInstanceLookup) {
+  const auto r = unfold_and_compact(paper_example6(), 2, cc_, comm_, opt_);
+  const Csdfg& ug = r.unfolded.graph;
+  for (NodeId v = 0; v < 6; ++v) {
+    for (std::size_t i = 0; i < 2; ++i) {
+      const NodeId copy = r.unfolded.copy_of[v][i];
+      EXPECT_LT(copy, ug.node_count());
+      EXPECT_TRUE(r.run.best.is_placed(copy));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ccs

@@ -1,0 +1,102 @@
+// Unit tests for the unfolding transform.
+#include <gtest/gtest.h>
+
+#include "core/graph_algo.hpp"
+#include "core/iteration_bound.hpp"
+#include "core/unfolding.hpp"
+#include "util/error.hpp"
+#include "workloads/library.hpp"
+
+namespace ccs {
+namespace {
+
+TEST(Unfolding, FactorOneIsIsomorphicCopy) {
+  const Csdfg g = paper_example6();
+  const Unfolded u = unfold(g, 1);
+  ASSERT_EQ(u.graph.node_count(), g.node_count());
+  ASSERT_EQ(u.graph.edge_count(), g.edge_count());
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    EXPECT_EQ(u.graph.edge(e).delay, g.edge(e).delay);
+    EXPECT_EQ(u.graph.edge(e).volume, g.edge(e).volume);
+  }
+}
+
+TEST(Unfolding, EdgeRedistributionRule) {
+  // Edge with delay 3 unfolded by 2: copy i feeds copy (i+3) mod 2 with
+  // delay floor((i+3)/2): i=0 -> v#1 d=1;  i=1 -> v#0 d=2.
+  Csdfg g;
+  g.add_node("u", 1);
+  g.add_node("v", 1);
+  g.add_edge(0, 1, 3, 2);
+  const Unfolded un = unfold(g, 2);
+  ASSERT_EQ(un.graph.edge_count(), 2u);
+  const Edge e0 = un.graph.edge(0);
+  EXPECT_EQ(e0.from, un.copy_of[0][0]);
+  EXPECT_EQ(e0.to, un.copy_of[1][1]);
+  EXPECT_EQ(e0.delay, 1);
+  EXPECT_EQ(e0.volume, 2u);
+  const Edge e1 = un.graph.edge(1);
+  EXPECT_EQ(e1.from, un.copy_of[0][1]);
+  EXPECT_EQ(e1.to, un.copy_of[1][0]);
+  EXPECT_EQ(e1.delay, 2);
+}
+
+TEST(Unfolding, ZeroDelayEdgesStayIntraIteration) {
+  Csdfg g;
+  g.add_node("u", 1);
+  g.add_node("v", 1);
+  g.add_edge(0, 1, 0, 1);
+  const Unfolded un = unfold(g, 3);
+  for (EdgeId e = 0; e < un.graph.edge_count(); ++e) {
+    EXPECT_EQ(un.graph.edge(e).delay, 0);
+    // u#i -> v#i.
+    const Edge& ed = un.graph.edge(e);
+    EXPECT_EQ(un.graph.node(ed.from).name.back(),
+              un.graph.node(ed.to).name.back());
+  }
+}
+
+TEST(Unfolding, TotalDelayIsConserved) {
+  // Sum over copies of floor((i+d)/f) for i = 0..f-1 equals d.
+  for (int f : {2, 3, 4}) {
+    const Csdfg g = paper_example6();
+    const Unfolded u = unfold(g, f);
+    EXPECT_EQ(u.graph.total_delay(), g.total_delay()) << "f=" << f;
+    EXPECT_EQ(u.graph.total_computation(), f * g.total_computation());
+  }
+}
+
+TEST(Unfolding, PreservesLegalityAcrossLibrary) {
+  for (const Csdfg& g : {paper_example6(), paper_example19(),
+                         elliptic_filter(), lattice_filter(),
+                         diffeq_solver()}) {
+    for (int f : {2, 3}) {
+      const Unfolded u = unfold(g, f);
+      EXPECT_TRUE(u.graph.is_legal()) << g.name() << " f=" << f;
+    }
+  }
+}
+
+TEST(Unfolding, IterationBoundScalesByFactor) {
+  // The unfolded graph computes f original iterations per unfolded
+  // iteration, so its bound is f times the original (classic result).
+  const Csdfg g = paper_example6();  // bound 3
+  const Rational b2 = iteration_bound(unfold(g, 2).graph);
+  EXPECT_EQ(b2, (Rational{6, 1}));
+  const Rational b3 = iteration_bound(unfold(g, 3).graph);
+  EXPECT_EQ(b3, (Rational{9, 1}));
+}
+
+TEST(Unfolding, CopyNamesAreIndexed) {
+  const Unfolded u = unfold(paper_example6(), 2);
+  EXPECT_EQ(u.graph.node(u.copy_of[0][0]).name, "A.0");
+  EXPECT_EQ(u.graph.node(u.copy_of[0][1]).name, "A.1");
+}
+
+TEST(Unfolding, RejectsBadFactor) {
+  EXPECT_THROW((void)unfold(paper_example6(), 0), GraphError);
+  EXPECT_THROW((void)unfold(paper_example6(), -2), GraphError);
+}
+
+}  // namespace
+}  // namespace ccs

@@ -1,0 +1,155 @@
+// Unit tests for the utility layer: contracts, Matrix, Rng, TextTable.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "util/contracts.hpp"
+#include "util/matrix.hpp"
+#include "util/rng.hpp"
+#include "util/text_table.hpp"
+
+namespace ccs {
+namespace {
+
+TEST(Contracts, ExpectsThrowsContractViolationWithLocation) {
+  try {
+    CCS_EXPECTS(1 == 2);
+    FAIL() << "should have thrown";
+  } catch (const ContractViolation& e) {
+    EXPECT_NE(std::string(e.what()).find("precondition"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("1 == 2"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("test_util.cpp"), std::string::npos);
+  }
+}
+
+TEST(Contracts, EnsuresAndAssertUseDistinctKinds) {
+  EXPECT_THROW(CCS_ENSURES(false), ContractViolation);
+  EXPECT_THROW(CCS_ASSERT(false), ContractViolation);
+  try {
+    CCS_ENSURES(false);
+  } catch (const ContractViolation& e) {
+    EXPECT_NE(std::string(e.what()).find("postcondition"), std::string::npos);
+  }
+}
+
+TEST(Contracts, PassingConditionsDoNotThrow) {
+  EXPECT_NO_THROW(CCS_EXPECTS(true));
+  EXPECT_NO_THROW(CCS_ENSURES(2 + 2 == 4));
+  EXPECT_NO_THROW(CCS_ASSERT(true));
+}
+
+TEST(Matrix, StoresAndRetrievesRowMajor) {
+  Matrix<int> m(2, 3, -1);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  m(0, 0) = 1;
+  m(1, 2) = 7;
+  EXPECT_EQ(m(0, 0), 1);
+  EXPECT_EQ(m(1, 2), 7);
+  EXPECT_EQ(m(0, 1), -1);
+}
+
+TEST(Matrix, BoundsAreContractChecked) {
+  Matrix<int> m(2, 2);
+  EXPECT_THROW((void)m(2, 0), ContractViolation);
+  EXPECT_THROW((void)m(0, 2), ContractViolation);
+}
+
+TEST(Matrix, FillAndEquality) {
+  Matrix<int> a(2, 2, 0), b(2, 2, 0);
+  EXPECT_EQ(a, b);
+  a.fill(5);
+  EXPECT_NE(a, b);
+  b.fill(5);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Matrix, EmptyMatrixIsEmpty) {
+  Matrix<int> m;
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.rows(), 0u);
+}
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i)
+    EXPECT_EQ(a.uniform_int(0, 1000), b.uniform_int(0, 1000));
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int differing = 0;
+  for (int i = 0; i < 50; ++i)
+    if (a.uniform_int(0, 1 << 20) != b.uniform_int(0, 1 << 20)) ++differing;
+  EXPECT_GT(differing, 40);
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive) {
+  Rng r(7);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 500; ++i) {
+    const int x = r.uniform_int(3, 5);
+    EXPECT_GE(x, 3);
+    EXPECT_LE(x, 5);
+    saw_lo |= x == 3;
+    saw_hi |= x == 5;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, Uniform01InHalfOpenRange) {
+  Rng r(9);
+  for (int i = 0; i < 200; ++i) {
+    const double x = r.uniform01();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, BernoulliExtremesAreDeterministic) {
+  Rng r(3);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_FALSE(r.bernoulli(0.0));
+    EXPECT_TRUE(r.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, InvalidArgumentsAreContractChecked) {
+  Rng r(1);
+  EXPECT_THROW((void)r.uniform_int(5, 3), ContractViolation);
+  EXPECT_THROW((void)r.bernoulli(1.5), ContractViolation);
+}
+
+TEST(TextTable, RendersAlignedColumns) {
+  TextTable t;
+  t.set_header({"cs", "pe1"});
+  t.add_row({"1", "A"});
+  t.add_row({"10", "BB"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("| cs "), std::string::npos);
+  EXPECT_NE(s.find("| 10 "), std::string::npos);
+  // All lines share one width.
+  std::vector<std::size_t> widths;
+  std::size_t pos = 0;
+  while (pos < s.size()) {
+    const auto nl = s.find('\n', pos);
+    widths.push_back(nl - pos);
+    pos = nl + 1;
+  }
+  EXPECT_TRUE(std::all_of(widths.begin(), widths.end(),
+                          [&](std::size_t w) { return w == widths[0]; }));
+}
+
+TEST(TextTable, ShortRowsRenderEmptyCells) {
+  TextTable t;
+  t.set_header({"a", "b", "c"});
+  t.add_row({"1"});
+  const std::string s = t.to_string();
+  EXPECT_EQ(t.row_count(), 1u);
+  EXPECT_NE(s.find("| 1 "), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ccs

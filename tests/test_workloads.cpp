@@ -1,0 +1,110 @@
+// Unit tests for the benchmark graph library.
+#include <gtest/gtest.h>
+
+#include "core/graph_algo.hpp"
+#include "core/iteration_bound.hpp"
+#include "util/contracts.hpp"
+#include "workloads/library.hpp"
+
+namespace ccs {
+namespace {
+
+TEST(Workloads, PaperExample6MatchesFigure1b) {
+  const Csdfg g = paper_example6();
+  EXPECT_EQ(g.node_count(), 6u);
+  EXPECT_EQ(g.edge_count(), 10u);
+  EXPECT_EQ(g.node(g.node_by_name("B")).time, 2);
+  EXPECT_EQ(g.node(g.node_by_name("E")).time, 2);
+  EXPECT_EQ(g.node(g.node_by_name("A")).time, 1);
+  // d(D->A) = 3, d(F->E) = 1, all others 0; c(B->E) = c(D->F) = 2,
+  // c(D->A) = 3.
+  int d_sum = 0;
+  for (EdgeId e = 0; e < g.edge_count(); ++e) d_sum += g.edge(e).delay;
+  EXPECT_EQ(d_sum, 4);
+  EXPECT_EQ(g.total_computation(), 8);
+}
+
+TEST(Workloads, PaperExample19HasThePublishedTimes) {
+  const Csdfg g = paper_example19();
+  EXPECT_EQ(g.node_count(), 19u);
+  for (const char* two : {"C", "F", "J", "L", "P"})
+    EXPECT_EQ(g.node(g.node_by_name(two)).time, 2) << two;
+  int ones = 0;
+  for (NodeId v = 0; v < g.node_count(); ++v)
+    ones += g.node(v).time == 1;
+  EXPECT_EQ(ones, 14);
+  EXPECT_EQ(g.total_computation(), 24);
+  EXPECT_TRUE(g.is_legal());
+}
+
+TEST(Workloads, EllipticFilterHasBenchmarkShape) {
+  const Csdfg g = elliptic_filter();
+  EXPECT_EQ(g.node_count(), 34u);
+  int adds = 0, muls = 0;
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    if (g.node(v).time == 1) ++adds;
+    if (g.node(v).time == 2) ++muls;
+  }
+  EXPECT_EQ(adds, 26);
+  EXPECT_EQ(muls, 8);
+  EXPECT_EQ(g.total_computation(), 42);  // the paper's 126 = 3 x 42
+  int state_edges = 0;
+  for (EdgeId e = 0; e < g.edge_count(); ++e)
+    state_edges += g.edge(e).delay > 0;
+  EXPECT_EQ(state_edges, 8);
+  EXPECT_TRUE(g.is_legal());
+  // Strongly recurrent: a finite iteration bound well above 1.
+  EXPECT_GT(iteration_bound(g).value(), 1.0);
+}
+
+TEST(Workloads, LatticeFilterHasBenchmarkShape) {
+  const Csdfg g = lattice_filter();
+  EXPECT_EQ(g.node_count(), 25u);
+  EXPECT_EQ(g.total_computation(), 35);  // the paper's 105 = 3 x 35
+  EXPECT_TRUE(g.is_legal());
+  EXPECT_EQ(iteration_bound(g), (Rational{7, 1}));
+}
+
+TEST(Workloads, BiquadCascadeScalesWithSections) {
+  const Csdfg one = iir_biquad_cascade(1);
+  const Csdfg three = iir_biquad_cascade(3);
+  EXPECT_EQ(one.node_count(), 10u);   // x + 9 per section
+  EXPECT_EQ(three.node_count(), 28u);
+  EXPECT_TRUE(three.is_legal());
+  // Cascading cannot lower the bound (same per-section recurrences).
+  EXPECT_EQ(iteration_bound(one), iteration_bound(three));
+  EXPECT_THROW((void)iir_biquad_cascade(0), ContractViolation);
+}
+
+TEST(Workloads, FirFilterIsAcyclicButDelayed) {
+  const Csdfg g = fir_filter(6);
+  EXPECT_EQ(g.node_count(), 12u);  // x + 6 muls + 5 adds
+  EXPECT_EQ(iteration_bound(g), (Rational{0, 1}));
+  EXPECT_GT(g.total_delay(), 0);
+  EXPECT_THROW((void)fir_filter(1), ContractViolation);
+}
+
+TEST(Workloads, DiffeqSolverShape) {
+  const Csdfg g = diffeq_solver();
+  EXPECT_EQ(g.node_count(), 12u);
+  int muls = 0;
+  for (NodeId v = 0; v < g.node_count(); ++v) muls += g.node(v).time == 2;
+  EXPECT_EQ(muls, 6);
+  EXPECT_TRUE(g.is_legal());
+  // The u-recurrence u1 <- s1 <- m3 <- m2 <- u1 bounds the rate.
+  EXPECT_GE(iteration_bound(g).value(), 2.0);
+}
+
+TEST(Workloads, AllLibraryGraphsHaveConsistentDagTimings) {
+  for (const Csdfg& g :
+       {paper_example6(), paper_example19(), elliptic_filter(),
+        lattice_filter(), iir_biquad_cascade(2), fir_filter(4),
+        diffeq_solver()}) {
+    const DagTiming t = compute_dag_timing(g);
+    EXPECT_GE(t.critical_path, 1) << g.name();
+    EXPECT_LE(t.critical_path, g.total_computation()) << g.name();
+  }
+}
+
+}  // namespace
+}  // namespace ccs
