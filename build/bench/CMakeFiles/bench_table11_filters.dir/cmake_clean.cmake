@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table11_filters.dir/bench_table11_filters.cpp.o"
+  "CMakeFiles/bench_table11_filters.dir/bench_table11_filters.cpp.o.d"
+  "bench_table11_filters"
+  "bench_table11_filters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table11_filters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tables_19node.dir/bench_tables_19node.cpp.o"
+  "CMakeFiles/bench_tables_19node.dir/bench_tables_19node.cpp.o.d"
+  "bench_tables_19node"
+  "bench_tables_19node.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tables_19node.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

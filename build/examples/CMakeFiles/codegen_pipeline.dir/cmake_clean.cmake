@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/codegen_pipeline.dir/codegen_pipeline.cpp.o"
+  "CMakeFiles/codegen_pipeline.dir/codegen_pipeline.cpp.o.d"
+  "codegen_pipeline"
+  "codegen_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/codegen_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

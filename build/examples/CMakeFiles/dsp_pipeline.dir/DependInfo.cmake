@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/dsp_pipeline.cpp" "examples/CMakeFiles/dsp_pipeline.dir/dsp_pipeline.cpp.o" "gcc" "examples/CMakeFiles/dsp_pipeline.dir/dsp_pipeline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ccs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/ccs_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ccs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/ccs_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/ccs_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ccs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multirate_sdf.dir/multirate_sdf.cpp.o"
+  "CMakeFiles/multirate_sdf.dir/multirate_sdf.cpp.o.d"
+  "multirate_sdf"
+  "multirate_sdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multirate_sdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

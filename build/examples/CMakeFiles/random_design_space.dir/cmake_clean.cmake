@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/random_design_space.dir/random_design_space.cpp.o"
+  "CMakeFiles/random_design_space.dir/random_design_space.cpp.o.d"
+  "random_design_space"
+  "random_design_space.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/random_design_space.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccs_arch.dir/comm_model.cpp.o"
+  "CMakeFiles/ccs_arch.dir/comm_model.cpp.o.d"
+  "CMakeFiles/ccs_arch.dir/routing.cpp.o"
+  "CMakeFiles/ccs_arch.dir/routing.cpp.o.d"
+  "CMakeFiles/ccs_arch.dir/topology.cpp.o"
+  "CMakeFiles/ccs_arch.dir/topology.cpp.o.d"
+  "libccs_arch.a"
+  "libccs_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccs_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

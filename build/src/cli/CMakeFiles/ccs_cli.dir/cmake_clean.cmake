@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccs_cli.dir/cli.cpp.o"
+  "CMakeFiles/ccs_cli.dir/cli.cpp.o.d"
+  "libccs_cli.a"
+  "libccs_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccs_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libccs_cli.a"
+)

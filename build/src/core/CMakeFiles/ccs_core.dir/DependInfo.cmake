@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/baselines.cpp" "src/core/CMakeFiles/ccs_core.dir/baselines.cpp.o" "gcc" "src/core/CMakeFiles/ccs_core.dir/baselines.cpp.o.d"
+  "/root/repo/src/core/buffers.cpp" "src/core/CMakeFiles/ccs_core.dir/buffers.cpp.o" "gcc" "src/core/CMakeFiles/ccs_core.dir/buffers.cpp.o.d"
+  "/root/repo/src/core/critical_cycle.cpp" "src/core/CMakeFiles/ccs_core.dir/critical_cycle.cpp.o" "gcc" "src/core/CMakeFiles/ccs_core.dir/critical_cycle.cpp.o.d"
+  "/root/repo/src/core/csdfg.cpp" "src/core/CMakeFiles/ccs_core.dir/csdfg.cpp.o" "gcc" "src/core/CMakeFiles/ccs_core.dir/csdfg.cpp.o.d"
+  "/root/repo/src/core/cyclo_compaction.cpp" "src/core/CMakeFiles/ccs_core.dir/cyclo_compaction.cpp.o" "gcc" "src/core/CMakeFiles/ccs_core.dir/cyclo_compaction.cpp.o.d"
+  "/root/repo/src/core/exhaustive.cpp" "src/core/CMakeFiles/ccs_core.dir/exhaustive.cpp.o" "gcc" "src/core/CMakeFiles/ccs_core.dir/exhaustive.cpp.o.d"
+  "/root/repo/src/core/graph_algo.cpp" "src/core/CMakeFiles/ccs_core.dir/graph_algo.cpp.o" "gcc" "src/core/CMakeFiles/ccs_core.dir/graph_algo.cpp.o.d"
+  "/root/repo/src/core/iteration_bound.cpp" "src/core/CMakeFiles/ccs_core.dir/iteration_bound.cpp.o" "gcc" "src/core/CMakeFiles/ccs_core.dir/iteration_bound.cpp.o.d"
+  "/root/repo/src/core/list_scheduler.cpp" "src/core/CMakeFiles/ccs_core.dir/list_scheduler.cpp.o" "gcc" "src/core/CMakeFiles/ccs_core.dir/list_scheduler.cpp.o.d"
+  "/root/repo/src/core/modulo_scheduler.cpp" "src/core/CMakeFiles/ccs_core.dir/modulo_scheduler.cpp.o" "gcc" "src/core/CMakeFiles/ccs_core.dir/modulo_scheduler.cpp.o.d"
+  "/root/repo/src/core/priority.cpp" "src/core/CMakeFiles/ccs_core.dir/priority.cpp.o" "gcc" "src/core/CMakeFiles/ccs_core.dir/priority.cpp.o.d"
+  "/root/repo/src/core/prologue.cpp" "src/core/CMakeFiles/ccs_core.dir/prologue.cpp.o" "gcc" "src/core/CMakeFiles/ccs_core.dir/prologue.cpp.o.d"
+  "/root/repo/src/core/remap.cpp" "src/core/CMakeFiles/ccs_core.dir/remap.cpp.o" "gcc" "src/core/CMakeFiles/ccs_core.dir/remap.cpp.o.d"
+  "/root/repo/src/core/resources.cpp" "src/core/CMakeFiles/ccs_core.dir/resources.cpp.o" "gcc" "src/core/CMakeFiles/ccs_core.dir/resources.cpp.o.d"
+  "/root/repo/src/core/retiming.cpp" "src/core/CMakeFiles/ccs_core.dir/retiming.cpp.o" "gcc" "src/core/CMakeFiles/ccs_core.dir/retiming.cpp.o.d"
+  "/root/repo/src/core/rotation.cpp" "src/core/CMakeFiles/ccs_core.dir/rotation.cpp.o" "gcc" "src/core/CMakeFiles/ccs_core.dir/rotation.cpp.o.d"
+  "/root/repo/src/core/schedule.cpp" "src/core/CMakeFiles/ccs_core.dir/schedule.cpp.o" "gcc" "src/core/CMakeFiles/ccs_core.dir/schedule.cpp.o.d"
+  "/root/repo/src/core/unfold_schedule.cpp" "src/core/CMakeFiles/ccs_core.dir/unfold_schedule.cpp.o" "gcc" "src/core/CMakeFiles/ccs_core.dir/unfold_schedule.cpp.o.d"
+  "/root/repo/src/core/unfolding.cpp" "src/core/CMakeFiles/ccs_core.dir/unfolding.cpp.o" "gcc" "src/core/CMakeFiles/ccs_core.dir/unfolding.cpp.o.d"
+  "/root/repo/src/core/validator.cpp" "src/core/CMakeFiles/ccs_core.dir/validator.cpp.o" "gcc" "src/core/CMakeFiles/ccs_core.dir/validator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ccs_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/ccs_arch.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/io/dot.cpp" "src/io/CMakeFiles/ccs_io.dir/dot.cpp.o" "gcc" "src/io/CMakeFiles/ccs_io.dir/dot.cpp.o.d"
+  "/root/repo/src/io/schedule_format.cpp" "src/io/CMakeFiles/ccs_io.dir/schedule_format.cpp.o" "gcc" "src/io/CMakeFiles/ccs_io.dir/schedule_format.cpp.o.d"
+  "/root/repo/src/io/table_printer.cpp" "src/io/CMakeFiles/ccs_io.dir/table_printer.cpp.o" "gcc" "src/io/CMakeFiles/ccs_io.dir/table_printer.cpp.o.d"
+  "/root/repo/src/io/text_format.cpp" "src/io/CMakeFiles/ccs_io.dir/text_format.cpp.o" "gcc" "src/io/CMakeFiles/ccs_io.dir/text_format.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ccs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/ccs_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ccs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

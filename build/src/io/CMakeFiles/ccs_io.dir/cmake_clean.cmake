@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccs_io.dir/dot.cpp.o"
+  "CMakeFiles/ccs_io.dir/dot.cpp.o.d"
+  "CMakeFiles/ccs_io.dir/schedule_format.cpp.o"
+  "CMakeFiles/ccs_io.dir/schedule_format.cpp.o.d"
+  "CMakeFiles/ccs_io.dir/table_printer.cpp.o"
+  "CMakeFiles/ccs_io.dir/table_printer.cpp.o.d"
+  "CMakeFiles/ccs_io.dir/text_format.cpp.o"
+  "CMakeFiles/ccs_io.dir/text_format.cpp.o.d"
+  "libccs_io.a"
+  "libccs_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccs_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccs_sdf.dir/sdf.cpp.o"
+  "CMakeFiles/ccs_sdf.dir/sdf.cpp.o.d"
+  "CMakeFiles/ccs_sdf.dir/sdf_format.cpp.o"
+  "CMakeFiles/ccs_sdf.dir/sdf_format.cpp.o.d"
+  "libccs_sdf.a"
+  "libccs_sdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccs_sdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

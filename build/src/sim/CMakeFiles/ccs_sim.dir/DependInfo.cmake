@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/executor.cpp" "src/sim/CMakeFiles/ccs_sim.dir/executor.cpp.o" "gcc" "src/sim/CMakeFiles/ccs_sim.dir/executor.cpp.o.d"
+  "/root/repo/src/sim/gantt.cpp" "src/sim/CMakeFiles/ccs_sim.dir/gantt.cpp.o" "gcc" "src/sim/CMakeFiles/ccs_sim.dir/gantt.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ccs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/ccs_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ccs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

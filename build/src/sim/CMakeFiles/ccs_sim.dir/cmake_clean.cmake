@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccs_sim.dir/executor.cpp.o"
+  "CMakeFiles/ccs_sim.dir/executor.cpp.o.d"
+  "CMakeFiles/ccs_sim.dir/gantt.cpp.o"
+  "CMakeFiles/ccs_sim.dir/gantt.cpp.o.d"
+  "libccs_sim.a"
+  "libccs_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccs_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

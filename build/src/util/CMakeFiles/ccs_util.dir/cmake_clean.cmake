@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccs_util.dir/contracts.cpp.o"
+  "CMakeFiles/ccs_util.dir/contracts.cpp.o.d"
+  "CMakeFiles/ccs_util.dir/text_table.cpp.o"
+  "CMakeFiles/ccs_util.dir/text_table.cpp.o.d"
+  "libccs_util.a"
+  "libccs_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccs_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/generator.cpp" "src/workloads/CMakeFiles/ccs_workloads.dir/generator.cpp.o" "gcc" "src/workloads/CMakeFiles/ccs_workloads.dir/generator.cpp.o.d"
+  "/root/repo/src/workloads/library.cpp" "src/workloads/CMakeFiles/ccs_workloads.dir/library.cpp.o" "gcc" "src/workloads/CMakeFiles/ccs_workloads.dir/library.cpp.o.d"
+  "/root/repo/src/workloads/transforms.cpp" "src/workloads/CMakeFiles/ccs_workloads.dir/transforms.cpp.o" "gcc" "src/workloads/CMakeFiles/ccs_workloads.dir/transforms.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ccs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ccs_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/ccs_arch.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

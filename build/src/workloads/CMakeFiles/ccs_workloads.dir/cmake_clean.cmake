@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccs_workloads.dir/generator.cpp.o"
+  "CMakeFiles/ccs_workloads.dir/generator.cpp.o.d"
+  "CMakeFiles/ccs_workloads.dir/library.cpp.o"
+  "CMakeFiles/ccs_workloads.dir/library.cpp.o.d"
+  "CMakeFiles/ccs_workloads.dir/transforms.cpp.o"
+  "CMakeFiles/ccs_workloads.dir/transforms.cpp.o.d"
+  "libccs_workloads.a"
+  "libccs_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccs_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,67 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_baselines.cpp" "tests/CMakeFiles/ccs_tests.dir/test_baselines.cpp.o" "gcc" "tests/CMakeFiles/ccs_tests.dir/test_baselines.cpp.o.d"
+  "/root/repo/tests/test_buffers.cpp" "tests/CMakeFiles/ccs_tests.dir/test_buffers.cpp.o" "gcc" "tests/CMakeFiles/ccs_tests.dir/test_buffers.cpp.o.d"
+  "/root/repo/tests/test_cli.cpp" "tests/CMakeFiles/ccs_tests.dir/test_cli.cpp.o" "gcc" "tests/CMakeFiles/ccs_tests.dir/test_cli.cpp.o.d"
+  "/root/repo/tests/test_comm_model.cpp" "tests/CMakeFiles/ccs_tests.dir/test_comm_model.cpp.o" "gcc" "tests/CMakeFiles/ccs_tests.dir/test_comm_model.cpp.o.d"
+  "/root/repo/tests/test_correlator.cpp" "tests/CMakeFiles/ccs_tests.dir/test_correlator.cpp.o" "gcc" "tests/CMakeFiles/ccs_tests.dir/test_correlator.cpp.o.d"
+  "/root/repo/tests/test_critical_cycle.cpp" "tests/CMakeFiles/ccs_tests.dir/test_critical_cycle.cpp.o" "gcc" "tests/CMakeFiles/ccs_tests.dir/test_critical_cycle.cpp.o.d"
+  "/root/repo/tests/test_csdfg.cpp" "tests/CMakeFiles/ccs_tests.dir/test_csdfg.cpp.o" "gcc" "tests/CMakeFiles/ccs_tests.dir/test_csdfg.cpp.o.d"
+  "/root/repo/tests/test_cyclo_compaction.cpp" "tests/CMakeFiles/ccs_tests.dir/test_cyclo_compaction.cpp.o" "gcc" "tests/CMakeFiles/ccs_tests.dir/test_cyclo_compaction.cpp.o.d"
+  "/root/repo/tests/test_executor.cpp" "tests/CMakeFiles/ccs_tests.dir/test_executor.cpp.o" "gcc" "tests/CMakeFiles/ccs_tests.dir/test_executor.cpp.o.d"
+  "/root/repo/tests/test_exhaustive.cpp" "tests/CMakeFiles/ccs_tests.dir/test_exhaustive.cpp.o" "gcc" "tests/CMakeFiles/ccs_tests.dir/test_exhaustive.cpp.o.d"
+  "/root/repo/tests/test_gantt.cpp" "tests/CMakeFiles/ccs_tests.dir/test_gantt.cpp.o" "gcc" "tests/CMakeFiles/ccs_tests.dir/test_gantt.cpp.o.d"
+  "/root/repo/tests/test_generator.cpp" "tests/CMakeFiles/ccs_tests.dir/test_generator.cpp.o" "gcc" "tests/CMakeFiles/ccs_tests.dir/test_generator.cpp.o.d"
+  "/root/repo/tests/test_graph_algo.cpp" "tests/CMakeFiles/ccs_tests.dir/test_graph_algo.cpp.o" "gcc" "tests/CMakeFiles/ccs_tests.dir/test_graph_algo.cpp.o.d"
+  "/root/repo/tests/test_heterogeneous.cpp" "tests/CMakeFiles/ccs_tests.dir/test_heterogeneous.cpp.o" "gcc" "tests/CMakeFiles/ccs_tests.dir/test_heterogeneous.cpp.o.d"
+  "/root/repo/tests/test_heterogeneous_sweep.cpp" "tests/CMakeFiles/ccs_tests.dir/test_heterogeneous_sweep.cpp.o" "gcc" "tests/CMakeFiles/ccs_tests.dir/test_heterogeneous_sweep.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/ccs_tests.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/ccs_tests.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/test_io.cpp" "tests/CMakeFiles/ccs_tests.dir/test_io.cpp.o" "gcc" "tests/CMakeFiles/ccs_tests.dir/test_io.cpp.o.d"
+  "/root/repo/tests/test_iteration_bound.cpp" "tests/CMakeFiles/ccs_tests.dir/test_iteration_bound.cpp.o" "gcc" "tests/CMakeFiles/ccs_tests.dir/test_iteration_bound.cpp.o.d"
+  "/root/repo/tests/test_list_scheduler.cpp" "tests/CMakeFiles/ccs_tests.dir/test_list_scheduler.cpp.o" "gcc" "tests/CMakeFiles/ccs_tests.dir/test_list_scheduler.cpp.o.d"
+  "/root/repo/tests/test_modulo_scheduler.cpp" "tests/CMakeFiles/ccs_tests.dir/test_modulo_scheduler.cpp.o" "gcc" "tests/CMakeFiles/ccs_tests.dir/test_modulo_scheduler.cpp.o.d"
+  "/root/repo/tests/test_priority.cpp" "tests/CMakeFiles/ccs_tests.dir/test_priority.cpp.o" "gcc" "tests/CMakeFiles/ccs_tests.dir/test_priority.cpp.o.d"
+  "/root/repo/tests/test_prologue.cpp" "tests/CMakeFiles/ccs_tests.dir/test_prologue.cpp.o" "gcc" "tests/CMakeFiles/ccs_tests.dir/test_prologue.cpp.o.d"
+  "/root/repo/tests/test_property_sweep.cpp" "tests/CMakeFiles/ccs_tests.dir/test_property_sweep.cpp.o" "gcc" "tests/CMakeFiles/ccs_tests.dir/test_property_sweep.cpp.o.d"
+  "/root/repo/tests/test_referee_agreement.cpp" "tests/CMakeFiles/ccs_tests.dir/test_referee_agreement.cpp.o" "gcc" "tests/CMakeFiles/ccs_tests.dir/test_referee_agreement.cpp.o.d"
+  "/root/repo/tests/test_remap.cpp" "tests/CMakeFiles/ccs_tests.dir/test_remap.cpp.o" "gcc" "tests/CMakeFiles/ccs_tests.dir/test_remap.cpp.o.d"
+  "/root/repo/tests/test_resources.cpp" "tests/CMakeFiles/ccs_tests.dir/test_resources.cpp.o" "gcc" "tests/CMakeFiles/ccs_tests.dir/test_resources.cpp.o.d"
+  "/root/repo/tests/test_retiming.cpp" "tests/CMakeFiles/ccs_tests.dir/test_retiming.cpp.o" "gcc" "tests/CMakeFiles/ccs_tests.dir/test_retiming.cpp.o.d"
+  "/root/repo/tests/test_rotation.cpp" "tests/CMakeFiles/ccs_tests.dir/test_rotation.cpp.o" "gcc" "tests/CMakeFiles/ccs_tests.dir/test_rotation.cpp.o.d"
+  "/root/repo/tests/test_routing.cpp" "tests/CMakeFiles/ccs_tests.dir/test_routing.cpp.o" "gcc" "tests/CMakeFiles/ccs_tests.dir/test_routing.cpp.o.d"
+  "/root/repo/tests/test_schedule.cpp" "tests/CMakeFiles/ccs_tests.dir/test_schedule.cpp.o" "gcc" "tests/CMakeFiles/ccs_tests.dir/test_schedule.cpp.o.d"
+  "/root/repo/tests/test_schedule_format.cpp" "tests/CMakeFiles/ccs_tests.dir/test_schedule_format.cpp.o" "gcc" "tests/CMakeFiles/ccs_tests.dir/test_schedule_format.cpp.o.d"
+  "/root/repo/tests/test_sdf.cpp" "tests/CMakeFiles/ccs_tests.dir/test_sdf.cpp.o" "gcc" "tests/CMakeFiles/ccs_tests.dir/test_sdf.cpp.o.d"
+  "/root/repo/tests/test_sdf_format.cpp" "tests/CMakeFiles/ccs_tests.dir/test_sdf_format.cpp.o" "gcc" "tests/CMakeFiles/ccs_tests.dir/test_sdf_format.cpp.o.d"
+  "/root/repo/tests/test_text_format.cpp" "tests/CMakeFiles/ccs_tests.dir/test_text_format.cpp.o" "gcc" "tests/CMakeFiles/ccs_tests.dir/test_text_format.cpp.o.d"
+  "/root/repo/tests/test_topology.cpp" "tests/CMakeFiles/ccs_tests.dir/test_topology.cpp.o" "gcc" "tests/CMakeFiles/ccs_tests.dir/test_topology.cpp.o.d"
+  "/root/repo/tests/test_transforms.cpp" "tests/CMakeFiles/ccs_tests.dir/test_transforms.cpp.o" "gcc" "tests/CMakeFiles/ccs_tests.dir/test_transforms.cpp.o.d"
+  "/root/repo/tests/test_unfold_schedule.cpp" "tests/CMakeFiles/ccs_tests.dir/test_unfold_schedule.cpp.o" "gcc" "tests/CMakeFiles/ccs_tests.dir/test_unfold_schedule.cpp.o.d"
+  "/root/repo/tests/test_unfolding.cpp" "tests/CMakeFiles/ccs_tests.dir/test_unfolding.cpp.o" "gcc" "tests/CMakeFiles/ccs_tests.dir/test_unfolding.cpp.o.d"
+  "/root/repo/tests/test_util.cpp" "tests/CMakeFiles/ccs_tests.dir/test_util.cpp.o" "gcc" "tests/CMakeFiles/ccs_tests.dir/test_util.cpp.o.d"
+  "/root/repo/tests/test_validator.cpp" "tests/CMakeFiles/ccs_tests.dir/test_validator.cpp.o" "gcc" "tests/CMakeFiles/ccs_tests.dir/test_validator.cpp.o.d"
+  "/root/repo/tests/test_workloads.cpp" "tests/CMakeFiles/ccs_tests.dir/test_workloads.cpp.o" "gcc" "tests/CMakeFiles/ccs_tests.dir/test_workloads.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ccs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/ccs_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ccs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/ccs_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/ccs_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/cli/CMakeFiles/ccs_cli.dir/DependInfo.cmake"
+  "/root/repo/build/src/sdf/CMakeFiles/ccs_sdf.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ccs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccsched.dir/ccsched_main.cpp.o"
+  "CMakeFiles/ccsched.dir/ccsched_main.cpp.o.d"
+  "ccsched"
+  "ccsched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccsched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test([=[cli_info_sample]=] "/root/repo/build/tools/ccsched" "info" "/root/repo/examples/data/macroblock.csdfg")
+set_tests_properties([=[cli_info_sample]=] PROPERTIES  LABELS "cli" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;6;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test([=[cli_schedule_sample]=] "/root/repo/build/tools/ccsched" "schedule" "/root/repo/examples/data/paper_fig1b.csdfg" "--arch" "mesh 2 2" "--quiet")
+set_tests_properties([=[cli_schedule_sample]=] PROPERTIES  LABELS "cli" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test([=[cli_expand_sample]=] "/root/repo/build/tools/ccsched" "expand" "/root/repo/examples/data/resampler.sdf" "--info")
+set_tests_properties([=[cli_expand_sample]=] PROPERTIES  LABELS "cli" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;11;add_test;/root/repo/tools/CMakeLists.txt;0;")
