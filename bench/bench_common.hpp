@@ -6,6 +6,8 @@
 // no arguments and terminate in seconds.
 #pragma once
 
+#include <benchmark/benchmark.h>
+
 #include <iostream>
 #include <string>
 #include <vector>
@@ -14,6 +16,7 @@
 #include "arch/topology.hpp"
 #include "core/cyclo_compaction.hpp"
 #include "core/validator.hpp"
+#include "obs/obs.hpp"
 
 namespace ccs::bench {
 
@@ -29,13 +32,17 @@ inline std::vector<Topology> paper_architectures() {
 }
 
 /// Runs cyclo-compaction and asserts validity (a bench must never report a
-/// broken schedule); returns the result.
+/// broken schedule); returns the result.  When `metrics` is non-null the
+/// run's pipeline counters and stage timers accumulate into it.
 inline CycloCompactionResult run_checked(const Csdfg& g, const Topology& topo,
-                                         RemapPolicy policy) {
+                                         RemapPolicy policy,
+                                         MetricsRegistry* metrics = nullptr) {
   const StoreAndForwardModel comm(topo);
   CycloCompactionOptions opt;
   opt.policy = policy;
-  CycloCompactionResult res = cyclo_compact(g, topo, comm, opt);
+  CycloCompactionResult res =
+      cyclo_compact(g, topo, comm, opt, ObsContext{nullptr, metrics});
+  if (metrics != nullptr) metrics->add("validate.calls");
   const auto report = validate_schedule(res.retimed_graph, res.best, comm);
   if (!report.ok()) {
     std::cerr << "INVALID SCHEDULE in bench (" << g.name() << " on "
@@ -44,6 +51,23 @@ inline CycloCompactionResult run_checked(const Csdfg& g, const Topology& topo,
     std::abort();
   }
   return res;
+}
+
+/// Publishes a metrics registry as google-benchmark user counters so every
+/// `--benchmark_out=BENCH_*.json` run carries the pipeline's own accounting
+/// (AN evaluations, PSL rejections, stage times) next to the wall-clock
+/// numbers — the perf trajectory is self-describing.  Counter/timer totals
+/// span all iterations of the timing loop; divide by `state.iterations()`
+/// for per-run values.
+inline void export_metrics(::benchmark::State& state,
+                           const MetricsRegistry& metrics) {
+  for (const auto& [name, value] : metrics.counters())
+    state.counters[name] = ::benchmark::Counter(static_cast<double>(value));
+  for (const auto& [name, value] : metrics.gauges())
+    state.counters[name] = ::benchmark::Counter(value);
+  for (const auto& [name, stat] : metrics.timers())
+    state.counters[name + ".ms"] =
+        ::benchmark::Counter(static_cast<double>(stat.total_ns) / 1e6);
 }
 
 /// Section header in the harness output.

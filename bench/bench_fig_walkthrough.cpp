@@ -77,6 +77,11 @@ void BM_CycloCompactRelax(benchmark::State& state) {
   opt.policy = RemapPolicy::kWithRelaxation;
   for (auto _ : state)
     benchmark::DoNotOptimize(cyclo_compact(g, mesh, comm, opt));
+  // Untimed metered run: pipeline counters ride along in BENCH_*.json.
+  MetricsRegistry metrics;
+  benchmark::DoNotOptimize(
+      cyclo_compact(g, mesh, comm, opt, ObsContext{nullptr, &metrics}));
+  bench::export_metrics(state, metrics);
 }
 BENCHMARK(BM_CycloCompactRelax)->Unit(benchmark::kMicrosecond);
 

@@ -19,6 +19,7 @@
 #include "io/text_format.hpp"
 #include "sdf/sdf.hpp"
 #include "sdf/sdf_format.hpp"
+#include "obs/obs.hpp"
 #include "sim/executor.hpp"
 #include "sim/gantt.hpp"
 #include "util/error.hpp"
@@ -102,7 +103,7 @@ private:
   static bool needs_value(const std::string& key) {
     for (const char* k :
          {"arch", "passes", "speeds", "iterations", "warmup", "gantt",
-          "policy"})
+          "policy", "trace", "stats"})
       if (key == k) return true;
     return false;
   }
@@ -148,6 +149,53 @@ Topology require_arch(Args& args) {
   if (!spec) throw UsageError{"--arch \"<spec>\" is required"};
   return parse_topology(*spec);
 }
+
+/// Observability wiring shared by `schedule` and `simulate`: --trace FILE
+/// streams JSONL pipeline events, --stats FILE captures a metrics JSON
+/// document ('-' = stdout) plus a human-readable `stats` section.  With
+/// neither flag the context stays disabled and the pipeline runs untraced.
+class ObsSetup {
+public:
+  void init(Args& args) {
+    trace_path_ = args.value("trace");
+    stats_path_ = args.value("stats");
+    if (trace_path_) {
+      trace_file_.open(*trace_path_);
+      if (!trace_file_)
+        throw Error("cannot open '" + *trace_path_ + "' for writing");
+      sink_.emplace(trace_file_);
+      tracer_ = Tracer(&*sink_);
+      obs_.tracer = &tracer_;
+    }
+    if (stats_path_) obs_.metrics = &metrics_;
+  }
+
+  [[nodiscard]] const ObsContext& obs() const noexcept { return obs_; }
+  [[nodiscard]] MetricsRegistry& metrics() noexcept { return metrics_; }
+
+  /// Emits the stats artifacts (call once, before the persistable
+  /// emit-graph/emit-schedule sections so those stay a clean suffix).
+  void finish(std::ostream& out) {
+    if (!stats_path_) return;
+    if (*stats_path_ == "-") {
+      out << metrics_.to_json() << '\n';
+      return;
+    }
+    std::ofstream f(*stats_path_);
+    if (!f) throw Error("cannot open '" + *stats_path_ + "' for writing");
+    f << metrics_.to_json() << '\n';
+    out << "stats:\n" << metrics_.to_text();
+  }
+
+private:
+  std::optional<std::string> trace_path_;
+  std::optional<std::string> stats_path_;
+  std::ofstream trace_file_;
+  std::optional<StreamSink> sink_;
+  Tracer tracer_;
+  MetricsRegistry metrics_;
+  ObsContext obs_;
+};
 
 int cmd_info(Args& args, std::istream& in, std::ostream& out) {
   if (args.positional().size() != 1)
@@ -262,7 +310,10 @@ int cmd_schedule(Args& args, std::istream& in, std::ostream& out) {
   const bool emit_schedule = args.flag("emit-schedule");
   const bool emit_graph = args.flag("emit-graph");
   const bool quiet = args.flag("quiet");
+  ObsSetup obs_setup;
+  obs_setup.init(args);
   args.reject_unknown();
+  const ObsContext& obs = obs_setup.obs();
 
   Csdfg final_graph = g;
   ScheduleTable table(g, 1);
@@ -270,24 +321,32 @@ int cmd_schedule(Args& args, std::istream& in, std::ostream& out) {
   if (policy == "modulo") {
     if (!opt.startup.pe_speeds.empty())
       throw UsageError{"--policy modulo does not support --speeds"};
+    // The modulo baseline is not instrumented; --trace yields no events.
     ModuloScheduleResult mod = modulo_schedule(g, topo, comm);
     table = std::move(mod.table);
     final_graph = std::move(mod.retimed_graph);
     startup_length = mod.initiation_interval;
   } else if (policy == "startup") {
-    table = start_up_schedule(g, topo, comm, opt.startup);
+    table = start_up_schedule(g, topo, comm, opt.startup, obs);
     startup_length = table.length();
   } else {
-    const CycloCompactionResult res = cyclo_compact(g, topo, comm, opt);
+    const CycloCompactionResult res = cyclo_compact(g, topo, comm, opt, obs);
     table = res.best;
     final_graph = res.retimed_graph;
     startup_length = res.startup_length();
+    if (obs.metrics != nullptr) {
+      obs.metrics->set("schedule.startup_length", startup_length);
+      obs.metrics->set("schedule.best_length", res.best_length());
+      obs.metrics->set("schedule.best_pass", res.best_pass);
+    }
   }
 
+  obs.count("validate.calls");
   const auto report = validate_schedule(final_graph, table, comm);
   if (!quiet) out << render_schedule(final_graph, table);
   out << "startup " << startup_length << " -> " << table.length() << " on "
       << topo.name() << "  [" << (report.ok() ? "valid" : "INVALID") << "]\n";
+  obs_setup.finish(out);
   if (emit_graph) out << serialize_csdfg(final_graph);
   if (emit_schedule) out << serialize_schedule(final_graph, table);
   return report.ok() ? kOk : kFailure;
@@ -329,11 +388,14 @@ int cmd_simulate(Args& args, std::istream& in, std::ostream& out) {
   const bool self_timed = args.flag("self-timed");
   const int gantt_cycles = args.int_value("gantt", 0);
   opt.record_trace = gantt_cycles > 0;
+  ObsSetup obs_setup;
+  obs_setup.init(args);
   args.reject_unknown();
+  const ObsContext& obs = obs_setup.obs();
 
-  const ExecutionStats stats = self_timed
-                                   ? execute_self_timed(g, table, topo, opt)
-                                   : execute_static(g, table, topo, opt);
+  const ExecutionStats stats =
+      self_timed ? execute_self_timed(g, table, topo, opt, obs)
+                 : execute_static(g, table, topo, opt, obs);
   if (stats.deadlocked) {
     out << "deadlocked: the table's processor order cycles with its "
            "dependences\n";
@@ -346,6 +408,7 @@ int cmd_simulate(Args& args, std::istream& in, std::ostream& out) {
       << "messages:        " << stats.total_messages << '\n'
       << "traffic:         " << stats.total_traffic << '\n';
   if (!self_timed) out << "late arrivals:   " << stats.late_arrivals << '\n';
+  obs_setup.finish(out);
   if (gantt_cycles > 0)
     out << render_gantt(g, stats.trace, topo.size(), 1, gantt_cycles);
   return !self_timed && stats.late_arrivals > 0 ? kFailure : kOk;

@@ -14,9 +14,12 @@
 //       --speeds a,b,c,...                   heterogeneous speed factors
 //       --emit-schedule / --emit-graph       print the persistable artifacts
 //       --quiet                              summary line only
+//       --trace FILE                         JSONL pipeline events (docs/OBSERVABILITY.md)
+//       --stats FILE                         metrics JSON ('-' = stdout) + stats section
 //   ccsched validate <graph> <schedule> --arch "<spec>"
 //   ccsched simulate <graph> <schedule> --arch "<spec>" [options]
 //       --iterations N --warmup N --self-timed --contention --gantt CYCLES
+//       --trace FILE --stats FILE            as for schedule
 //
 // `<graph>` and `<schedule>` are file paths, or `-` for stdin (at most one
 // stdin argument per invocation).  Architecture specs use the

@@ -9,11 +9,13 @@ namespace ccs {
 
 CycloCompactionResult cyclo_compact(const Csdfg& g, const Topology& topo,
                                     const CommModel& comm,
-                                    const CycloCompactionOptions& options) {
+                                    const CycloCompactionOptions& options,
+                                    const ObsContext& obs) {
   g.require_legal();
+  const ScopedTimer timer(obs.metrics, "time.compaction");
 
   ScheduleTable startup =
-      start_up_schedule(g, topo, comm, options.startup);
+      start_up_schedule(g, topo, comm, options.startup, obs);
 
   const int passes = options.passes > 0
                          ? options.passes
@@ -30,6 +32,8 @@ CycloCompactionResult cyclo_compact(const Csdfg& g, const Topology& topo,
   for (int pass = 1; pass <= passes; ++pass) {
     const int previous_length = current.length();
     if (previous_length <= 0) break;
+    obs.count("compaction.passes");
+    obs.emit(PassStartEvent{pass, previous_length});
 
     // Work on copies so a failed pass can be discarded wholesale.
     Csdfg rotated_graph = current_graph;
@@ -37,15 +41,22 @@ CycloCompactionResult cyclo_compact(const Csdfg& g, const Topology& topo,
     Retiming pass_retiming = current_retiming;
     const std::vector<NodeId> rotated =
         rotate_first_row(rotated_graph, shifted, &pass_retiming);
+    if (obs.metrics != nullptr)
+      obs.metrics->add("rotation.nodes",
+                       static_cast<long long>(rotated.size()));
+    if (obs.tracing()) obs.emit(RotationEvent{pass, rotated});
 
     auto remapped =
         remap_rotated(rotated_graph, shifted, comm, rotated, previous_length,
-                      options.policy, options.selection);
+                      options.policy, options.selection, obs);
     if (!remapped) {
       // Without relaxation a pass that cannot keep the length is abandoned;
       // the configuration would repeat forever, so the loop ends (the paper:
       // "the remapping phase does not occur in this case").
       result.length_trace.push_back(previous_length);
+      obs.count("compaction.rollbacks");
+      obs.emit(RollbackEvent{pass, previous_length,
+                             "no-placement-within-previous-length"});
       break;
     }
 
@@ -54,12 +65,16 @@ CycloCompactionResult cyclo_compact(const Csdfg& g, const Topology& topo,
     current_retiming = pass_retiming;
     result.length_trace.push_back(current.length());
 
-    if (current.length() < result.best.length()) {
+    const bool improved = current.length() < result.best.length();
+    if (improved) {
       result.best = current;
       result.retimed_graph = current_graph;
       result.retiming = current_retiming;
       result.best_pass = pass;
+      obs.count("compaction.improved_passes");
     }
+    obs.emit(
+        PassEndEvent{pass, current.length(), improved, result.best.length()});
   }
 
   CCS_ENSURES(result.best.length() <= startup.length());

@@ -25,6 +25,7 @@
 #include "core/remap.hpp"
 #include "core/retiming.hpp"
 #include "core/schedule.hpp"
+#include "obs/obs.hpp"
 
 namespace ccs {
 
@@ -70,8 +71,14 @@ struct CycloCompactionResult {
 /// cyclo-compaction on machine `topo` under `comm`.  Deterministic; throws
 /// GraphError if `g` is illegal.  Every schedule returned (startup and best)
 /// satisfies validate_schedule.
+///
+/// `obs` (optional) streams the run: pass_start / rotation / remap_target /
+/// remap_decision / psl_pad / rollback / pass_end events plus the
+/// compaction.* counters and the time.compaction / time.startup /
+/// time.remap timers (docs/OBSERVABILITY.md).  The default context is
+/// disabled and costs nothing.
 [[nodiscard]] CycloCompactionResult cyclo_compact(
     const Csdfg& g, const Topology& topo, const CommModel& comm,
-    const CycloCompactionOptions& options = {});
+    const CycloCompactionOptions& options = {}, const ObsContext& obs = {});
 
 }  // namespace ccs

@@ -25,8 +25,10 @@ bool is_ready(const Csdfg& g, const ScheduleTable& table, NodeId v) {
 
 ScheduleTable start_up_schedule(const Csdfg& g, const Topology& topo,
                                 const CommModel& comm,
-                                const StartUpOptions& options) {
+                                const StartUpOptions& options,
+                                const ObsContext& obs) {
   g.require_legal();
+  const ScopedTimer timer(obs.metrics, "time.startup");
   CCS_EXPECTS(options.pe_speeds.empty() ||
               options.pe_speeds.size() == topo.size());
   ScheduleTable table =
@@ -49,10 +51,13 @@ ScheduleTable start_up_schedule(const Csdfg& g, const Topology& topo,
               static_cast<long long>(g.edge(eid).volume);
   budget += 1;
 
+  long long candidate_slots = 0;
+  int steps_scanned = 0;
   for (int cs = 1; !table.complete(); ++cs) {
     if (cs > budget)
       throw ScheduleError(
           "start-up scheduling failed to converge (internal error)");
+    steps_scanned = cs;
 
     // Ready list for this control step, ordered by descending priority with
     // node id as the deterministic tie-break.
@@ -77,6 +82,7 @@ ScheduleTable start_up_schedule(const Csdfg& g, const Topology& topo,
       int best_finish = 0;
       PeId best_pe = 0;
       for (PeId pj = 0; pj < topo.size(); ++pj) {
+        ++candidate_slots;
         const int span = options.pipelined_pes ? 1 : table.time_on(v, pj);
         long long cm = 0;
         for (EdgeId eid : g.in_edges(v)) {
@@ -116,6 +122,11 @@ ScheduleTable start_up_schedule(const Csdfg& g, const Topology& topo,
     CCS_ASSERT(needed >= 0);
     if (needed > table.length()) table.set_length(needed);
   }
+  if (obs.metrics != nullptr) {
+    obs.metrics->add("startup.control_steps", steps_scanned);
+    obs.metrics->add("startup.candidate_slots", candidate_slots);
+  }
+  obs.emit(StartupEvent{table.length(), steps_scanned});
   return table;
 }
 

@@ -20,6 +20,7 @@
 #include "core/csdfg.hpp"
 #include "core/priority.hpp"
 #include "core/schedule.hpp"
+#include "obs/obs.hpp"
 
 namespace ccs {
 
@@ -43,10 +44,13 @@ struct StartUpOptions {
 
 /// Runs the start-up scheduling algorithm of Section 3.1 on `g` for the
 /// machine described by `comm` (whose topology supplies the processor
-/// count).  Deterministic.  Throws GraphError if `g` is illegal.
+/// count).  Deterministic.  Throws GraphError if `g` is illegal.  `obs`
+/// (optional) records the time.startup timer, startup.* counters, and one
+/// startup_done event.
 [[nodiscard]] ScheduleTable start_up_schedule(const Csdfg& g,
                                               const Topology& topo,
                                               const CommModel& comm,
-                                              const StartUpOptions& options = {});
+                                              const StartUpOptions& options = {},
+                                              const ObsContext& obs = {});
 
 }  // namespace ccs

@@ -70,6 +70,42 @@ long long neighbor_comm(const Csdfg& g, const ScheduleTable& table,
   return total;
 }
 
+/// The PSL bound contributed by v's own delay-carrying edges if v sits at
+/// (pe, cb): the smallest cyclic length under which every loop-carried
+/// communication between v and its placed neighbors (and v's self-loops)
+/// fits — ceil((CE + M + 1 - CB) / k) per edge, Lemma 4.3 restricted to v.
+/// Trace-only (the remap_decision "psl" field); never on the untraced path.
+int node_psl_bound(const Csdfg& g, const ScheduleTable& table,
+                   const CommModel& comm, NodeId v, PeId pe, int cb) {
+  const int ce_v = cb + table.time_on(v, pe) - 1;
+  long long bound = 0;
+  const auto fold = [&bound](long long numerator, long long delay) {
+    if (numerator <= 0) return;
+    bound = std::max(bound, (numerator + delay - 1) / delay);
+  };
+  for (EdgeId eid : g.in_edges(v)) {
+    const Edge& e = g.edge(eid);
+    if (e.delay == 0) continue;
+    if (e.from == v) {
+      fold(ce_v + 1 - cb, e.delay);  // self-loop: M(pe, pe) = 0
+    } else if (table.is_placed(e.from)) {
+      fold(table.ce(e.from) + comm.cost(table.pe(e.from), pe, e.volume) + 1 -
+               cb,
+           e.delay);
+    }
+  }
+  for (EdgeId eid : g.out_edges(v)) {
+    const Edge& e = g.edge(eid);
+    if (e.delay == 0 || e.to == v) continue;
+    if (table.is_placed(e.to))
+      fold(ce_v + comm.cost(pe, table.pe(e.to), e.volume) + 1 -
+               table.cb(e.to),
+           e.delay);
+  }
+  return static_cast<int>(
+      std::min<long long>(bound, std::numeric_limits<int>::max()));
+}
+
 /// The worst communication cost any single edge of `g` can incur on a
 /// machine with `num_pes` processors under `comm` — used to bound the
 /// with-relaxation target search.
@@ -90,7 +126,7 @@ long long worst_edge_cost(const Csdfg& g, const CommModel& comm,
 RemapResult try_remap(const Csdfg& g, ScheduleTable& table,
                       const CommModel& comm,
                       const std::vector<NodeId>& rotated, int target_length,
-                      RemapSelection selection) {
+                      RemapSelection selection, const ObsContext& obs) {
   // Place long tasks first; ties broken by node id for determinism.
   std::vector<NodeId> order = rotated;
   std::stable_sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
@@ -99,15 +135,24 @@ RemapResult try_remap(const Csdfg& g, ScheduleTable& table,
     return a < b;
   });
 
+  // Hot-loop tallies are accumulated locally and flushed once per call so
+  // the per-slot cost with metrics enabled stays a register increment.
+  long long an_evaluations = 0;
+  long long slots_scanned = 0;
+
   for (NodeId v : order) {
     CCS_ASSERT(!table.is_placed(v));
     bool found = false;
     int best_cb = 0;
     long long best_comm = 0;
     PeId best_pe = 0;
+    int best_lo = 0;
+    int best_hi = 0;
 
     for (PeId pe = 0; pe < table.num_pes(); ++pe) {
+      ++slots_scanned;
       const int lo = anticipation(g, table, comm, v, pe, target_length);
+      ++an_evaluations;
       const int hi = selection == RemapSelection::kBidirectional
                          ? latest_start(g, table, comm, v, pe, target_length)
                          : target_length - table.time_on(v, pe) + 1;
@@ -120,10 +165,45 @@ RemapResult try_remap(const Csdfg& g, ScheduleTable& table,
         best_cb = cb;
         best_comm = cc;
         best_pe = pe;
+        best_lo = lo;
+        best_hi = hi;
       }
     }
-    if (!found) return {false, table.length()};
+    if (!found) {
+      if (obs.metrics != nullptr) {
+        obs.metrics->add("an.evaluations", an_evaluations);
+        obs.metrics->add("remap.slots_scanned", slots_scanned);
+        obs.count("remap.placement_failures");
+      }
+      if (obs.tracing()) {
+        RemapDecisionEvent ev;
+        ev.node = v;
+        ev.accepted = false;
+        ev.slots_scanned = static_cast<int>(table.num_pes());
+        ev.reason = "no-feasible-slot";
+        obs.emit(ev);
+      }
+      return {false, table.length()};
+    }
+    if (obs.tracing()) {
+      RemapDecisionEvent ev;
+      ev.node = v;
+      ev.accepted = true;
+      ev.pe = best_pe;
+      ev.cb = best_cb;
+      ev.an = best_lo;
+      ev.latest = best_hi;
+      ev.psl = node_psl_bound(g, table, comm, v, best_pe, best_cb);
+      ev.slots_scanned = static_cast<int>(table.num_pes());
+      ev.reason = "placed";
+      obs.emit(ev);
+    }
     table.place(v, best_pe, best_cb);
+    obs.count("remap.placements");
+  }
+  if (obs.metrics != nullptr) {
+    obs.metrics->add("an.evaluations", an_evaluations);
+    obs.metrics->add("remap.slots_scanned", slots_scanned);
   }
 
   // The remap may have vacated the leading rows; pull everything up (a
@@ -135,12 +215,16 @@ RemapResult try_remap(const Csdfg& g, ScheduleTable& table,
   // communication ("the algorithm will assign empty control steps to
   // compensate the communication requirements").
   const int needed = min_feasible_length(g, table, comm);
+  obs.count("psl.evaluations");
   if (needed < 0) {
     // An intra-iteration constraint is broken — only reachable with
     // kAnticipationOnly, whose successor dependences are unchecked.
+    obs.count("psl.rejections");
+    obs.emit(PslPadEvent{needed, table.length()});
     return {false, table.length()};
   }
   table.set_length(std::max(table.occupied_length(), needed));
+  obs.emit(PslPadEvent{needed, table.length()});
   return {true, table.length()};
 }
 
@@ -150,8 +234,10 @@ std::optional<ScheduleTable> remap_rotated(const Csdfg& g,
                                            const std::vector<NodeId>& rotated,
                                            int previous_length,
                                            RemapPolicy policy,
-                                           RemapSelection selection) {
+                                           RemapSelection selection,
+                                           const ObsContext& obs) {
   CCS_EXPECTS(previous_length >= 1);
+  const ScopedTimer timer(obs.metrics, "time.remap");
 
   const int first_target = std::max(1, previous_length - 1);
   int last_target = previous_length;
@@ -172,11 +258,17 @@ std::optional<ScheduleTable> remap_rotated(const Csdfg& g,
   for (int target = first_target; target <= last_target; ++target) {
     ScheduleTable attempt = table;
     if (attempt.length() > target) continue;
-    RemapResult r = try_remap(g, attempt, comm, rotated, target, selection);
+    obs.count("remap.target_attempts");
+    obs.emit(RemapTargetEvent{target, target > previous_length});
+    RemapResult r = try_remap(g, attempt, comm, rotated, target, selection,
+                              obs);
     if (!r.success) continue;
     if (policy == RemapPolicy::kWithoutRelaxation &&
-        r.length > previous_length)
+        r.length > previous_length) {
+      // The placement succeeded but the PSL padding overshot the budget.
+      obs.count("psl.rejections");
       continue;
+    }
     return attempt;
   }
   return std::nullopt;

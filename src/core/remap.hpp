@@ -26,6 +26,7 @@
 #include "arch/comm_model.hpp"
 #include "core/csdfg.hpp"
 #include "core/schedule.hpp"
+#include "obs/obs.hpp"
 
 namespace ccs {
 
@@ -74,12 +75,15 @@ struct RemapResult {
 /// left partially filled (callers work on a copy).  Placement order: larger
 /// execution time first, node id as tie-break.  Slot choice: smallest start
 /// step, then smallest total communication to placed neighbors, then lowest
-/// processor id.
+/// processor id.  `obs` (optional) receives one remap_decision event per
+/// task plus a psl_pad event, and the an.evaluations / remap.slots_scanned /
+/// psl.* counters.
 [[nodiscard]] RemapResult try_remap(const Csdfg& g, ScheduleTable& table,
                                     const CommModel& comm,
                                     const std::vector<NodeId>& rotated,
                                     int target_length,
-                                    RemapSelection selection);
+                                    RemapSelection selection,
+                                    const ObsContext& obs = {});
 
 /// One full remapping pass per Definition 4.2: tries target lengths
 /// `previous_length - 1`, then `previous_length`, then (with relaxation
@@ -92,6 +96,7 @@ struct RemapResult {
 [[nodiscard]] std::optional<ScheduleTable> remap_rotated(
     const Csdfg& g, const ScheduleTable& table, const CommModel& comm,
     const std::vector<NodeId>& rotated, int previous_length,
-    RemapPolicy policy, RemapSelection selection = RemapSelection::kBidirectional);
+    RemapPolicy policy, RemapSelection selection = RemapSelection::kBidirectional,
+    const ObsContext& obs = {});
 
 }  // namespace ccs

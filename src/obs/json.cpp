@@ -1,0 +1,90 @@
+#include "obs/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace ccs {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_number(double v) {
+  if (!std::isfinite(v)) return "0";  // JSON has no NaN/Inf
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.12g", v);
+  return buf;
+}
+
+void JsonWriter::sep(std::string_view key) {
+  if (!first_) out_ << ',';
+  first_ = false;
+  out_ << '"' << json_escape(key) << "\":";
+}
+
+JsonWriter& JsonWriter::field(std::string_view key, long long v) {
+  sep(key);
+  out_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::field(std::string_view key, unsigned long long v) {
+  sep(key);
+  out_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::field(std::string_view key, double v) {
+  sep(key);
+  out_ << json_number(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::field(std::string_view key, bool v) {
+  sep(key);
+  out_ << (v ? "true" : "false");
+  return *this;
+}
+
+JsonWriter& JsonWriter::field(std::string_view key, std::string_view v) {
+  sep(key);
+  out_ << '"' << json_escape(v) << '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::field(std::string_view key,
+                              const std::vector<std::size_t>& v) {
+  sep(key);
+  out_ << '[';
+  for (std::size_t i = 0; i < v.size(); ++i) out_ << (i ? "," : "") << v[i];
+  out_ << ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::raw_field(std::string_view key, std::string_view json) {
+  sep(key);
+  out_ << json;
+  return *this;
+}
+
+}  // namespace ccs

@@ -1,0 +1,67 @@
+// ccsched — minimal JSON emission for the observability layer.
+//
+// The tracer and the metrics registry both serialize to JSON (JSON Lines for
+// events, one document for a metrics snapshot).  The library has no external
+// dependencies, so this header provides the few pieces both need: string
+// escaping and a tiny append-only object writer.  Output is deterministic
+// (insertion order) and locale-independent.
+#pragma once
+
+#include <cstddef>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ccs {
+
+/// Escapes `s` for placement inside a JSON string literal (quotes excluded).
+[[nodiscard]] std::string json_escape(std::string_view s);
+
+/// Builds one flat JSON object field by field.
+///
+/// Usage:
+///   JsonWriter w;
+///   w.field("kind", "pass_start").field("pass", 3);
+///   std::string line = w.close();   // {"kind":"pass_start","pass":3}
+class JsonWriter {
+public:
+  JsonWriter() { out_ << '{'; }
+
+  JsonWriter& field(std::string_view key, long long v);
+  JsonWriter& field(std::string_view key, unsigned long long v);
+  JsonWriter& field(std::string_view key, int v) {
+    return field(key, static_cast<long long>(v));
+  }
+  JsonWriter& field(std::string_view key, std::size_t v) {
+    return field(key, static_cast<unsigned long long>(v));
+  }
+  JsonWriter& field(std::string_view key, double v);
+  JsonWriter& field(std::string_view key, bool v);
+  JsonWriter& field(std::string_view key, std::string_view v);
+  /// Guards against the const char* -> bool standard conversion outranking
+  /// the string_view overload.
+  JsonWriter& field(std::string_view key, const char* v) {
+    return field(key, std::string_view(v));
+  }
+  JsonWriter& field(std::string_view key, const std::vector<std::size_t>& v);
+  /// Inserts `json` verbatim as the value (caller guarantees validity).
+  JsonWriter& raw_field(std::string_view key, std::string_view json);
+
+  /// Finishes the object and returns it.  The writer must not be reused.
+  [[nodiscard]] std::string close() {
+    out_ << '}';
+    return out_.str();
+  }
+
+private:
+  void sep(std::string_view key);
+
+  std::ostringstream out_;
+  bool first_ = true;
+};
+
+/// Renders a double as a valid JSON number (no locale, no trailing garbage).
+[[nodiscard]] std::string json_number(double v);
+
+}  // namespace ccs

@@ -1,0 +1,124 @@
+#include "obs/metrics.hpp"
+
+#include <sstream>
+
+#include "obs/json.hpp"
+#include "util/text_table.hpp"
+
+namespace ccs {
+
+void MetricsRegistry::add(std::string_view name, long long delta) {
+  const auto it = counters_.find(name);
+  if (it != counters_.end()) {
+    it->second += delta;
+  } else {
+    counters_.emplace(std::string(name), delta);
+  }
+}
+
+void MetricsRegistry::set(std::string_view name, double value) {
+  const auto it = gauges_.find(name);
+  if (it != gauges_.end()) {
+    it->second = value;
+  } else {
+    gauges_.emplace(std::string(name), value);
+  }
+}
+
+void MetricsRegistry::record_duration(std::string_view name,
+                                      std::chrono::nanoseconds d) {
+  const auto it = timers_.find(name);
+  TimerStat& stat = it != timers_.end()
+                        ? it->second
+                        : timers_.emplace(std::string(name), TimerStat{})
+                              .first->second;
+  stat.count += 1;
+  stat.total_ns += d.count();
+}
+
+long long MetricsRegistry::counter(std::string_view name) const {
+  const auto it = counters_.find(name);
+  return it != counters_.end() ? it->second : 0;
+}
+
+double MetricsRegistry::gauge(std::string_view name) const {
+  const auto it = gauges_.find(name);
+  return it != gauges_.end() ? it->second : 0.0;
+}
+
+MetricsRegistry::TimerStat MetricsRegistry::timer(
+    std::string_view name) const {
+  const auto it = timers_.find(name);
+  return it != timers_.end() ? it->second : TimerStat{};
+}
+
+void MetricsRegistry::merge(const MetricsRegistry& other) {
+  for (const auto& [name, value] : other.counters_) add(name, value);
+  for (const auto& [name, value] : other.gauges_) set(name, value);
+  for (const auto& [name, stat] : other.timers_) {
+    TimerStat& mine = timers_[name];
+    mine.count += stat.count;
+    mine.total_ns += stat.total_ns;
+  }
+}
+
+void MetricsRegistry::clear() {
+  counters_.clear();
+  gauges_.clear();
+  timers_.clear();
+}
+
+std::string MetricsRegistry::to_json() const {
+  std::ostringstream counters, gauges, timers;
+  counters << '{';
+  bool first = true;
+  for (const auto& [name, value] : counters_) {
+    counters << (first ? "" : ",") << '"' << json_escape(name)
+             << "\":" << value;
+    first = false;
+  }
+  counters << '}';
+
+  gauges << '{';
+  first = true;
+  for (const auto& [name, value] : gauges_) {
+    gauges << (first ? "" : ",") << '"' << json_escape(name)
+           << "\":" << json_number(value);
+    first = false;
+  }
+  gauges << '}';
+
+  timers << '{';
+  first = true;
+  for (const auto& [name, stat] : timers_) {
+    timers << (first ? "" : ",") << '"' << json_escape(name)
+           << "\":{\"count\":" << stat.count << ",\"total_ms\":"
+           << json_number(static_cast<double>(stat.total_ns) / 1e6) << '}';
+    first = false;
+  }
+  timers << '}';
+
+  JsonWriter w;
+  w.raw_field("counters", counters.str())
+      .raw_field("gauges", gauges.str())
+      .raw_field("timers", timers.str());
+  return w.close();
+}
+
+std::string MetricsRegistry::to_text() const {
+  TextTable t;
+  t.set_header({"metric", "type", "value"});
+  for (const auto& [name, value] : counters_)
+    t.add_row({name, "counter", std::to_string(value)});
+  for (const auto& [name, value] : gauges_)
+    t.add_row({name, "gauge", json_number(value)});
+  for (const auto& [name, stat] : timers_) {
+    std::ostringstream cell;
+    cell << json_number(static_cast<double>(stat.total_ns) / 1e6) << " ms / "
+         << stat.count << " calls";
+    t.add_row({name, "timer", cell.str()});
+  }
+  return t.to_string();
+}
+
+}  // namespace ccs

@@ -1,0 +1,48 @@
+// ccsched — the observability context handed through the pipeline.
+//
+// Every instrumented entry point (cyclo_compact, remap_rotated,
+// start_up_schedule, execute_static/execute_self_timed) takes a trailing
+// `const ObsContext& obs = {}`: a pair of non-owning pointers to a Tracer
+// and a MetricsRegistry.  The default context is fully disabled — hot paths
+// pay one pointer test per instrumentation site and nothing else, so the
+// uninstrumented configurations measured in bench/ are unaffected.
+//
+// Ownership stays with the caller (CLI, bench harness, tests); the context
+// is trivially copyable and may be passed by value or reference.
+#pragma once
+
+#include <string_view>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace ccs {
+
+struct ObsContext {
+  Tracer* tracer = nullptr;          ///< Non-owning; nullptr = no tracing.
+  MetricsRegistry* metrics = nullptr;  ///< Non-owning; nullptr = no metrics.
+
+  /// True when events will actually be written — gate any event-only
+  /// computation (e.g. per-decision PSL bounds) on this.
+  [[nodiscard]] bool tracing() const noexcept {
+    return tracer != nullptr && tracer->enabled();
+  }
+
+  /// Counter increment; no-op without a registry.
+  void count(std::string_view name, long long delta = 1) const {
+    if (metrics != nullptr) metrics->add(name, delta);
+  }
+
+  /// RAII stage timer; no-op without a registry.
+  [[nodiscard]] ScopedTimer time(std::string_view name) const {
+    return {metrics, name};
+  }
+
+  /// Event emission; no-op without an enabled tracer.
+  template <class Event>
+  void emit(const Event& e) const {
+    if (tracer != nullptr) tracer->emit(e);
+  }
+};
+
+}  // namespace ccs

@@ -1,0 +1,108 @@
+#include "obs/trace.hpp"
+
+#include <ostream>
+
+#include "obs/json.hpp"
+
+namespace ccs {
+
+void StreamSink::write(std::string_view line) { os_ << line << '\n'; }
+
+namespace {
+
+/// Every event line starts with the sequence number and its kind so stream
+/// consumers can dispatch without a schema.
+JsonWriter header(std::uint64_t seq, std::string_view kind) {
+  JsonWriter w;
+  w.field("seq", static_cast<unsigned long long>(seq)).field("kind", kind);
+  return w;
+}
+
+}  // namespace
+
+void Tracer::emit(const PassStartEvent& e) {
+  if (!sink_) return;
+  sink_->write(header(seq_++, "pass_start")
+                   .field("pass", e.pass)
+                   .field("length", e.length)
+                   .close());
+}
+
+void Tracer::emit(const RotationEvent& e) {
+  if (!sink_) return;
+  sink_->write(header(seq_++, "rotation")
+                   .field("pass", e.pass)
+                   .field("rotated", e.rotated)
+                   .close());
+}
+
+void Tracer::emit(const RemapTargetEvent& e) {
+  if (!sink_) return;
+  sink_->write(header(seq_++, "remap_target")
+                   .field("target", e.target)
+                   .field("relaxed", e.relaxed)
+                   .close());
+}
+
+void Tracer::emit(const RemapDecisionEvent& e) {
+  if (!sink_) return;
+  JsonWriter w = header(seq_++, "remap_decision");
+  w.field("node", e.node).field("accepted", e.accepted);
+  if (e.accepted) w.field("pe", e.pe).field("cb", e.cb);
+  w.field("an", e.an)
+      .field("latest", e.latest)
+      .field("psl", e.psl)
+      .field("slots_scanned", e.slots_scanned)
+      .field("reason", e.reason);
+  sink_->write(w.close());
+}
+
+void Tracer::emit(const PslPadEvent& e) {
+  if (!sink_) return;
+  sink_->write(header(seq_++, "psl_pad")
+                   .field("needed", e.needed)
+                   .field("length", e.length)
+                   .close());
+}
+
+void Tracer::emit(const RollbackEvent& e) {
+  if (!sink_) return;
+  sink_->write(header(seq_++, "rollback")
+                   .field("pass", e.pass)
+                   .field("length", e.length)
+                   .field("reason", e.reason)
+                   .close());
+}
+
+void Tracer::emit(const PassEndEvent& e) {
+  if (!sink_) return;
+  sink_->write(header(seq_++, "pass_end")
+                   .field("pass", e.pass)
+                   .field("length", e.length)
+                   .field("improved", e.improved)
+                   .field("best_length", e.best_length)
+                   .close());
+}
+
+void Tracer::emit(const StartupEvent& e) {
+  if (!sink_) return;
+  sink_->write(header(seq_++, "startup_done")
+                   .field("length", e.length)
+                   .field("control_steps", e.control_steps)
+                   .close());
+}
+
+void Tracer::emit(const SimRunEvent& e) {
+  if (!sink_) return;
+  sink_->write(header(seq_++, "sim_run")
+                   .field("mode", e.mode)
+                   .field("iterations", e.iterations)
+                   .field("makespan", e.makespan)
+                   .field("steady_ii", e.steady_ii)
+                   .field("messages", e.messages)
+                   .field("late_arrivals", e.late_arrivals)
+                   .field("deadlocked", e.deadlocked)
+                   .close());
+}
+
+}  // namespace ccs

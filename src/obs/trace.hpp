@@ -1,0 +1,170 @@
+// ccsched — structured event tracing for the scheduling pipeline.
+//
+// The cyclo-compaction loop (rotate -> remap -> PSL check) makes thousands
+// of small decisions per run; this tracer turns them into a stream of typed
+// events serialized as JSON Lines (one object per line).  Consumers replay
+// the stream to answer "why did pass 7 stall?" or "which AN bound pushed
+// task F off processor 2?" without re-running the scheduler under a
+// debugger.
+//
+// Design rules:
+//  * Zero overhead when disabled.  A default-constructed Tracer has no sink
+//    (the null sink); every emit is a single-branch no-op, and the
+//    instrumented call sites additionally gate any event-only computation on
+//    Tracer::enabled() / ObsContext::tracing().
+//  * Events are plain structs with value semantics — tests construct and
+//    inspect them directly; the JSON encoding is an output detail.
+//  * Node/processor identifiers are raw indices (std::size_t), matching
+//    NodeId/PeId, so the layer has no dependency on src/core or src/arch.
+//  * Events carry a monotonically increasing sequence number ("seq").
+//    Low-level events (remap decisions, PSL checks) carry no pass field;
+//    pass_start/pass_end events bracket them in the stream.
+//
+// The event schema is documented in docs/OBSERVABILITY.md.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ccs {
+
+/// Destination of serialized trace lines.  Implementations receive one
+/// complete JSON object per call, without a trailing newline.
+class TraceSink {
+public:
+  virtual ~TraceSink() = default;
+  virtual void write(std::string_view line) = 0;
+};
+
+/// Appends each line (plus '\n') to a std::ostream — the JSONL file sink.
+class StreamSink final : public TraceSink {
+public:
+  /// Non-owning: `os` must outlive the sink.
+  explicit StreamSink(std::ostream& os) : os_(os) {}
+  void write(std::string_view line) override;
+
+private:
+  std::ostream& os_;
+};
+
+/// Collects lines in memory; the test-friendly sink.
+class VectorSink final : public TraceSink {
+public:
+  void write(std::string_view line) override { lines_.emplace_back(line); }
+  [[nodiscard]] const std::vector<std::string>& lines() const noexcept {
+    return lines_;
+  }
+
+private:
+  std::vector<std::string> lines_;
+};
+
+// --- Typed events -----------------------------------------------------------
+
+/// A rotate-remap pass begins; `length` is the table length entering it.
+struct PassStartEvent {
+  int pass = 0;  ///< 1-based pass number.
+  int length = 0;
+};
+
+/// The rotation deallocated the first row.
+struct RotationEvent {
+  int pass = 0;
+  std::vector<std::size_t> rotated;  ///< Node ids freed by the rotation.
+};
+
+/// The remapper starts an attempt at one target length.
+struct RemapTargetEvent {
+  int target = 0;
+  bool relaxed = false;  ///< Target exceeds the pre-pass length.
+};
+
+/// One per-node placement decision inside a remap attempt.
+struct RemapDecisionEvent {
+  std::size_t node = 0;
+  bool accepted = false;
+  std::size_t pe = 0;     ///< Chosen processor (accepted only).
+  int cb = 0;             ///< Chosen start step (accepted only).
+  int an = 0;             ///< Anticipation bound AN(v, pe) at the slot.
+  int latest = 0;         ///< Successor-side latest start at the slot.
+  int psl = 0;            ///< PSL bound implied by v's loop-carried edges.
+  int slots_scanned = 0;  ///< Candidate processors examined.
+  std::string reason;     ///< "placed" or "no-feasible-slot".
+};
+
+/// The PSL check after a complete placement.  `needed` < 0 flags an
+/// intra-iteration violation (no length works); otherwise the table is
+/// padded to max(occupied, needed) = `length`.
+struct PslPadEvent {
+  int needed = 0;
+  int length = 0;
+};
+
+/// A without-relaxation pass found no placement within the previous length
+/// and is abandoned (the compaction loop ends).
+struct RollbackEvent {
+  int pass = 0;
+  int length = 0;  ///< The length the schedule keeps.
+  std::string reason;
+};
+
+/// A rotate-remap pass committed.
+struct PassEndEvent {
+  int pass = 0;
+  int length = 0;        ///< Length after the pass.
+  bool improved = false; ///< This pass set a new best.
+  int best_length = 0;   ///< Best length so far (Q in the algorithm).
+};
+
+/// The start-up list scheduler finished.
+struct StartupEvent {
+  int length = 0;
+  int control_steps = 0;  ///< Control steps scanned until completion.
+};
+
+/// One simulator run completed (static or self-timed mode).
+struct SimRunEvent {
+  std::string mode;  ///< "static" or "self-timed".
+  long long iterations = 0;
+  long long makespan = 0;
+  double steady_ii = 0.0;
+  long long messages = 0;
+  long long late_arrivals = 0;
+  bool deadlocked = false;
+};
+
+// --- Tracer -----------------------------------------------------------------
+
+/// Serializes typed events to a sink as JSON Lines.  Default-constructed
+/// tracers are disabled (the null sink): emit() returns immediately and
+/// nothing is counted.
+class Tracer {
+public:
+  Tracer() = default;
+  /// Non-owning: `sink` must outlive the tracer.
+  explicit Tracer(TraceSink* sink) : sink_(sink) {}
+
+  [[nodiscard]] bool enabled() const noexcept { return sink_ != nullptr; }
+
+  /// Events written so far (0 for a disabled tracer).
+  [[nodiscard]] std::uint64_t events_emitted() const noexcept { return seq_; }
+
+  void emit(const PassStartEvent& e);
+  void emit(const RotationEvent& e);
+  void emit(const RemapTargetEvent& e);
+  void emit(const RemapDecisionEvent& e);
+  void emit(const PslPadEvent& e);
+  void emit(const RollbackEvent& e);
+  void emit(const PassEndEvent& e);
+  void emit(const StartupEvent& e);
+  void emit(const SimRunEvent& e);
+
+private:
+  TraceSink* sink_ = nullptr;
+  std::uint64_t seq_ = 0;
+};
+
+}  // namespace ccs

@@ -86,10 +86,11 @@ enum class Mode { kStatic, kSelfTimed };
 
 ExecutionStats run(const Csdfg& g, const ScheduleTable& table,
                    const Topology& topo, const ExecutorOptions& options,
-                   Mode mode) {
+                   Mode mode, const ObsContext& obs) {
   CCS_EXPECTS(table.complete());
   CCS_EXPECTS(options.iterations >= 1);
   CCS_EXPECTS(options.warmup >= 0 && options.warmup < options.iterations);
+  const ScopedTimer timer(obs.metrics, "time.simulate");
 
   const int K = options.iterations;
   const std::size_t n = g.node_count();
@@ -106,6 +107,12 @@ ExecutionStats run(const Csdfg& g, const ScheduleTable& table,
     auto maybe = self_timed_order(g, table);
     if (!maybe) {
       stats.deadlocked = true;
+      obs.count("sim.deadlocks");
+      SimRunEvent ev;
+      ev.mode = "self-timed";
+      ev.iterations = K;
+      ev.deadlocked = true;
+      obs.emit(ev);
       return stats;
     }
     order = std::move(*maybe);
@@ -191,6 +198,24 @@ ExecutionStats run(const Csdfg& g, const ScheduleTable& table,
     stats.steady_initiation_interval =
         static_cast<double>(stats.makespan) / static_cast<double>(K);
   }
+
+  if (obs.metrics != nullptr) {
+    obs.metrics->add("sim.instances",
+                     static_cast<long long>(K) * static_cast<long long>(n));
+    obs.metrics->add("sim.messages", stats.total_messages);
+    obs.metrics->add("sim.late_arrivals", stats.late_arrivals);
+    obs.metrics->set("sim.steady_ii", stats.steady_initiation_interval);
+  }
+  if (obs.tracing()) {
+    SimRunEvent ev;
+    ev.mode = mode == Mode::kStatic ? "static" : "self-timed";
+    ev.iterations = K;
+    ev.makespan = stats.makespan;
+    ev.steady_ii = stats.steady_initiation_interval;
+    ev.messages = stats.total_messages;
+    ev.late_arrivals = stats.late_arrivals;
+    obs.emit(ev);
+  }
   return stats;
 }
 
@@ -198,14 +223,16 @@ ExecutionStats run(const Csdfg& g, const ScheduleTable& table,
 
 ExecutionStats execute_static(const Csdfg& g, const ScheduleTable& table,
                               const Topology& topo,
-                              const ExecutorOptions& options) {
-  return run(g, table, topo, options, Mode::kStatic);
+                              const ExecutorOptions& options,
+                              const ObsContext& obs) {
+  return run(g, table, topo, options, Mode::kStatic, obs);
 }
 
 ExecutionStats execute_self_timed(const Csdfg& g, const ScheduleTable& table,
                                   const Topology& topo,
-                                  const ExecutorOptions& options) {
-  return run(g, table, topo, options, Mode::kSelfTimed);
+                                  const ExecutorOptions& options,
+                                  const ObsContext& obs) {
+  return run(g, table, topo, options, Mode::kSelfTimed, obs);
 }
 
 }  // namespace ccs

@@ -33,6 +33,7 @@
 #include "arch/topology.hpp"
 #include "core/csdfg.hpp"
 #include "core/schedule.hpp"
+#include "obs/obs.hpp"
 
 namespace ccs {
 
@@ -94,16 +95,19 @@ struct ExecutionStats {
 /// late_arrivals.  The table must be complete.  Contention is not modeled in
 /// static mode (the table was constructed under the no-congestion
 /// assumption; late arrivals under contention are a self-timed question).
+/// `obs` (optional) records the time.simulate timer, sim.* counters, and
+/// one sim_run event.
 [[nodiscard]] ExecutionStats execute_static(const Csdfg& g,
                                             const ScheduleTable& table,
                                             const Topology& topo,
-                                            const ExecutorOptions& options = {});
+                                            const ExecutorOptions& options = {},
+                                            const ObsContext& obs = {});
 
 /// Runs the self-timed mode: processor assignment and per-processor task
 /// order are taken from the table, start times are earliest-feasible.  The
-/// table must be complete.
+/// table must be complete.  `obs` as in execute_static.
 [[nodiscard]] ExecutionStats execute_self_timed(
     const Csdfg& g, const ScheduleTable& table, const Topology& topo,
-    const ExecutorOptions& options = {});
+    const ExecutorOptions& options = {}, const ObsContext& obs = {});
 
 }  // namespace ccs

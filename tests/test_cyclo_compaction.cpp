@@ -107,6 +107,68 @@ TEST_F(CycloTest, TraceRecordsEveryPass) {
   EXPECT_EQ(res.length_trace.size(), 10u);
 }
 
+TEST_F(CycloTest, StalledStrictPassRepeatsPreviousValueAndEndsTrace) {
+  // The documented length_trace contract: a pass that stalls (a
+  // without-relaxation rollback) repeats the previous value and ends the
+  // trace.  Sweep graph x topology; every config that ends early must obey
+  // the contract, and at least one must actually stall so the test has
+  // teeth (empirically all of these do).
+  int stalls_seen = 0;
+  const Topology topos[] = {make_linear_array(2), make_mesh(2, 2),
+                            make_complete(4)};
+  for (const Csdfg& g : {paper_example6(), paper_example19(),
+                         lattice_filter(), diffeq_solver()}) {
+    for (const Topology& topo : topos) {
+      const StoreAndForwardModel comm(topo);
+      CycloCompactionOptions opt;
+      opt.policy = RemapPolicy::kWithoutRelaxation;
+      opt.passes = 3 * static_cast<int>(g.node_count());
+      const auto res = cyclo_compact(g, topo, comm, opt);
+      const auto& trace = res.length_trace;
+      ASSERT_FALSE(trace.empty()) << g.name() << " on " << topo.name();
+      if (static_cast<int>(trace.size()) == opt.passes) continue;  // no stall
+      ++stalls_seen;
+      // The stalled pass contributed one final repeated entry: equal to the
+      // entry before it, or to the start-up length when pass 1 stalled.
+      const int previous = trace.size() >= 2 ? trace[trace.size() - 2]
+                                             : res.startup_length();
+      EXPECT_EQ(trace.back(), previous) << g.name() << " on " << topo.name();
+    }
+  }
+  EXPECT_GT(stalls_seen, 0);
+}
+
+TEST_F(CycloTest, BestPassIndexesTheMinimumOfTheTrace) {
+  // best_pass is the 1-based pass at which `best` was first reached, so
+  // length_trace[best_pass - 1] must equal best_length() and be the first
+  // occurrence of the trace's minimum; best_pass == 0 means no pass ever
+  // improved on the start-up schedule.
+  for (auto policy :
+       {RemapPolicy::kWithoutRelaxation, RemapPolicy::kWithRelaxation}) {
+    for (const Csdfg& g :
+         {paper_example6(), paper_example19(), diffeq_solver()}) {
+      CycloCompactionOptions opt;
+      opt.policy = policy;
+      const auto res = cyclo_compact(g, mesh_, comm_, opt);
+      const auto& trace = res.length_trace;
+      if (res.best_pass == 0) {
+        EXPECT_EQ(res.best_length(), res.startup_length()) << g.name();
+        for (const int len : trace) EXPECT_GE(len, res.startup_length());
+        continue;
+      }
+      ASSERT_LE(static_cast<std::size_t>(res.best_pass), trace.size())
+          << g.name();
+      EXPECT_EQ(trace[static_cast<std::size_t>(res.best_pass) - 1],
+                res.best_length())
+          << g.name();
+      const int minimum = *std::min_element(trace.begin(), trace.end());
+      EXPECT_EQ(res.best_length(), minimum) << g.name();
+      for (int i = 0; i < res.best_pass - 1; ++i)
+        EXPECT_GT(trace[static_cast<std::size_t>(i)], minimum) << g.name();
+    }
+  }
+}
+
 TEST_F(CycloTest, SinglePeCompactionCannotBeatSerialExecution) {
   const Topology solo = make_linear_array(1);
   const StoreAndForwardModel m(solo);

@@ -1,0 +1,432 @@
+// Tests of the observability subsystem (src/obs): the JSONL tracer, the
+// metrics registry, the zero-overhead null ObsContext, the instrumented
+// pipeline, and the CLI --trace/--stats round trip.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "arch/comm_model.hpp"
+#include "arch/topology.hpp"
+#include "cli/cli.hpp"
+#include "core/cyclo_compaction.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
+#include "obs/trace.hpp"
+#include "workloads/library.hpp"
+
+namespace ccs {
+namespace {
+
+// ---------------------------------------------------------------- helpers
+
+/// Minimal structural JSON check: braces/brackets balance outside strings,
+/// strings terminate, and the line is a single object.  Good enough to catch
+/// broken escaping or a missing close() without a full parser.
+bool looks_like_json_object(const std::string& line) {
+  if (line.empty() || line.front() != '{') return false;
+  int depth = 0;
+  bool in_string = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_string) {
+      if (c == '\\')
+        ++i;  // skip the escaped character
+      else if (c == '"')
+        in_string = false;
+      continue;
+    }
+    if (c == '"') in_string = true;
+    else if (c == '{' || c == '[') ++depth;
+    else if (c == '}' || c == ']') {
+      --depth;
+      if (depth < 0) return false;
+      if (depth == 0) return i == line.size() - 1;
+    }
+  }
+  return false;
+}
+
+/// Extracts the string value of `"key":"..."` (no escapes expected).
+std::string string_field(const std::string& line, const std::string& key) {
+  const std::string needle = "\"" + key + "\":\"";
+  const auto pos = line.find(needle);
+  if (pos == std::string::npos) return {};
+  const auto start = pos + needle.size();
+  const auto end = line.find('"', start);
+  return line.substr(start, end - start);
+}
+
+/// Extracts the numeric value of `"key":N` as a long long.
+long long number_field(const std::string& line, const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const auto pos = line.find(needle);
+  EXPECT_NE(pos, std::string::npos) << key << " in " << line;
+  if (pos == std::string::npos) return -1;
+  return std::stoll(line.substr(pos + needle.size()));
+}
+
+// ------------------------------------------------------------ JsonWriter
+
+TEST(JsonWriter, EscapesAndCloses) {
+  JsonWriter w;
+  w.field("s", std::string_view("a\"b\\c\n"))
+      .field("n", 42)
+      .field("b", true)
+      .field("d", 1.5);
+  const std::string line = w.close();
+  EXPECT_EQ(line, "{\"s\":\"a\\\"b\\\\c\\n\",\"n\":42,\"b\":true,\"d\":1.5}");
+  EXPECT_TRUE(looks_like_json_object(line));
+}
+
+TEST(JsonWriter, NonFiniteNumbersDegradeToZero) {
+  EXPECT_EQ(json_number(0.0 / 0.0), "0");
+  EXPECT_EQ(json_number(1.0 / 0.0), "0");
+}
+
+// ---------------------------------------------------------------- Tracer
+
+TEST(Tracer, NullSinkIsDisabledAndEmitsNothing) {
+  Tracer t;  // no sink
+  EXPECT_FALSE(t.enabled());
+  t.emit(PassStartEvent{1, 7});
+  t.emit(RemapDecisionEvent{});
+  EXPECT_EQ(t.events_emitted(), 0u);
+}
+
+TEST(Tracer, SequenceNumbersAreMonotonicFromZero) {
+  VectorSink sink;
+  Tracer t(&sink);
+  ASSERT_TRUE(t.enabled());
+  t.emit(PassStartEvent{1, 7});
+  t.emit(PassEndEvent{1, 6, true, 6});
+  t.emit(PassStartEvent{2, 6});
+  ASSERT_EQ(sink.lines().size(), 3u);
+  for (std::size_t i = 0; i < sink.lines().size(); ++i) {
+    EXPECT_TRUE(looks_like_json_object(sink.lines()[i])) << sink.lines()[i];
+    EXPECT_EQ(number_field(sink.lines()[i], "seq"),
+              static_cast<long long>(i));
+  }
+  EXPECT_EQ(t.events_emitted(), 3u);
+}
+
+TEST(Tracer, EventKindsRoundTrip) {
+  VectorSink sink;
+  Tracer t(&sink);
+  t.emit(StartupEvent{7, 7});
+  t.emit(PassStartEvent{1, 7});
+  t.emit(RotationEvent{1, {0, 2, 5}});
+  t.emit(RemapTargetEvent{6, false});
+  RemapDecisionEvent d;
+  d.node = 2;
+  d.accepted = true;
+  d.pe = 1;
+  d.cb = 3;
+  d.an = 2;
+  d.latest = 4;
+  d.psl = 6;
+  d.slots_scanned = 5;
+  d.reason = "placed";
+  t.emit(d);
+  t.emit(PslPadEvent{2, 8});
+  t.emit(RollbackEvent{1, 7, "no-placement-within-previous-length"});
+  t.emit(PassEndEvent{1, 6, true, 6});
+  SimRunEvent s;
+  s.mode = "static";
+  s.iterations = 10;
+  s.makespan = 50;
+  s.steady_ii = 5.0;
+  s.messages = 12;
+  s.late_arrivals = 0;
+  s.deadlocked = false;
+  t.emit(s);
+
+  const std::vector<std::string> kinds = {
+      "startup_done", "pass_start", "rotation",  "remap_target", "remap_decision",
+      "psl_pad",      "rollback",   "pass_end",  "sim_run"};
+  ASSERT_EQ(sink.lines().size(), kinds.size());
+  for (std::size_t i = 0; i < kinds.size(); ++i) {
+    EXPECT_TRUE(looks_like_json_object(sink.lines()[i])) << sink.lines()[i];
+    EXPECT_EQ(string_field(sink.lines()[i], "kind"), kinds[i]);
+  }
+  const std::string& decision = sink.lines()[4];
+  EXPECT_EQ(number_field(decision, "an"), 2);
+  EXPECT_EQ(number_field(decision, "psl"), 6);
+  EXPECT_EQ(number_field(decision, "pe"), 1);
+  const std::string& rot = sink.lines()[2];
+  EXPECT_NE(rot.find("\"rotated\":[0,2,5]"), std::string::npos) << rot;
+}
+
+TEST(Tracer, StreamSinkWritesOneLinePerEvent) {
+  std::ostringstream out;
+  StreamSink sink(out);
+  Tracer t(&sink);
+  t.emit(PassStartEvent{1, 7});
+  t.emit(PassEndEvent{1, 7, false, 7});
+  std::istringstream in(out.str());
+  std::string line;
+  int lines = 0;
+  while (std::getline(in, line)) {
+    EXPECT_TRUE(looks_like_json_object(line)) << line;
+    ++lines;
+  }
+  EXPECT_EQ(lines, 2);
+}
+
+// ------------------------------------------------------- MetricsRegistry
+
+TEST(Metrics, CountersGaugesAndTimersAccumulate) {
+  MetricsRegistry m;
+  EXPECT_TRUE(m.empty());
+  m.add("an.evaluations");
+  m.add("an.evaluations", 4);
+  m.set("schedule.best_length", 5.0);
+  m.set("schedule.best_length", 4.0);  // gauges overwrite
+  m.record_duration("time.remap", std::chrono::nanoseconds(1'500'000));
+  m.record_duration("time.remap", std::chrono::nanoseconds(500'000));
+  EXPECT_FALSE(m.empty());
+  EXPECT_EQ(m.counter("an.evaluations"), 5);
+  EXPECT_EQ(m.gauge("schedule.best_length"), 4.0);
+  EXPECT_EQ(m.timer("time.remap").count, 2);
+  EXPECT_EQ(m.timer("time.remap").total_ns, 2'000'000);
+  EXPECT_EQ(m.counter("never.touched"), 0);
+}
+
+TEST(Metrics, MergeAddsCountersAndTimersOverwritesGauges) {
+  MetricsRegistry a, b;
+  a.add("c", 1);
+  b.add("c", 2);
+  a.set("g", 1.0);
+  b.set("g", 9.0);
+  b.record_duration("t", std::chrono::nanoseconds(100));
+  a.merge(b);
+  EXPECT_EQ(a.counter("c"), 3);
+  EXPECT_EQ(a.gauge("g"), 9.0);
+  EXPECT_EQ(a.timer("t").count, 1);
+}
+
+TEST(Metrics, JsonAndTextExports) {
+  MetricsRegistry m;
+  m.add("remap.placements", 7);
+  m.set("sim.steady_ii", 2.5);
+  m.record_duration("time.compaction", std::chrono::nanoseconds(3'000'000));
+  const std::string json = m.to_json();
+  EXPECT_TRUE(looks_like_json_object(json)) << json;
+  EXPECT_NE(json.find("\"remap.placements\":7"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"sim.steady_ii\":2.5"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"time.compaction\""), std::string::npos) << json;
+  const std::string text = m.to_text();
+  EXPECT_NE(text.find("remap.placements"), std::string::npos) << text;
+  EXPECT_NE(text.find("counter"), std::string::npos) << text;
+  EXPECT_NE(text.find("gauge"), std::string::npos) << text;
+  EXPECT_NE(text.find("timer"), std::string::npos) << text;
+}
+
+TEST(Metrics, ScopedTimerIsNoOpOnNull) {
+  { ScopedTimer t(nullptr, "x"); }  // must not crash
+  MetricsRegistry m;
+  { ScopedTimer t(&m, "x"); }
+  EXPECT_EQ(m.timer("x").count, 1);
+}
+
+// ------------------------------------------------------------ ObsContext
+
+TEST(ObsContext, DefaultContextIsInert) {
+  const ObsContext obs;
+  EXPECT_FALSE(obs.tracing());
+  obs.count("anything");            // no-op, must not crash
+  { auto t = obs.time("nothing"); }  // no-op timer
+  obs.emit(PassStartEvent{1, 1});
+}
+
+// ------------------------------------------------- instrumented pipeline
+
+TEST(ObsPipeline, CycloCompactEmitsEventsAndCounters) {
+  const Csdfg g = paper_example6();
+  const Topology mesh = make_mesh(2, 2);
+  const StoreAndForwardModel comm(mesh);
+  VectorSink sink;
+  Tracer tracer(&sink);
+  MetricsRegistry metrics;
+  const ObsContext obs{&tracer, &metrics};
+
+  CycloCompactionOptions opt;
+  opt.policy = RemapPolicy::kWithoutRelaxation;
+  const auto res = cyclo_compact(g, mesh, comm, opt, obs);
+  EXPECT_LE(res.best_length(), 5);
+
+  // Every pass is bracketed: each pass_start is closed by a pass_end or, for
+  // the final stalled strict pass, by a rollback.  At least one
+  // remap_decision carries the AN and PSL fields.
+  int starts = 0, ends = 0, rollbacks = 0, decisions = 0,
+      decisions_with_bound = 0;
+  for (const std::string& line : sink.lines()) {
+    ASSERT_TRUE(looks_like_json_object(line)) << line;
+    const std::string kind = string_field(line, "kind");
+    if (kind == "pass_start") ++starts;
+    if (kind == "pass_end") ++ends;
+    if (kind == "rollback") ++rollbacks;
+    if (kind == "remap_decision") {
+      ++decisions;
+      if (line.find("\"an\":") != std::string::npos &&
+          line.find("\"psl\":") != std::string::npos)
+        ++decisions_with_bound;
+    }
+  }
+  EXPECT_GT(starts, 0);
+  EXPECT_EQ(starts, ends + rollbacks);
+  EXPECT_GT(decisions, 0);
+  EXPECT_GT(decisions_with_bound, 0);
+  EXPECT_EQ(tracer.events_emitted(), sink.lines().size());
+
+  // The metrics registry saw the hot loops.
+  EXPECT_GT(metrics.counter("an.evaluations"), 0);
+  EXPECT_GT(metrics.counter("remap.slots_scanned"), 0);
+  EXPECT_GT(metrics.counter("compaction.passes"), 0);
+  EXPECT_GT(metrics.timer("time.compaction").count, 0);
+}
+
+TEST(ObsPipeline, InstrumentedRunMatchesPlainRun) {
+  // Observability must not perturb the algorithm: identical results with
+  // and without an ObsContext.
+  const Csdfg g = paper_example19();
+  const Topology mesh = make_mesh(2, 2);
+  const StoreAndForwardModel comm(mesh);
+  VectorSink sink;
+  Tracer tracer(&sink);
+  MetricsRegistry metrics;
+  const auto plain = cyclo_compact(g, mesh, comm, {});
+  const auto traced =
+      cyclo_compact(g, mesh, comm, {}, ObsContext{&tracer, &metrics});
+  EXPECT_EQ(plain.best_length(), traced.best_length());
+  EXPECT_EQ(plain.best_pass, traced.best_pass);
+  EXPECT_EQ(plain.length_trace, traced.length_trace);
+}
+
+// ------------------------------------------------------- CLI round trip
+
+TEST(ObsCli, ScheduleTraceAndStatsRoundTrip) {
+  const std::string dir = ::testing::TempDir();
+  const std::string trace_path = dir + "/obs_cli_trace.jsonl";
+  const std::string stats_path = dir + "/obs_cli_stats.json";
+  const std::string graph =
+      std::string(CCS_EXAMPLES_DATA_DIR) + "/paper_fig1b.csdfg";
+
+  std::istringstream in;
+  std::ostringstream out, err;
+  const int code = run_cli({"schedule", graph, "--arch", "mesh 2 2",
+                            "--trace", trace_path, "--stats", stats_path},
+                           in, out, err);
+  ASSERT_EQ(code, 0) << err.str();
+  EXPECT_NE(out.str().find("stats:"), std::string::npos);
+
+  // The trace file is well-formed JSONL with a remap_decision event that
+  // carries the anticipation value and the projected-schedule-length bound.
+  std::ifstream trace(trace_path);
+  ASSERT_TRUE(trace.is_open());
+  std::string line;
+  int events = 0;
+  bool saw_decision_with_bound = false;
+  bool saw_startup = false;
+  while (std::getline(trace, line)) {
+    ASSERT_TRUE(looks_like_json_object(line)) << line;
+    EXPECT_EQ(number_field(line, "seq"), events);
+    ++events;
+    if (string_field(line, "kind") == "startup_done") saw_startup = true;
+    if (string_field(line, "kind") == "remap_decision" &&
+        line.find("\"an\":") != std::string::npos &&
+        line.find("\"psl\":") != std::string::npos)
+      saw_decision_with_bound = true;
+  }
+  EXPECT_GT(events, 0);
+  EXPECT_TRUE(saw_startup);
+  EXPECT_TRUE(saw_decision_with_bound);
+
+  // The stats file is a JSON document with nonzero pipeline counters.
+  std::ifstream stats(stats_path);
+  ASSERT_TRUE(stats.is_open());
+  std::stringstream buf;
+  buf << stats.rdbuf();
+  std::string doc = buf.str();
+  while (!doc.empty() && (doc.back() == '\n' || doc.back() == ' '))
+    doc.pop_back();
+  EXPECT_TRUE(looks_like_json_object(doc)) << doc;
+  EXPECT_NE(doc.find("\"counters\""), std::string::npos);
+  EXPECT_NE(doc.find("\"an.evaluations\""), std::string::npos);
+  EXPECT_EQ(doc.find("\"an.evaluations\":0,"), std::string::npos);
+}
+
+TEST(ObsCli, StatsDashGoesToStdout) {
+  const std::string graph =
+      std::string(CCS_EXAMPLES_DATA_DIR) + "/paper_fig1b.csdfg";
+  std::istringstream in;
+  std::ostringstream out, err;
+  const int code = run_cli(
+      {"schedule", graph, "--arch", "mesh 2 2", "--stats", "-"}, in, out, err);
+  ASSERT_EQ(code, 0) << err.str();
+  EXPECT_NE(out.str().find("\"counters\""), std::string::npos);
+}
+
+TEST(ObsCli, UnwritableTracePathFails) {
+  const std::string graph =
+      std::string(CCS_EXAMPLES_DATA_DIR) + "/paper_fig1b.csdfg";
+  std::istringstream in;
+  std::ostringstream out, err;
+  const int code =
+      run_cli({"schedule", graph, "--arch", "mesh 2 2", "--trace",
+               "/nonexistent-dir/trace.jsonl"},
+              in, out, err);
+  EXPECT_EQ(code, 1);
+  EXPECT_NE(err.str().find("cannot open"), std::string::npos);
+}
+
+TEST(ObsCli, SimulateEmitsSimRunEvent) {
+  const std::string dir = ::testing::TempDir();
+  const std::string graph =
+      std::string(CCS_EXAMPLES_DATA_DIR) + "/paper_fig1b.csdfg";
+  const std::string graph_path = dir + "/obs_cli_retimed.csdfg";
+  const std::string sched_path = dir + "/obs_cli_sched.txt";
+  const std::string trace_path = dir + "/obs_cli_sim.jsonl";
+
+  // Produce the (retimed) graph + schedule artifacts, then simulate them
+  // with tracing.  The compacted schedule validates against the retimed
+  // graph, so both artifacts come from the same run.
+  std::istringstream in1;
+  std::ostringstream out1, err1;
+  const int code1 = run_cli({"schedule", graph, "--arch", "mesh 2 2",
+                             "--emit-graph", "--emit-schedule", "--quiet"},
+                            in1, out1, err1);
+  ASSERT_EQ(code1, 0) << err1.str();
+  const auto graph_pos = out1.str().find("graph ");
+  const auto sched_pos = out1.str().find("schedule ", graph_pos);
+  ASSERT_NE(graph_pos, std::string::npos) << out1.str();
+  ASSERT_NE(sched_pos, std::string::npos) << out1.str();
+  {
+    std::ofstream gf(graph_path);
+    gf << out1.str().substr(graph_pos, sched_pos - graph_pos);
+    std::ofstream sf(sched_path);
+    sf << out1.str().substr(sched_pos);
+  }
+
+  std::istringstream in2;
+  std::ostringstream out2, err2;
+  const int code2 = run_cli({"simulate", graph_path, sched_path, "--arch",
+                             "mesh 2 2", "--trace", trace_path},
+                            in2, out2, err2);
+  ASSERT_EQ(code2, 0) << err2.str();
+  std::ifstream trace(trace_path);
+  std::string line;
+  bool saw_sim_run = false;
+  while (std::getline(trace, line)) {
+    ASSERT_TRUE(looks_like_json_object(line)) << line;
+    if (string_field(line, "kind") == "sim_run") saw_sim_run = true;
+  }
+  EXPECT_TRUE(saw_sim_run);
+}
+
+}  // namespace
+}  // namespace ccs

@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Configures, builds, and runs the full test suite under AddressSanitizer +
+# UndefinedBehaviorSanitizer (the CCSCHED_SANITIZE CMake option), so every
+# change — the observability instrumentation included — is leak/UB-checked.
+#
+# Usage: tools/check.sh [build-dir]        (default: build-sanitize)
+# Environment: SANITIZERS=address,undefined to pick a different set.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-${repo_root}/build-sanitize}"
+sanitizers="${SANITIZERS:-address,undefined}"
+
+cmake -B "${build_dir}" -S "${repo_root}" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DCCSCHED_SANITIZE="${sanitizers}"
+cmake --build "${build_dir}" -j
+ctest --test-dir "${build_dir}" --output-on-failure -j "$(nproc)"
