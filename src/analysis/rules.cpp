@@ -1,0 +1,90 @@
+#include "analysis/rules.hpp"
+
+#include <array>
+
+namespace ccs {
+
+namespace {
+
+constexpr std::array<LintRule, 14> kRules{{
+    {"CCS-P001", "syntax-error", Severity::kError,
+     "A line of the graph file does not match any directive grammar.",
+     "Use `graph <name>`, `node <name> <time>`, or `edge <from> <to> "
+     "<delay> [volume]`; `#` starts a comment."},
+    {"CCS-P002", "unknown-node", Severity::kError,
+     "An edge references a node name that no node directive declares.",
+     "Declare the node before the first edge that uses it, or fix the "
+     "spelling."},
+    {"CCS-P003", "misplaced-graph-directive", Severity::kError,
+     "A graph directive is duplicated or appears after the first node.",
+     "Keep exactly one `graph <name>` line and put it before every node."},
+    {"CCS-G001", "zero-delay-cycle", Severity::kError,
+     "A dependence cycle carries zero total delay, so an iteration would "
+     "depend on its own future.",
+     "Add at least one loop-carried delay (a register) somewhere on the "
+     "cycle, or break the cycle."},
+    {"CCS-G002", "zero-delay-self-loop", Severity::kError,
+     "A node depends on itself within the same iteration, which is "
+     "unsatisfiable.",
+     "Give the self-loop a delay of at least 1 so it refers to a previous "
+     "iteration."},
+    {"CCS-G003", "non-positive-time", Severity::kError,
+     "A node declares a computation time below 1 control step.",
+     "Computation times t(v) must be >= 1; model free tasks with time 1."},
+    {"CCS-G004", "non-positive-volume", Severity::kError,
+     "An edge declares a data volume below 1.",
+     "Data volumes c(e) must be >= 1; omit the volume field to default "
+     "to 1."},
+    {"CCS-G005", "negative-delay", Severity::kError,
+     "An edge declares a negative loop-carried delay.",
+     "Delays d(e) count registers and must be >= 0."},
+    {"CCS-G006", "duplicate-edge", Severity::kWarning,
+     "Two edges connect the same nodes with the same delay; their volumes "
+     "do not merge and the duplicate only tightens constraints redundantly.",
+     "Remove the duplicate, or combine the transfers into one edge with "
+     "the summed volume."},
+    {"CCS-G007", "isolated-node", Severity::kWarning,
+     "A node has no incident edges; it constrains nothing and is likely a "
+     "leftover or a typo.",
+     "Connect the node to the dependence structure or delete it."},
+    {"CCS-G008", "delay-starved-cycle", Severity::kWarning,
+     "The critical cycle carries a single delay and its computation time "
+     "reaches the critical path, so the recurrence serializes every "
+     "iteration and no retiming or remapping can shorten the schedule.",
+     "Deepen the cycle's delays (c-slow the loop) or shorten the tasks on "
+     "the critical cycle."},
+    {"CCS-A001", "insufficient-processors", Severity::kWarning,
+     "The zero-delay DAG offers more simultaneously ready tasks than the "
+     "architecture has processors, so the schedule must serialize "
+     "parallelism.",
+     "Use a wider machine, or accept the serialization if throughput "
+     "still meets the iteration bound."},
+    {"CCS-A002", "oversized-communication", Severity::kWarning,
+     "An edge's data volume is at least the projected schedule length, so "
+     "even a single-hop transfer cannot complete within one iteration "
+     "period; the endpoints are effectively pinned to one processor.",
+     "Reduce the edge's volume, speed up the interconnect model, or keep "
+     "both endpoints on the same processor."},
+    {"CCS-A003", "speed-list-mismatch", Severity::kError,
+     "The heterogeneous speed list does not match the architecture: wrong "
+     "processor count or a factor below 1.",
+     "Give exactly one integer slowdown factor >= 1 per processor."},
+}};
+
+}  // namespace
+
+std::span<const LintRule> all_rules() { return kRules; }
+
+const LintRule* find_rule(std::string_view code) {
+  for (const LintRule& r : kRules)
+    if (r.code == code) return &r;
+  return nullptr;
+}
+
+std::size_t rule_index(std::string_view code) {
+  for (std::size_t i = 0; i < kRules.size(); ++i)
+    if (kRules[i].code == code) return i;
+  return kRules.size();
+}
+
+}  // namespace ccs

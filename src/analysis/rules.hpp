@@ -1,0 +1,38 @@
+// ccsched — the lint rule catalogue.
+//
+// Every diagnostic the analysis subsystem can emit carries a *stable* code
+// (CCS-P### parse, CCS-G### graph structure, CCS-A### architecture fit).
+// Codes are append-only API: CI annotations, suppression lists, and the
+// SARIF `rules` array all key on them, so a rule may be retired but its
+// code is never reused.  docs/DIAGNOSTICS.md is the human-facing catalogue
+// and must stay in sync with all_rules().
+#pragma once
+
+#include <span>
+#include <string_view>
+
+#include "analysis/diagnostics.hpp"
+
+namespace ccs {
+
+/// Static metadata of one lint rule.
+struct LintRule {
+  std::string_view code;      ///< Stable identifier, e.g. "CCS-G001".
+  std::string_view name;      ///< Kebab-case short name for reports.
+  Severity severity;          ///< Default severity of every finding.
+  std::string_view summary;   ///< One-line description (SARIF shortDescription).
+  std::string_view remedy;    ///< How to fix the input (SARIF help text).
+};
+
+/// The full catalogue in code order (the SARIF rules array and docs follow
+/// this order; rule_index() below is an index into it).
+[[nodiscard]] std::span<const LintRule> all_rules();
+
+/// Looks up a rule by code; returns nullptr for unknown codes.
+[[nodiscard]] const LintRule* find_rule(std::string_view code);
+
+/// Position of `code` within all_rules(), or npos-like all_rules().size()
+/// when unknown (used for the SARIF ruleIndex field).
+[[nodiscard]] std::size_t rule_index(std::string_view code);
+
+}  // namespace ccs

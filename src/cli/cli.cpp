@@ -5,6 +5,7 @@
 #include <optional>
 #include <sstream>
 
+#include "analysis/lint.hpp"
 #include "arch/comm_model.hpp"
 #include "core/critical_cycle.hpp"
 #include "core/cyclo_compaction.hpp"
@@ -103,7 +104,7 @@ private:
   static bool needs_value(const std::string& key) {
     for (const char* k :
          {"arch", "passes", "speeds", "iterations", "warmup", "gantt",
-          "policy", "trace", "stats"})
+          "policy", "trace", "stats", "format"})
       if (key == k) return true;
     return false;
   }
@@ -148,6 +149,30 @@ Topology require_arch(Args& args) {
   const auto spec = args.value("arch");
   if (!spec) throw UsageError{"--arch \"<spec>\" is required"};
   return parse_topology(*spec);
+}
+
+/// Label for diagnostics: the path as given, with stdin spelled out.
+std::string span_label(const std::string& path) {
+  return path == "-" ? "<stdin>" : path;
+}
+
+/// Pre-flight lint for schedule/simulate: re-parses `text` leniently and
+/// renders any graph/architecture findings to `err` before the pipeline
+/// runs.  Never fatal — the strict parser already accepted the graph, so
+/// only warnings and notes can appear here.
+void preflight_lint(const std::string& text, const std::string& path,
+                    const Topology& topo, const std::vector<int>& speeds,
+                    std::ostream& err) {
+  DiagnosticBag bag;
+  LintOptions lint_options;
+  lint_options.topology = &topo;
+  lint_options.pe_speeds = speeds;
+  const ParsedCsdfg parsed =
+      parse_csdfg_with_spans(text, span_label(path), bag);
+  run_lint_passes({parsed.graph, parsed.spans, lint_options}, bag);
+  bag.finalize();
+  if (bag.empty()) return;
+  err << "pre-flight lint (see docs/DIAGNOSTICS.md):\n" << render_text(bag);
 }
 
 /// Observability wiring shared by `schedule` and `simulate`: --trace FILE
@@ -280,11 +305,51 @@ int cmd_expand(Args& args, std::istream& in, std::ostream& out) {
   return kOk;
 }
 
-int cmd_schedule(Args& args, std::istream& in, std::ostream& out) {
+int cmd_lint(Args& args, std::istream& in, std::ostream& out) {
+  if (args.positional().size() != 1) throw UsageError{"lint: expected <graph>"};
+  bool used_stdin = false;
+  const std::string path = args.positional()[0];
+  const std::string text = slurp(path, in, used_stdin);
+
+  std::optional<Topology> topo;
+  LintOptions lint_options;
+  if (const auto spec = args.value("arch")) {
+    topo = parse_topology(*spec);
+    lint_options.topology = &*topo;
+  }
+  if (const auto speeds = args.value("speeds")) {
+    if (!topo) throw UsageError{"--speeds requires --arch"};
+    lint_options.pe_speeds = parse_speeds(*speeds);
+  }
+  const std::string format = args.value("format").value_or("text");
+  if (format != "text" && format != "jsonl" && format != "sarif")
+    throw UsageError{"--format must be text, jsonl, or sarif"};
+  const bool werror = args.flag("werror");
+  args.reject_unknown();
+
+  DiagnosticBag bag;
+  const ParsedCsdfg parsed =
+      parse_csdfg_with_spans(text, span_label(path), bag);
+  run_lint_passes({parsed.graph, parsed.spans, lint_options}, bag);
+  bag.finalize();
+  if (format == "jsonl") {
+    out << render_jsonl(bag);
+  } else if (format == "sarif") {
+    out << render_sarif(bag);
+  } else {
+    out << render_text(bag);
+  }
+  return bag.fails(werror) ? kFailure : kOk;
+}
+
+int cmd_schedule(Args& args, std::istream& in, std::ostream& out,
+                 std::ostream& err) {
   if (args.positional().size() != 1)
     throw UsageError{"schedule: expected <graph>"};
   bool used_stdin = false;
-  const Csdfg g = parse_csdfg(slurp(args.positional()[0], in, used_stdin));
+  const std::string graph_path = args.positional()[0];
+  const std::string graph_text = slurp(graph_path, in, used_stdin);
+  const Csdfg g = parse_csdfg(graph_text);
   const Topology topo = require_arch(args);
   const StoreAndForwardModel comm(topo);
 
@@ -314,6 +379,7 @@ int cmd_schedule(Args& args, std::istream& in, std::ostream& out) {
   obs_setup.init(args);
   args.reject_unknown();
   const ObsContext& obs = obs_setup.obs();
+  preflight_lint(graph_text, graph_path, topo, opt.startup.pe_speeds, err);
 
   Csdfg final_graph = g;
   ScheduleTable table(g, 1);
@@ -372,14 +438,18 @@ int cmd_validate(Args& args, std::istream& in, std::ostream& out) {
   return kFailure;
 }
 
-int cmd_simulate(Args& args, std::istream& in, std::ostream& out) {
+int cmd_simulate(Args& args, std::istream& in, std::ostream& out,
+                 std::ostream& err) {
   if (args.positional().size() != 2)
     throw UsageError{"simulate: expected <graph> <schedule>"};
   bool used_stdin = false;
-  const Csdfg g = parse_csdfg(slurp(args.positional()[0], in, used_stdin));
+  const std::string graph_path = args.positional()[0];
+  const std::string graph_text = slurp(graph_path, in, used_stdin);
+  const Csdfg g = parse_csdfg(graph_text);
   const ScheduleTable table =
       parse_schedule(g, slurp(args.positional()[1], in, used_stdin));
   const Topology topo = require_arch(args);
+  preflight_lint(graph_text, graph_path, topo, {}, err);
 
   ExecutorOptions opt;
   opt.iterations = args.int_value("iterations", 64);
@@ -416,7 +486,8 @@ int cmd_simulate(Args& args, std::istream& in, std::ostream& out) {
 
 void print_usage(std::ostream& err) {
   err << "usage: ccsched <command> [arguments]\n"
-         "commands: info, bound, retime, dot, expand, schedule, validate, simulate\n"
+         "commands: info, bound, retime, dot, lint, expand, schedule, "
+         "validate, simulate\n"
          "see src/cli/cli.hpp for the full grammar\n";
 }
 
@@ -435,10 +506,11 @@ int run_cli(const std::vector<std::string>& args, std::istream& in,
     if (command == "bound") return cmd_bound(parsed, in, out);
     if (command == "retime") return cmd_retime(parsed, in, out);
     if (command == "dot") return cmd_dot(parsed, in, out);
+    if (command == "lint") return cmd_lint(parsed, in, out);
     if (command == "expand") return cmd_expand(parsed, in, out);
-    if (command == "schedule") return cmd_schedule(parsed, in, out);
+    if (command == "schedule") return cmd_schedule(parsed, in, out, err);
     if (command == "validate") return cmd_validate(parsed, in, out);
-    if (command == "simulate") return cmd_simulate(parsed, in, out);
+    if (command == "simulate") return cmd_simulate(parsed, in, out, err);
     err << "unknown command '" << command << "'\n";
     print_usage(err);
     return kUsage;

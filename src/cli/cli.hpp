@@ -7,6 +7,11 @@
 //   ccsched bound <graph>                    iteration bound
 //   ccsched retime <graph>                   min-period retiming (emits graph)
 //   ccsched dot <graph>                      Graphviz export
+//   ccsched lint <graph> [options]           static analysis (docs/DIAGNOSTICS.md)
+//       --arch "<spec>"                      also run architecture-fit passes
+//       --speeds a,b,c,...                   heterogeneous speed factors to check
+//       --format text|jsonl|sarif            report format (default text)
+//       --werror                             warnings fail the exit code
 //   ccsched schedule <graph> --arch "<spec>" [options]
 //       --policy relax|strict|startup|modulo compaction policy (default relax)
 //       --passes N                           rotate-remap passes (default 3|V|)

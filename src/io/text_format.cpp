@@ -1,5 +1,6 @@
 #include "io/text_format.hpp"
 
+#include <map>
 #include <sstream>
 #include <vector>
 
@@ -9,19 +10,35 @@ namespace ccs {
 
 namespace {
 
-[[noreturn]] void fail(std::size_t line, const std::string& what) {
-  std::ostringstream os;
-  os << "line " << line << ": " << what;
-  throw ParseError(os.str());
-}
+/// Per-name declaration count: lenient edge resolution must distinguish
+/// "never declared" from "declared more than once" (both CCS-P002).
+struct NameTable {
+  std::map<std::string, NodeId> first;
+  std::map<std::string, std::size_t> count;
+
+  void declare(const std::string& name, NodeId id) {
+    first.emplace(name, id);
+    ++count[name];
+  }
+};
 
 }  // namespace
 
-Csdfg parse_csdfg(std::istream& in) {
-  Csdfg g;
+ParsedCsdfg parse_csdfg_with_spans(std::istream& in,
+                                   const std::string& filename,
+                                   DiagnosticBag& bag) {
+  ParsedCsdfg out;
+  out.spans.file = filename;
+  NameTable names;
   bool named = false;
   std::string line;
   std::size_t lineno = 0;
+
+  const auto diag = [&](std::string_view code, std::size_t at,
+                        const std::string& message) {
+    bag.add(code, SourceSpan{filename, at}, message);
+  };
+
   while (std::getline(in, line)) {
     ++lineno;
     const auto hash = line.find('#');
@@ -32,40 +49,107 @@ Csdfg parse_csdfg(std::istream& in) {
 
     if (keyword == "graph") {
       std::string name;
-      if (!(ls >> name)) fail(lineno, "graph: missing name");
-      if (named) fail(lineno, "duplicate graph directive");
-      Csdfg renamed(name);
-      if (g.node_count() != 0)
-        fail(lineno, "graph directive must precede nodes");
-      g = std::move(renamed);
+      if (!(ls >> name)) {
+        diag("CCS-P001", lineno, "graph: missing name");
+        continue;
+      }
+      if (named) {
+        diag("CCS-P003", lineno, "duplicate graph directive");
+        continue;
+      }
+      if (out.graph.node_count() != 0) {
+        diag("CCS-P003", lineno, "graph directive must precede nodes");
+        continue;
+      }
+      out.graph = Csdfg(name);
+      out.spans.graph_line = lineno;
       named = true;
     } else if (keyword == "node") {
       std::string name;
       int time = 0;
-      if (!(ls >> name >> time)) fail(lineno, "node: expected <name> <time>");
-      try {
-        g.add_node(name, time);
-      } catch (const GraphError& e) {
-        fail(lineno, e.what());
+      if (!(ls >> name >> time)) {
+        diag("CCS-P001", lineno, "node: expected <name> <time>");
+        continue;
       }
+      if (time < 1) {
+        std::ostringstream os;
+        os << "node '" << name << "': computation time must be >= 1, got "
+           << time;
+        diag("CCS-G003", lineno, os.str());
+        time = 1;  // Clamp so later edges still resolve the name.
+      }
+      names.declare(name, out.graph.add_node(name, time));
+      out.spans.node_lines.push_back(lineno);
     } else if (keyword == "edge") {
       std::string from, to;
       int delay = 0;
       std::size_t volume = 1;
-      if (!(ls >> from >> to >> delay))
-        fail(lineno, "edge: expected <from> <to> <delay> [volume]");
-      if (!(ls >> volume)) volume = 1;
-      try {
-        g.add_edge(g.node_by_name(from), g.node_by_name(to), delay, volume);
-      } catch (const GraphError& e) {
-        fail(lineno, e.what());
+      if (!(ls >> from >> to >> delay)) {
+        diag("CCS-P001", lineno,
+             "edge: expected <from> <to> <delay> [volume]");
+        continue;
       }
+      if (!(ls >> volume)) volume = 1;
+      bool resolved = true;
+      for (const std::string& name : {from, to}) {
+        const auto it = names.count.find(name);
+        if (it == names.count.end()) {
+          diag("CCS-P002", lineno,
+               "edge references unknown node '" + name + "'");
+          resolved = false;
+        } else if (it->second > 1) {
+          diag("CCS-P002", lineno,
+               "edge references ambiguous node '" + name +
+                   "' (declared " + std::to_string(it->second) + " times)");
+          resolved = false;
+        }
+      }
+      if (!resolved) continue;
+      bool skip = false;
+      if (delay < 0) {
+        std::ostringstream os;
+        os << "edge " << from << "->" << to << ": delay must be >= 0, got "
+           << delay;
+        diag("CCS-G005", lineno, os.str());
+        skip = true;  // A clamped delay would fabricate a dependence.
+      }
+      if (volume < 1) {
+        std::ostringstream os;
+        os << "edge " << from << "->" << to << ": data volume must be >= 1";
+        diag("CCS-G004", lineno, os.str());
+        volume = 1;
+      }
+      if (!skip && from == to && delay == 0) {
+        diag("CCS-G002", lineno,
+             "zero-delay self-loop on node '" + from + "' is unsatisfiable");
+        skip = true;
+      }
+      if (skip) continue;
+      out.graph.add_edge(names.first.at(from), names.first.at(to), delay,
+                         volume);
+      out.spans.edge_lines.push_back(lineno);
     } else {
-      fail(lineno, "unknown directive '" + keyword + "'");
+      diag("CCS-P001", lineno, "unknown directive '" + keyword + "'");
     }
   }
-  g.require_legal();
-  return g;
+  return out;
+}
+
+ParsedCsdfg parse_csdfg_with_spans(const std::string& text,
+                                   const std::string& filename,
+                                   DiagnosticBag& bag) {
+  std::istringstream in(text);
+  return parse_csdfg_with_spans(in, filename, bag);
+}
+
+Csdfg parse_csdfg(std::istream& in) {
+  DiagnosticBag bag;
+  ParsedCsdfg parsed = parse_csdfg_with_spans(in, "<input>", bag);
+  bag.finalize();
+  for (const Diagnostic& d : bag.diagnostics())
+    if (d.severity == Severity::kError) throw ParseError(d.span.line, d.message);
+  parsed.graph.require_legal();
+  return std::move(parsed.graph);
 }
 
 Csdfg parse_csdfg(const std::string& text) {
@@ -89,21 +173,27 @@ std::string serialize_csdfg(const Csdfg& g) {
 Topology parse_topology(const std::string& spec) {
   std::istringstream ls(spec);
   std::string kind;
-  if (!(ls >> kind)) throw ParseError("empty architecture spec");
+  // Every branch echoes the full spec string so the message is actionable
+  // no matter which layer (CLI flag, file, test) supplied it.
+  const auto fail = [&](const std::string& what) -> ParseError {
+    return ParseError("architecture spec '" + spec + "': " + what);
+  };
+  if (!(ls >> kind)) throw ParseError("architecture spec is empty");
   std::vector<std::string> args;
   std::string tok;
   while (ls >> tok) args.push_back(tok);
 
   auto num = [&](std::size_t i) -> std::size_t {
     if (i >= args.size())
-      throw ParseError("architecture '" + kind + "': missing parameter");
+      throw fail("missing parameter for '" + kind + "'");
     try {
       const long long v = std::stoll(args[i]);
-      if (v < 0) throw ParseError("negative parameter in '" + spec + "'");
+      if (v < 0) throw fail("negative parameter '" + args[i] + "'");
       return static_cast<std::size_t>(v);
     } catch (const std::invalid_argument&) {
-      throw ParseError("architecture '" + kind + "': bad number '" + args[i] +
-                       "'");
+      throw fail("bad number '" + args[i] + "'");
+    } catch (const std::out_of_range&) {
+      throw fail("bad number '" + args[i] + "'");
     }
   };
 
@@ -118,7 +208,7 @@ Topology parse_topology(const std::string& spec) {
   if (kind == "hypercube") return make_hypercube(num(0));
   if (kind == "star") return make_star(num(0));
   if (kind == "binary_tree") return make_binary_tree(num(0));
-  throw ParseError("unknown architecture '" + kind + "'");
+  throw fail("unknown architecture '" + kind + "'");
 }
 
 }  // namespace ccs

@@ -18,13 +18,39 @@
 #include <iosfwd>
 #include <string>
 
+#include "analysis/diagnostics.hpp"
 #include "arch/topology.hpp"
 #include "core/csdfg.hpp"
 
 namespace ccs {
 
-/// Parses the CSDFG text format.  Throws ParseError with a line number on
-/// malformed input, GraphError on structurally invalid graphs.
+/// Result of a lenient parse: as much graph as could be recovered, plus
+/// the source map linking every node and edge back to its declaring line.
+struct ParsedCsdfg {
+  Csdfg graph;
+  SourceMap spans;
+};
+
+/// Parses the CSDFG text format *leniently*: malformed or structurally
+/// invalid constructs are reported into `bag` with stable codes (CCS-P###
+/// syntax, CCS-G002..G005 domain violations) and source spans, then either
+/// skipped (bad lines, unresolvable edges, zero-delay self-loops) or
+/// clamped to the nearest legal value (times to 1, volumes to 1, delays
+/// to 0) so downstream lint passes still see a maximal graph.  Never
+/// throws on bad input; legality (zero-delay cycles) is NOT checked —
+/// that is the CCS-G001 lint pass.  `filename` labels the spans.
+[[nodiscard]] ParsedCsdfg parse_csdfg_with_spans(std::istream& in,
+                                                 const std::string& filename,
+                                                 DiagnosticBag& bag);
+
+/// Lenient parse from a string.
+[[nodiscard]] ParsedCsdfg parse_csdfg_with_spans(const std::string& text,
+                                                 const std::string& filename,
+                                                 DiagnosticBag& bag);
+
+/// Parses the CSDFG text format strictly.  Throws ParseError carrying the
+/// (line, message) pair of the first problem on malformed input,
+/// GraphError on zero-delay cycles.
 [[nodiscard]] Csdfg parse_csdfg(std::istream& in);
 
 /// Parses from a string (convenience for tests and embedded specs).

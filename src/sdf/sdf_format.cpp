@@ -10,9 +10,7 @@ namespace ccs {
 namespace {
 
 [[noreturn]] void fail(std::size_t line, const std::string& what) {
-  std::ostringstream os;
-  os << "line " << line << ": " << what;
-  throw ParseError(os.str());
+  throw ParseError(line, what);  // Structured: what() renders "line N: ...".
 }
 
 }  // namespace

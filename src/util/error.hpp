@@ -6,6 +6,7 @@
 // from ContractViolation, which flags API misuse.
 #pragma once
 
+#include <cstddef>
 #include <stdexcept>
 #include <string>
 
@@ -33,9 +34,31 @@ public:
 };
 
 /// A textual artifact (graph file, architecture spec) failed to parse.
+///
+/// Carries the structured (line, message) pair so the diagnostics engine
+/// (src/analysis) can attach a source span; what() renders the classic
+/// "line N: message" string for plain-text consumers.
 class ParseError : public Error {
 public:
-  using Error::Error;
+  /// Whole-artifact failure with no line attribution (line() == 0).
+  explicit ParseError(const std::string& message)
+      : Error(message), detail_(message) {}
+
+  /// Failure at 1-based `line` of the parsed artifact.
+  ParseError(std::size_t line, const std::string& message)
+      : Error("line " + std::to_string(line) + ": " + message),
+        line_(line),
+        detail_(message) {}
+
+  /// 1-based source line of the failure; 0 when unattributed.
+  [[nodiscard]] std::size_t line() const noexcept { return line_; }
+
+  /// The bare message, without the "line N: " prefix what() adds.
+  [[nodiscard]] const std::string& detail() const noexcept { return detail_; }
+
+private:
+  std::size_t line_ = 0;
+  std::string detail_;
 };
 
 /// A scheduling request cannot be satisfied (e.g. no feasible placement under

@@ -16,3 +16,27 @@ cmake -B "${build_dir}" -S "${repo_root}" \
   -DCCSCHED_SANITIZE="${sanitizers}"
 cmake --build "${build_dir}" -j
 ctest --test-dir "${build_dir}" --output-on-failure -j "$(nproc)"
+
+# Lint smoke gate: every shipped good graph must be diagnostic-free under
+# --werror, and every file in the malformed corpus must be rejected.  The
+# a00x corpus files only misbehave relative to an architecture, so the gate
+# supplies the spec each file documents in its header comment.
+ccsched="${build_dir}/tools/ccsched"
+echo "== lint smoke gate =="
+for graph in "${repo_root}"/examples/data/*.csdfg; do
+  "${ccsched}" lint "${graph}" --arch "mesh 2 2" --werror
+  echo "clean: ${graph}"
+done
+for graph in "${repo_root}"/examples/data/bad/*.csdfg; do
+  args=()
+  case "$(basename "${graph}")" in
+    a001_*) args=(--arch "linear_array 2") ;;
+    a002_*) args=(--arch "mesh 2 2") ;;
+    a003_*) args=(--arch "complete 3" --speeds 1,2) ;;
+  esac
+  if "${ccsched}" lint "${graph}" "${args[@]}" --werror >/dev/null; then
+    echo "error: ${graph} should have been rejected" >&2
+    exit 1
+  fi
+  echo "rejected as expected: ${graph}"
+done

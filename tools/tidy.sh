@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Runs clang-tidy (configuration in .clang-tidy) over the ccsched sources
+# using the compile_commands.json of a build tree.
+#
+# Usage: tools/tidy.sh [build-dir] [file...]
+#   build-dir  defaults to ./build; configured with compile commands export
+#              if it does not exist yet.
+#   file...    specific sources to check; defaults to every .cpp under src/.
+#
+# Exits 0 with a notice when clang-tidy is not installed, so callers (CI,
+# pre-commit hooks) can invoke it unconditionally: environments without the
+# tool skip the gate instead of failing it.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-${repo_root}/build}"
+shift || true
+
+tidy_bin="${CLANG_TIDY:-}"
+if [[ -z "${tidy_bin}" ]]; then
+  for candidate in clang-tidy clang-tidy-18 clang-tidy-17 clang-tidy-16 \
+                   clang-tidy-15 clang-tidy-14; do
+    if command -v "${candidate}" >/dev/null 2>&1; then
+      tidy_bin="${candidate}"
+      break
+    fi
+  done
+fi
+if [[ -z "${tidy_bin}" ]]; then
+  echo "tidy.sh: clang-tidy not found; skipping static analysis" >&2
+  echo "tidy.sh: install clang-tidy or set CLANG_TIDY to enable this gate" >&2
+  exit 0
+fi
+
+if [[ ! -f "${build_dir}/compile_commands.json" ]]; then
+  cmake -B "${build_dir}" -S "${repo_root}" -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
+fi
+
+if [[ $# -gt 0 ]]; then
+  files=("$@")
+else
+  mapfile -t files < <(find "${repo_root}/src" -name '*.cpp' | sort)
+fi
+
+echo "tidy.sh: ${tidy_bin} over ${#files[@]} file(s)"
+"${tidy_bin}" -p "${build_dir}" --quiet "${files[@]}"
