@@ -1,0 +1,533 @@
+#include "analysis/certify.hpp"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <set>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "core/unfold_schedule.hpp"
+#include "core/unfolding.hpp"
+#include "obs/obs.hpp"
+#include "obs/trace.hpp"
+#include "obs/trace_reader.hpp"
+#include "util/error.hpp"
+
+namespace ccs {
+
+namespace {
+
+/// Tracks whether a certifier entry point added error findings.
+class ErrorWatch {
+public:
+  explicit ErrorWatch(const DiagnosticBag& bag)
+      : bag_(&bag), before_(bag.count(Severity::kError)) {}
+  [[nodiscard]] bool clean() const {
+    return bag_->count(Severity::kError) == before_;
+  }
+
+private:
+  const DiagnosticBag* bag_;
+  std::size_t before_;
+};
+
+/// One resolved placement with the span that asserted it.
+struct NormPlacement {
+  NodeId v = 0;
+  std::size_t pe = 0;  ///< 0-based.
+  int cb = 0;
+  SourceSpan span;
+};
+
+/// The certifier's own view of a schedule: nothing here came from
+/// ScheduleTable's grid or the strict parser — every derived quantity
+/// below is recomputed from these raw facts.
+struct NormSchedule {
+  int length = 0;
+  bool pipelined = false;
+  std::vector<int> speeds;            ///< One per processor.
+  std::vector<NormPlacement> places;  ///< At most one per task.
+  SourceSpan whole;                   ///< The artifact as a whole.
+  SourceSpan length_span;             ///< Where the length was declared.
+};
+
+std::string step_range(int cb, int ce) {
+  std::ostringstream os;
+  os << "steps [" << cb << "," << ce << "]";
+  return os.str();
+}
+
+/// CE(v) for a placement: CB + t(v) * speed(PE) - 1.
+int end_step(const Csdfg& g, const NormSchedule& s, const NormPlacement& p) {
+  return p.cb + g.node(p.v).time * s.speeds[p.pe] - 1;
+}
+
+/// The master-constraint checks shared by the file and table paths:
+/// completeness (S002), table bounds (S003), processor exclusivity
+/// (S004/S005), and every edge of the graph (S006 intra-iteration,
+/// S007 inter-iteration with the Lemma 4.3 bound).
+void check_norm(const Csdfg& g, const NormSchedule& s, const CommModel& comm,
+                DiagnosticBag& bag) {
+  std::vector<std::optional<std::size_t>> at(g.node_count());
+  for (std::size_t i = 0; i < s.places.size(); ++i) at[s.places[i].v] = i;
+
+  for (NodeId v = 0; v < g.node_count(); ++v)
+    if (!at[v])
+      bag.add("CCS-S002", s.whole,
+              "task '" + g.node(v).name + "' is not in the table");
+
+  for (const NormPlacement& p : s.places) {
+    const int ce = end_step(g, s, p);
+    if (p.cb < 1 || ce > s.length) {
+      std::ostringstream os;
+      os << "task '" << g.node(p.v).name << "' occupies "
+         << step_range(p.cb, ce) << " outside the table of length "
+         << s.length;
+      bag.add("CCS-S003", p.span, os.str());
+    }
+  }
+
+  std::map<std::pair<std::size_t, int>, std::size_t> occupancy;
+  for (std::size_t i = 0; i < s.places.size(); ++i) {
+    const NormPlacement& p = s.places[i];
+    const int span = s.pipelined ? 1 : g.node(p.v).time * s.speeds[p.pe];
+    for (int cs = p.cb; cs < p.cb + span; ++cs) {
+      auto [it, inserted] = occupancy.insert({{p.pe, cs}, i});
+      if (!inserted) {
+        const NormPlacement& other = s.places[it->second];
+        std::ostringstream os;
+        os << "tasks '" << g.node(other.v).name << "' and '"
+           << g.node(p.v).name << "' both "
+           << (s.pipelined ? "issue on" : "occupy") << " PE" << p.pe + 1
+           << " at step " << cs;
+        bag.add(s.pipelined ? "CCS-S005" : "CCS-S004", p.span, os.str());
+        break;  // one finding per colliding pair, not per shared step
+      }
+    }
+  }
+
+  for (EdgeId eid = 0; eid < g.edge_count(); ++eid) {
+    const Edge& e = g.edge(eid);
+    if (!at[e.from] || !at[e.to]) continue;
+    const NormPlacement& pu = s.places[*at[e.from]];
+    const NormPlacement& pv = s.places[*at[e.to]];
+    const long long k = e.delay;
+    const long long ce_u = end_step(g, s, pu);
+    const long long cb_v = pv.cb;
+    const CommCost m = comm.cost(pu.pe, pv.pe, e.volume);
+    const long long need = ce_u + m + 1;
+    if (cb_v + k * s.length >= need) continue;
+    std::ostringstream os;
+    os << "edge " << g.node(e.from).name << "->" << g.node(e.to).name
+       << " (delay " << k << ", volume " << e.volume << "): ";
+    if (k == 0) {
+      os << "CB(v) = " << cb_v << " < CE(u)+M+1 = " << need << " with M=" << m;
+      bag.add("CCS-S006", pv.span, os.str());
+    } else {
+      const long long bound = (need - cb_v + k - 1) / k;  // Lemma 4.3
+      os << "CB(v)+k*L = " << cb_v + k * s.length << " < CE(u)+M+1 = " << need
+         << " with M=" << m << ", L=" << s.length
+         << "; the cyclic length must be at least " << bound;
+      bag.add("CCS-S007", s.length_span, os.str());
+    }
+  }
+}
+
+/// Translation validation (CCS-S011): rebuild the (known-clean) schedule
+/// as a ScheduleTable, unfold both graph and table by `factor`, and let
+/// the core validator referee the induced flat schedule.  Any violation
+/// means certifier and transform disagree — a tooling bug, not an input
+/// problem.
+void unfold_cross_check(const Csdfg& g, const NormSchedule& s, int factor,
+                        const CommModel& comm, DiagnosticBag& bag) {
+  if (factor < 2 || s.places.size() != g.node_count()) return;
+  ScheduleTable table(g, s.speeds, s.pipelined);
+  for (const NormPlacement& p : s.places) table.place(p.v, p.pe, p.cb);
+  if (table.occupied_length() > s.length) return;  // S003 already reported
+  table.set_length(s.length);
+
+  const Unfolded unfolded = unfold(g, factor);
+  const ScheduleTable flat = unfold_table(table, unfolded, factor);
+  const ValidationReport report =
+      validate_schedule(unfolded.graph, flat, comm);
+  if (report.ok()) return;
+  std::ostringstream os;
+  os << "schedule certifies clean but its induced flat schedule on the "
+     << factor << "-unfolded graph does not: "
+     << report.violations.front().message;
+  bag.add("CCS-S011", s.whole, os.str());
+}
+
+}  // namespace
+
+bool certify_schedule(const Csdfg& g, const RawSchedule& raw,
+                      const Topology& topo, const CommModel& comm,
+                      const CertifyOptions& options, DiagnosticBag& bag) {
+  const ErrorWatch watch(bag);
+  const SourceSpan whole{raw.file, 0};
+  if (!raw.has_directive) return watch.clean();  // S001 from the parser
+
+  if (raw.num_pes != topo.size()) {
+    std::ostringstream os;
+    os << "schedule declares " << raw.num_pes
+       << " processor(s) but architecture '" << topo.name() << "' has "
+       << topo.size();
+    bag.add("CCS-S001", SourceSpan{raw.file, raw.schedule_line}, os.str());
+  }
+
+  NormSchedule s;
+  s.length = raw.length;
+  s.pipelined = raw.pipelined;
+  s.speeds = raw.speeds.empty() ? std::vector<int>(raw.num_pes, 1)
+                                : raw.speeds;
+  s.whole = whole;
+  s.length_span = SourceSpan{raw.file, raw.schedule_line};
+
+  std::vector<std::optional<std::size_t>> first_place(g.node_count());
+  for (const RawPlacement& p : raw.places) {
+    const SourceSpan span{raw.file, p.line};
+    NodeId v = 0;
+    try {
+      v = g.node_by_name(p.task);
+    } catch (const GraphError&) {
+      bag.add("CCS-S001", span, "unknown task '" + p.task + "'");
+      continue;
+    }
+    if (p.pe > raw.num_pes) {
+      std::ostringstream os;
+      os << "pe " << p.pe << " out of range for " << raw.num_pes
+         << " processor(s)";
+      bag.add("CCS-S001", span, os.str());
+      continue;
+    }
+    if (first_place[v]) {
+      bag.add("CCS-S001", span,
+              "task '" + p.task + "' placed twice (first on line " +
+                  std::to_string(s.places[*first_place[v]].span.line) + ")");
+      continue;
+    }
+    first_place[v] = s.places.size();
+    s.places.push_back(NormPlacement{v, p.pe - 1, p.cb, span});
+  }
+
+  // Retime provenance (CCS-S008): the file's graph carries the retimed
+  // delays d_r(e) = d(e) + r(u) - r(v), so the original delay is
+  // d(e) = d_r(e) - r(u) + r(v) and must be non-negative for the recorded
+  // retiming to be legal.
+  std::vector<long long> r(g.node_count(), 0);
+  std::vector<std::size_t> r_line(g.node_count(), 0);
+  std::vector<bool> retimed(g.node_count(), false);
+  for (const RawRetime& rt : raw.retimes) {
+    const SourceSpan span{raw.file, rt.line};
+    NodeId v = 0;
+    try {
+      v = g.node_by_name(rt.task);
+    } catch (const GraphError&) {
+      bag.add("CCS-S001", span, "unknown task '" + rt.task + "'");
+      continue;
+    }
+    if (retimed[v]) {
+      bag.add("CCS-S001", span, "task '" + rt.task + "' retimed twice");
+      continue;
+    }
+    retimed[v] = true;
+    r[v] = rt.r;
+    r_line[v] = rt.line;
+  }
+  if (!raw.retimes.empty()) {
+    for (EdgeId eid = 0; eid < g.edge_count(); ++eid) {
+      const Edge& e = g.edge(eid);
+      const long long original = e.delay - r[e.from] + r[e.to];
+      if (original >= 0) continue;
+      const std::size_t line =
+          r_line[e.from] != 0 ? r_line[e.from] : r_line[e.to];
+      std::ostringstream os;
+      os << "edge " << g.node(e.from).name << "->" << g.node(e.to).name
+         << ": un-retimed delay d(e) - r(u) + r(v) = " << e.delay << " - "
+         << r[e.from] << " + " << r[e.to] << " = " << original
+         << " is negative; the recorded retiming is illegal";
+      bag.add("CCS-S008", SourceSpan{raw.file, line}, os.str());
+    }
+  }
+
+  check_norm(g, s, comm, bag);
+  if (watch.clean()) unfold_cross_check(g, s, options.unfold_factor, comm, bag);
+  return watch.clean();
+}
+
+bool certify_table(const Csdfg& g, const ScheduleTable& table,
+                   const CommModel& comm, const std::string& label,
+                   DiagnosticBag& bag, const CertifyOptions& options) {
+  const ErrorWatch watch(bag);
+  NormSchedule s;
+  s.length = table.length();
+  s.pipelined = table.pipelined_pes();
+  s.speeds.resize(table.num_pes());
+  for (PeId p = 0; p < table.num_pes(); ++p) s.speeds[p] = table.pe_speed(p);
+  s.whole = SourceSpan{label, 0};
+  s.length_span = s.whole;
+  for (const auto& [v, p] : table.placements())
+    s.places.push_back(NormPlacement{v, p.pe, p.cb, s.whole});
+
+  check_norm(g, s, comm, bag);
+  if (watch.clean()) unfold_cross_check(g, s, options.unfold_factor, comm, bag);
+  return watch.clean();
+}
+
+bool bridge_validation_report(const ValidationReport& report,
+                              const SourceSpan& span, DiagnosticBag& bag) {
+  for (const Violation& v : report.violations) {
+    std::string_view code;
+    switch (v.kind) {
+      case Violation::Kind::kUnplacedTask: code = "CCS-S002"; break;
+      case Violation::Kind::kOutOfTable: code = "CCS-S003"; break;
+      case Violation::Kind::kResourceConflict: code = "CCS-S004"; break;
+      case Violation::Kind::kIssueConflict: code = "CCS-S005"; break;
+      case Violation::Kind::kDependence: code = "CCS-S006"; break;
+      case Violation::Kind::kIllegalGraph: code = "CCS-G001"; break;
+    }
+    bag.add(code, span, v.message);
+  }
+  return report.ok();
+}
+
+bool certify_compaction_run(const Csdfg& original,
+                            const CycloCompactionResult& result,
+                            const CommModel& comm, RemapPolicy policy,
+                            const std::string& label,
+                            const CertifyOptions& options,
+                            DiagnosticBag& bag) {
+  const ErrorWatch watch(bag);
+  const SourceSpan span{label, 0};
+
+  // Retiming: legal for the input graph, and reproduces the claimed
+  // retimed graph edge by edge.
+  if (result.retiming.size() != original.node_count() ||
+      result.retimed_graph.edge_count() != original.edge_count()) {
+    bag.add("CCS-S010", span,
+            "result shapes do not match the input graph (retiming over " +
+                std::to_string(result.retiming.size()) + " task(s), " +
+                std::to_string(result.retimed_graph.edge_count()) +
+                " retimed edge(s))");
+  } else {
+    for (EdgeId eid = 0; eid < original.edge_count(); ++eid) {
+      const Edge& e = original.edge(eid);
+      const long long dr = result.retiming.retimed_delay(original, eid);
+      if (dr < 0) {
+        std::ostringstream os;
+        os << "edge " << original.node(e.from).name << "->"
+           << original.node(e.to).name << ": retimed delay d(e)+r(u)-r(v) = "
+           << dr << " is negative";
+        bag.add("CCS-S008", span, os.str());
+      } else if (dr != result.retimed_graph.edge(eid).delay) {
+        std::ostringstream os;
+        os << "edge " << original.node(e.from).name << "->"
+           << original.node(e.to).name << ": claimed retimed delay "
+           << result.retimed_graph.edge(eid).delay
+           << " but the recorded retiming yields " << dr;
+        bag.add("CCS-S010", span, os.str());
+      }
+    }
+  }
+
+  // Theorem 4.4: without relaxation no pass may end longer than it began.
+  if (policy == RemapPolicy::kWithoutRelaxation) {
+    int prev = result.startup_length();
+    for (std::size_t i = 0; i < result.length_trace.size(); ++i) {
+      const int len = result.length_trace[i];
+      if (len > prev) {
+        std::ostringstream os;
+        os << "pass " << i + 1 << " ended at length " << len
+           << " after entering at " << prev
+           << " under the without-relaxation policy (Theorem 4.4)";
+        bag.add("CCS-S009", span, os.str());
+      }
+      prev = len;
+    }
+  }
+
+  // Claimed best length / best pass vs the recomputed trace minimum.
+  int expected_best = result.startup_length();
+  int expected_pass = 0;
+  for (std::size_t i = 0; i < result.length_trace.size(); ++i) {
+    if (result.length_trace[i] < expected_best) {
+      expected_best = result.length_trace[i];
+      expected_pass = static_cast<int>(i) + 1;
+    }
+  }
+  if (result.best_length() != expected_best) {
+    std::ostringstream os;
+    os << "claimed best length " << result.best_length()
+       << " but the pass trace reaches " << expected_best;
+    bag.add("CCS-S010", span, os.str());
+  } else if (result.best_pass != expected_pass) {
+    std::ostringstream os;
+    os << "claimed best pass " << result.best_pass
+       << " but the trace first reaches length " << expected_best
+       << " at pass " << expected_pass;
+    bag.add("CCS-S010", span, os.str());
+  }
+
+  (void)certify_table(original, result.startup, comm, label + " (startup)",
+                      bag, options);
+  (void)certify_table(result.retimed_graph, result.best, comm,
+                      label + " (best)", bag, options);
+  return watch.clean();
+}
+
+namespace {
+
+bool known_trace_kind(std::string_view kind) {
+  static const std::set<std::string, std::less<>> kinds = {
+      "pass_start", "rotation",    "remap_target", "remap_decision",
+      "psl_pad",    "rollback",    "pass_end",     "startup_done",
+      "sim_run"};
+  return kinds.find(kind) != kinds.end();
+}
+
+bool bool_field(const TraceEvent& e, std::string_view key, bool& out) {
+  const TraceField* f = e.find(key);
+  if (f == nullptr || f->kind != TraceField::Kind::kBool) return false;
+  out = f->text == "true";
+  return true;
+}
+
+}  // namespace
+
+bool audit_trace(const std::string& trace_text, const std::string& file,
+                 bool strict_monotone, DiagnosticBag& bag) {
+  const ErrorWatch watch(bag);
+  const ParsedTrace trace = parse_trace_jsonl(trace_text);
+  for (const TraceParseIssue& issue : trace.issues)
+    bag.add("CCS-S013", SourceSpan{file, issue.line}, issue.message);
+
+  long long expect_seq = 0;
+  bool have_best = false;
+  long long best = 0;
+  long long prev_pass_len = -1;
+  for (const TraceEvent& e : trace.events) {
+    const SourceSpan span{file, e.line};
+    long long seq = 0;
+    if (!e.number("seq", seq)) {
+      bag.add("CCS-S013", span, "event has no integral 'seq' field");
+    } else if (seq != expect_seq) {
+      std::ostringstream os;
+      os << "sequence gap: expected seq " << expect_seq << ", found " << seq;
+      bag.add("CCS-S013", span, os.str());
+      expect_seq = seq + 1;
+    } else {
+      ++expect_seq;
+    }
+
+    std::string kind;
+    if (!e.string("kind", kind)) {
+      bag.add("CCS-S013", span, "event has no 'kind' field");
+      continue;
+    }
+    if (!known_trace_kind(kind)) {
+      bag.add("CCS-S013", span, "unknown event kind '" + kind + "'");
+      continue;
+    }
+
+    if (kind == "pass_start") {
+      long long len = 0;
+      if (e.number("length", len) && !have_best) {
+        best = len;
+        have_best = true;
+        prev_pass_len = len;
+      }
+    } else if (kind == "pass_end") {
+      long long len = 0;
+      long long claimed_best = 0;
+      bool improved = false;
+      if (!e.number("length", len) ||
+          !e.number("best_length", claimed_best) ||
+          !bool_field(e, "improved", improved)) {
+        bag.add("CCS-S013", span,
+                "pass_end event lacks length/best_length/improved fields");
+        continue;
+      }
+      if (have_best) {
+        if (strict_monotone && prev_pass_len >= 0 && len > prev_pass_len) {
+          std::ostringstream os;
+          os << "pass length grew from " << prev_pass_len << " to " << len
+             << " in a without-relaxation run (Theorem 4.4)";
+          bag.add("CCS-S009", span, os.str());
+        }
+        const bool expect_improved = len < best;
+        const long long new_best = std::min(best, len);
+        if (claimed_best != new_best) {
+          std::ostringstream os;
+          os << "pass_end claims best_length " << claimed_best
+             << " but the running minimum is " << new_best;
+          bag.add("CCS-S010", span, os.str());
+        } else if (improved != expect_improved) {
+          std::ostringstream os;
+          os << "pass_end claims improved=" << (improved ? "true" : "false")
+             << " but length " << len << " vs best " << best << " says "
+             << (expect_improved ? "true" : "false");
+          bag.add("CCS-S010", span, os.str());
+        }
+        best = new_best;
+        prev_pass_len = len;
+      }
+    }
+  }
+  return watch.clean();
+}
+
+bool replay_trace(const Csdfg& g, const Topology& topo, const CommModel& comm,
+                  const CycloCompactionOptions& options,
+                  const std::string& trace_text, const std::string& file,
+                  DiagnosticBag& bag) {
+  const ErrorWatch watch(bag);
+  const ParsedTrace recorded = parse_trace_jsonl(trace_text);
+  for (const TraceParseIssue& issue : recorded.issues)
+    bag.add("CCS-S013", SourceSpan{file, issue.line}, issue.message);
+  if (!watch.clean()) return false;  // a broken stream cannot be diffed
+
+  std::vector<const TraceEvent*> events;
+  for (const TraceEvent& e : recorded.events) {
+    std::string kind;
+    if (e.string("kind", kind) && kind == "sim_run") continue;
+    events.push_back(&e);
+  }
+
+  VectorSink sink;
+  Tracer tracer(&sink);
+  const ObsContext obs{&tracer, nullptr};
+  (void)cyclo_compact(g, topo, comm, options, obs);
+  std::string replay_text;
+  for (const std::string& line : sink.lines()) {
+    replay_text += line;
+    replay_text += '\n';
+  }
+  const ParsedTrace replayed = parse_trace_jsonl(replay_text);
+
+  const std::size_t n = std::min(events.size(), replayed.events.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::string rec = canonical_trace_event(*events[i]);
+    const std::string rep = canonical_trace_event(replayed.events[i]);
+    if (rec == rep) continue;
+    std::ostringstream os;
+    os << "event " << i << " diverges from the deterministic replay: "
+       << "recorded {" << rec << "} vs replayed {" << rep << "}";
+    bag.add("CCS-S012", SourceSpan{file, events[i]->line}, os.str());
+    return watch.clean();
+  }
+  if (events.size() != replayed.events.size()) {
+    std::ostringstream os;
+    os << "recorded trace has " << events.size()
+       << " scheduling event(s) but the deterministic replay produced "
+       << replayed.events.size();
+    const std::size_t line =
+        events.size() > n ? events[n]->line
+                          : (events.empty() ? 0 : events.back()->line);
+    bag.add("CCS-S012", SourceSpan{file, line}, os.str());
+  }
+  return watch.clean();
+}
+
+}  // namespace ccs

@@ -1,0 +1,124 @@
+// ccsched — the schedule certifier.
+//
+// The core validator (core/validator.hpp) referees in-memory tables for
+// tests and benches.  The certifier is the *independent* audit layer on
+// top: it re-derives every property of a schedule from the master
+// constraint
+//
+//     CB(v) + k*L  >=  CE(u) + M(PE(u), PE(v), c(e)) + 1
+//
+// without trusting the scheduler's bookkeeping — or even the strict
+// parser's, since it works from the raw file representation
+// (io/schedule_format.hpp) that survives overlapping placements and
+// undersized lengths.  Findings are coded CCS-S### diagnostics
+// (rules.hpp, docs/DIAGNOSTICS.md) rendered through the same text / JSONL
+// / SARIF pipeline as the linter, with spans pointing at the offending
+// `place` / `retime` / `schedule` lines.
+//
+// Beyond the validator's checks it audits properties only visible at the
+// run level: retiming legality (d(e) = d_r(e) - r(u) + r(v) >= 0),
+// Theorem 4.4 monotonicity for without-relaxation runs, claimed-vs-
+// recomputed result bookkeeping, an unfold-equivalence cross-check
+// (a cyclic table is valid iff the flat schedule it induces on the
+// f-unfolded graph is), and replay verification of recorded obs/ traces.
+//
+// Every entry point appends into a DiagnosticBag and returns true iff it
+// added no error-severity findings; callers finalize() the bag once and
+// render it.
+#pragma once
+
+#include <string>
+
+#include "analysis/diagnostics.hpp"
+#include "arch/comm_model.hpp"
+#include "arch/topology.hpp"
+#include "core/csdfg.hpp"
+#include "core/cyclo_compaction.hpp"
+#include "core/schedule.hpp"
+#include "core/validator.hpp"
+#include "io/schedule_format.hpp"
+
+namespace ccs {
+
+/// Knobs of the certifier.
+struct CertifyOptions {
+  /// Unfolding factor for the translation-validation cross-check
+  /// (CCS-S011): the certifier rebuilds the schedule on the f-unfolded
+  /// graph and validates the result independently.  < 2 disables the
+  /// check.  It only runs once every other check passed — on a schedule
+  /// already known bad it would re-report the same defects.
+  int unfold_factor = 3;
+};
+
+/// Certifies a schedule file (raw form) for `g` on the machine described
+/// by `topo`/`comm`.  Resolution problems (unknown or doubly placed
+/// tasks, processor counts that do not match the architecture) are
+/// CCS-S001; everything placeable is then checked against the master
+/// constraint (CCS-S002..S007), `retime` provenance is audited
+/// (CCS-S008), and a clean schedule is cross-checked by unfolding
+/// (CCS-S011).  Returns true iff no error findings were added.
+[[nodiscard]] bool certify_schedule(const Csdfg& g, const RawSchedule& raw,
+                                    const Topology& topo,
+                                    const CommModel& comm,
+                                    const CertifyOptions& options,
+                                    DiagnosticBag& bag);
+
+/// Certifies an in-memory table (same checks minus file-only ones); spans
+/// anchor to `label` as a whole.  Used by `--certify` on the schedule and
+/// simulate commands and by the run-level audit below.
+[[nodiscard]] bool certify_table(const Csdfg& g, const ScheduleTable& table,
+                                 const CommModel& comm,
+                                 const std::string& label,
+                                 DiagnosticBag& bag,
+                                 const CertifyOptions& options = {});
+
+/// Bridges a core validator report into coded diagnostics anchored at
+/// `span`: kUnplacedTask -> CCS-S002, kOutOfTable -> CCS-S003,
+/// kResourceConflict -> CCS-S004, kIssueConflict -> CCS-S005,
+/// kDependence -> CCS-S006, kIllegalGraph -> CCS-G001.  Returns true iff
+/// the report was empty.
+bool bridge_validation_report(const ValidationReport& report,
+                              const SourceSpan& span, DiagnosticBag& bag);
+
+/// Audits a whole cyclo-compaction run of `original`:
+///  * the accumulated retiming is legal for the input graph and
+///    reproduces the claimed retimed graph (CCS-S008 / CCS-S010);
+///  * without relaxation, the per-pass length trace is monotone
+///    non-increasing from the start-up length (Theorem 4.4, CCS-S009);
+///  * the claimed best length / best pass agree with the trace
+///    (CCS-S010);
+///  * both the start-up and best tables certify clean (including the
+///    unfold cross-check).
+/// `label` names the run in spans.  Returns true iff clean.
+[[nodiscard]] bool certify_compaction_run(const Csdfg& original,
+                                          const CycloCompactionResult& result,
+                                          const CommModel& comm,
+                                          RemapPolicy policy,
+                                          const std::string& label,
+                                          const CertifyOptions& options,
+                                          DiagnosticBag& bag);
+
+/// Structural audit of a recorded JSONL trace (no re-run): every line
+/// parses as a flat object with contiguous `seq` from 0 and a known
+/// `kind` (CCS-S013); `pass_end` bookkeeping (best_length = running
+/// minimum, improved flag) holds (CCS-S010); with `strict_monotone`
+/// (without-relaxation runs) pass lengths never grow (CCS-S009).
+/// Returns true iff clean.
+[[nodiscard]] bool audit_trace(const std::string& trace_text,
+                               const std::string& file, bool strict_monotone,
+                               DiagnosticBag& bag);
+
+/// Replay verification: deterministically re-runs cyclo_compact(g) under
+/// `options` with an in-memory tracer and diffs the recorded stream
+/// against the replayed one event by event (canonical field order).  Any
+/// divergence — edited fields, dropped or injected events — is CCS-S012
+/// with the line of first divergence.  `sim_run` events in the recording
+/// are ignored (the replay covers the scheduling pipeline, not simulator
+/// runs appended to the same file).  Returns true iff the streams match.
+[[nodiscard]] bool replay_trace(const Csdfg& g, const Topology& topo,
+                                const CommModel& comm,
+                                const CycloCompactionOptions& options,
+                                const std::string& trace_text,
+                                const std::string& file, DiagnosticBag& bag);
+
+}  // namespace ccs

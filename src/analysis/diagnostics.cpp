@@ -162,9 +162,9 @@ std::string sarif_results_array(const DiagnosticBag& bag) {
 
 }  // namespace
 
-std::string render_sarif(const DiagnosticBag& bag) {
+std::string render_sarif(const DiagnosticBag& bag, std::string_view name) {
   JsonWriter driver;
-  driver.field("name", "ccsched-lint")
+  driver.field("name", name)
       .field("version", "1.0.0")
       .field("informationUri",
              "https://github.com/ccsched/ccsched/blob/main/docs/"

@@ -109,6 +109,9 @@ private:
 /// Renders a SARIF 2.1.0 document: a single run whose tool.driver lists
 /// the full rule catalogue (rules.hpp) and whose results reference it by
 /// ruleId/ruleIndex with physicalLocation regions.  Deterministic output.
-[[nodiscard]] std::string render_sarif(const DiagnosticBag& bag);
+/// `driver` names the producing tool ("ccsched-lint", "ccsched-certify").
+[[nodiscard]] std::string render_sarif(const DiagnosticBag& bag,
+                                       std::string_view driver =
+                                           "ccsched-lint");
 
 }  // namespace ccs

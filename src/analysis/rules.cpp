@@ -6,7 +6,7 @@ namespace ccs {
 
 namespace {
 
-constexpr std::array<LintRule, 14> kRules{{
+constexpr std::array<LintRule, 27> kRules{{
     {"CCS-P001", "syntax-error", Severity::kError,
      "A line of the graph file does not match any directive grammar.",
      "Use `graph <name>`, `node <name> <time>`, or `edge <from> <to> "
@@ -69,6 +69,81 @@ constexpr std::array<LintRule, 14> kRules{{
      "The heterogeneous speed list does not match the architecture: wrong "
      "processor count or a factor below 1.",
      "Give exactly one integer slowdown factor >= 1 per processor."},
+    {"CCS-S001", "schedule-syntax", Severity::kError,
+     "A line of the schedule file does not parse, or a directive does not "
+     "pair with the graph or architecture being certified.",
+     "Use `schedule <length> <pes> [pipelined]`, `speeds ...`, `place "
+     "<task> <pe> <cb>`, `retime <task> <r>`; place every task exactly "
+     "once on an in-range processor of the certified architecture."},
+    {"CCS-S002", "unplaced-task", Severity::kError,
+     "A task of the graph has no place directive, so the cyclic schedule "
+     "is incomplete.",
+     "Add a `place` line for the task; every task executes exactly once "
+     "per iteration of a static cyclic schedule."},
+    {"CCS-S003", "out-of-table", Severity::kError,
+     "A task's occupied steps [CB, CE] extend outside the declared table "
+     "of length L.",
+     "Start the task at step >= 1 and either move it earlier or declare a "
+     "longer schedule length."},
+    {"CCS-S004", "resource-conflict", Severity::kError,
+     "Two tasks occupy the same processor at the same control step on a "
+     "non-pipelined machine.",
+     "Move one task to a free slot; a non-pipelined processor executes "
+     "one task at a time."},
+    {"CCS-S005", "issue-conflict", Severity::kError,
+     "Two tasks issue in the same control step on the same pipelined "
+     "processor.",
+     "Stagger the issue steps; a pipelined processor issues at most one "
+     "task per control step."},
+    {"CCS-S006", "dependence-violation", Severity::kError,
+     "An intra-iteration dependence breaks the master constraint "
+     "CB(v) >= CE(u) + M + 1: the consumer starts before the producer's "
+     "data can arrive.",
+     "Start the consumer later, shorten the communication path, or "
+     "co-locate the endpoints so M = 0."},
+    {"CCS-S007", "psl-overrun", Severity::kError,
+     "A loop-carried dependence cannot complete its communication within "
+     "the declared cyclic length: CB(v) + k*L < CE(u) + M + 1 (Lemma "
+     "4.3), so the declared length is below the projected schedule "
+     "length.",
+     "Pad the schedule to the recomputed minimum feasible length the "
+     "certifier reports, or shorten the communication path."},
+    {"CCS-S008", "illegal-retiming", Severity::kError,
+     "The recorded accumulated retiming is not legal: some edge's "
+     "un-retimed delay d(e) - r(u) + r(v) is negative, so no legal "
+     "rotation sequence can have produced this graph from a legal "
+     "original.",
+     "Record the retiming of the actual rotation sequence; a rotation may "
+     "only draw delays from edges that carry them (Lemma 4.1)."},
+    {"CCS-S009", "non-monotone-length", Severity::kError,
+     "A without-relaxation cyclo-compaction run reports a pass that "
+     "lengthened the schedule, contradicting the monotone non-increasing "
+     "guarantee of Theorem 4.4.",
+     "Audit the rotate-remap pass that grew the table; without relaxation "
+     "a pass that cannot keep the length must roll back instead."},
+    {"CCS-S010", "claim-mismatch", Severity::kError,
+     "A quantity claimed by the scheduler (best length, best pass, "
+     "retimed delays, trace bookkeeping) disagrees with the value the "
+     "certifier recomputes from first principles.",
+     "Trust the recomputed value; the scheduler's bookkeeping is buggy or "
+     "the artifact was edited after the run."},
+    {"CCS-S011", "unfold-divergence", Severity::kError,
+     "Unfolding the cyclic schedule into explicit iterations produced a "
+     "flat schedule that violates the unfolded graph's constraints even "
+     "though the cyclic table certified clean.",
+     "This indicates a bug in the schedule tooling itself (table, "
+     "unfolding transform, or validator); report it."},
+    {"CCS-S012", "trace-divergence", Severity::kError,
+     "Replaying the pipeline recomputed an event stream that differs from "
+     "the recorded trace: the scheduler that wrote the trace behaved "
+     "differently from the one replaying it.",
+     "Diff the claimed and recomputed events at the reported line; either "
+     "the trace was edited or the scheduler changed behaviour."},
+    {"CCS-S013", "malformed-trace", Severity::kError,
+     "A trace line is not a valid event object: bad JSON, a missing "
+     "seq/kind field, or broken sequence numbering.",
+     "Regenerate the trace with --trace; traces are JSON Lines with "
+     "contiguous seq numbers starting at 0."},
 }};
 
 }  // namespace

@@ -1,7 +1,8 @@
 // ccsched — the lint rule catalogue.
 //
 // Every diagnostic the analysis subsystem can emit carries a *stable* code
-// (CCS-P### parse, CCS-G### graph structure, CCS-A### architecture fit).
+// (CCS-P### parse, CCS-G### graph structure, CCS-A### architecture fit,
+// CCS-S### schedule certification).
 // Codes are append-only API: CI annotations, suppression lists, and the
 // SARIF `rules` array all key on them, so a rule may be retired but its
 // code is never reused.  docs/DIAGNOSTICS.md is the human-facing catalogue

@@ -5,6 +5,7 @@
 #include <optional>
 #include <sstream>
 
+#include "analysis/certify.hpp"
 #include "analysis/lint.hpp"
 #include "arch/comm_model.hpp"
 #include "core/critical_cycle.hpp"
@@ -104,7 +105,7 @@ private:
   static bool needs_value(const std::string& key) {
     for (const char* k :
          {"arch", "passes", "speeds", "iterations", "warmup", "gantt",
-          "policy", "trace", "stats", "format"})
+          "policy", "trace", "stats", "format", "graph", "unfold", "replay"})
       if (key == k) return true;
     return false;
   }
@@ -342,6 +343,77 @@ int cmd_lint(Args& args, std::istream& in, std::ostream& out) {
   return bag.fails(werror) ? kFailure : kOk;
 }
 
+/// Renders a certification bag with the requested format and the
+/// "ccsched-certify" SARIF driver name.
+void render_certify(const DiagnosticBag& bag, const std::string& format,
+                    std::ostream& out) {
+  if (format == "jsonl") {
+    out << render_jsonl(bag);
+  } else if (format == "sarif") {
+    out << render_sarif(bag, "ccsched-certify");
+  } else {
+    out << render_text(bag);
+  }
+}
+
+int cmd_certify(Args& args, std::istream& in, std::ostream& out) {
+  const auto graph_path = args.value("graph");
+  if (!graph_path) throw UsageError{"certify: --graph <csdfg> is required"};
+  const std::string format = args.value("format").value_or("text");
+  if (format != "text" && format != "jsonl" && format != "sarif")
+    throw UsageError{"--format must be text, jsonl, or sarif"};
+  const bool werror = args.flag("werror");
+  const Topology topo = require_arch(args);
+  const StoreAndForwardModel comm(topo);
+  CertifyOptions certify_options;
+  certify_options.unfold_factor = args.int_value("unfold", 3);
+
+  bool used_stdin = false;
+  DiagnosticBag bag;
+  const Csdfg g = parse_csdfg(slurp(*graph_path, in, used_stdin));
+
+  if (const auto replay = args.value("replay")) {
+    if (!args.positional().empty())
+      throw UsageError{"certify --replay takes no <schedule> argument"};
+    CycloCompactionOptions opt;
+    const std::string policy = args.value("policy").value_or("relax");
+    if (policy == "relax") {
+      opt.policy = RemapPolicy::kWithRelaxation;
+    } else if (policy == "strict") {
+      opt.policy = RemapPolicy::kWithoutRelaxation;
+    } else {
+      throw UsageError{"certify --replay: --policy must be relax or strict"};
+    }
+    const int passes = args.int_value("passes", 0);
+    if (passes > 0) opt.passes = passes;
+    opt.startup.pipelined_pes = args.flag("pipelined");
+    if (const auto speeds = args.value("speeds")) {
+      opt.startup.pe_speeds = parse_speeds(*speeds);
+      if (opt.startup.pe_speeds.size() != topo.size())
+        throw UsageError{"--speeds must list one factor per processor"};
+    }
+    args.reject_unknown();
+    const std::string trace_text = slurp(*replay, in, used_stdin);
+    const std::string label = span_label(*replay);
+    (void)audit_trace(trace_text, label, policy == "strict", bag);
+    (void)replay_trace(g, topo, comm, opt, trace_text, label, bag);
+  } else {
+    if (args.positional().size() != 1)
+      throw UsageError{"certify: expected <schedule> (or --replay <trace>)"};
+    args.reject_unknown();
+    const std::string sched_path = args.positional()[0];
+    const std::string sched_text = slurp(sched_path, in, used_stdin);
+    const RawSchedule raw =
+        parse_raw_schedule(sched_text, span_label(sched_path), bag);
+    (void)certify_schedule(g, raw, topo, comm, certify_options, bag);
+  }
+
+  bag.finalize();
+  render_certify(bag, format, out);
+  if (bag.empty() && format == "text") out << "certified: no findings\n";
+  return bag.fails(werror) ? kFailure : kOk;
+}
+
 int cmd_schedule(Args& args, std::istream& in, std::ostream& out,
                  std::ostream& err) {
   if (args.positional().size() != 1)
@@ -375,6 +447,7 @@ int cmd_schedule(Args& args, std::istream& in, std::ostream& out,
   const bool emit_schedule = args.flag("emit-schedule");
   const bool emit_graph = args.flag("emit-graph");
   const bool quiet = args.flag("quiet");
+  const bool certify = args.flag("certify");
   ObsSetup obs_setup;
   obs_setup.init(args);
   args.reject_unknown();
@@ -384,6 +457,7 @@ int cmd_schedule(Args& args, std::istream& in, std::ostream& out,
   Csdfg final_graph = g;
   ScheduleTable table(g, 1);
   int startup_length = 0;
+  std::optional<CycloCompactionResult> run;
   if (policy == "modulo") {
     if (!opt.startup.pe_speeds.empty())
       throw UsageError{"--policy modulo does not support --speeds"};
@@ -396,26 +470,41 @@ int cmd_schedule(Args& args, std::istream& in, std::ostream& out,
     table = start_up_schedule(g, topo, comm, opt.startup, obs);
     startup_length = table.length();
   } else {
-    const CycloCompactionResult res = cyclo_compact(g, topo, comm, opt, obs);
-    table = res.best;
-    final_graph = res.retimed_graph;
-    startup_length = res.startup_length();
+    run = cyclo_compact(g, topo, comm, opt, obs);
+    table = run->best;
+    final_graph = run->retimed_graph;
+    startup_length = run->startup_length();
     if (obs.metrics != nullptr) {
       obs.metrics->set("schedule.startup_length", startup_length);
-      obs.metrics->set("schedule.best_length", res.best_length());
-      obs.metrics->set("schedule.best_pass", res.best_pass);
+      obs.metrics->set("schedule.best_length", run->best_length());
+      obs.metrics->set("schedule.best_pass", run->best_pass);
     }
   }
 
   obs.count("validate.calls");
   const auto report = validate_schedule(final_graph, table, comm);
+  bool certified = true;
+  if (certify) {
+    DiagnosticBag bag;
+    const std::string label = span_label(graph_path) + ":schedule";
+    certified = run ? certify_compaction_run(g, *run, comm, opt.policy, label,
+                                             {}, bag)
+                    : certify_table(final_graph, table, comm, label, bag);
+    bag.finalize();
+    if (!bag.empty())
+      err << "certify (see docs/DIAGNOSTICS.md):\n" << render_text(bag);
+  }
   if (!quiet) out << render_schedule(final_graph, table);
   out << "startup " << startup_length << " -> " << table.length() << " on "
-      << topo.name() << "  [" << (report.ok() ? "valid" : "INVALID") << "]\n";
+      << topo.name() << "  [" << (report.ok() ? "valid" : "INVALID") << "]";
+  if (certify) out << "  [" << (certified ? "certified" : "UNCERTIFIED") << "]";
+  out << '\n';
   obs_setup.finish(out);
   if (emit_graph) out << serialize_csdfg(final_graph);
-  if (emit_schedule) out << serialize_schedule(final_graph, table);
-  return report.ok() ? kOk : kFailure;
+  if (emit_schedule)
+    out << serialize_schedule(final_graph, table,
+                              run ? &run->retiming : nullptr);
+  return report.ok() && certified ? kOk : kFailure;
 }
 
 int cmd_validate(Args& args, std::istream& in, std::ostream& out) {
@@ -446,10 +535,22 @@ int cmd_simulate(Args& args, std::istream& in, std::ostream& out,
   const std::string graph_path = args.positional()[0];
   const std::string graph_text = slurp(graph_path, in, used_stdin);
   const Csdfg g = parse_csdfg(graph_text);
+  const std::string sched_path = args.positional()[1];
   const ScheduleTable table =
-      parse_schedule(g, slurp(args.positional()[1], in, used_stdin));
+      parse_schedule(g, slurp(sched_path, in, used_stdin));
   const Topology topo = require_arch(args);
   preflight_lint(graph_text, graph_path, topo, {}, err);
+
+  if (args.flag("certify")) {
+    const StoreAndForwardModel comm(topo);
+    DiagnosticBag bag;
+    const bool certified =
+        certify_table(g, table, comm, span_label(sched_path), bag);
+    bag.finalize();
+    if (!bag.empty())
+      err << "certify (see docs/DIAGNOSTICS.md):\n" << render_text(bag);
+    if (!certified) return kFailure;
+  }
 
   ExecutorOptions opt;
   opt.iterations = args.int_value("iterations", 64);
@@ -486,8 +587,8 @@ int cmd_simulate(Args& args, std::istream& in, std::ostream& out,
 
 void print_usage(std::ostream& err) {
   err << "usage: ccsched <command> [arguments]\n"
-         "commands: info, bound, retime, dot, lint, expand, schedule, "
-         "validate, simulate\n"
+         "commands: info, bound, retime, dot, lint, certify, expand, "
+         "schedule, validate, simulate\n"
          "see src/cli/cli.hpp for the full grammar\n";
 }
 
@@ -507,6 +608,7 @@ int run_cli(const std::vector<std::string>& args, std::istream& in,
     if (command == "retime") return cmd_retime(parsed, in, out);
     if (command == "dot") return cmd_dot(parsed, in, out);
     if (command == "lint") return cmd_lint(parsed, in, out);
+    if (command == "certify") return cmd_certify(parsed, in, out);
     if (command == "expand") return cmd_expand(parsed, in, out);
     if (command == "schedule") return cmd_schedule(parsed, in, out, err);
     if (command == "validate") return cmd_validate(parsed, in, out);

@@ -12,6 +12,14 @@
 //       --speeds a,b,c,...                   heterogeneous speed factors to check
 //       --format text|jsonl|sarif            report format (default text)
 //       --werror                             warnings fail the exit code
+//   ccsched certify <schedule> --graph <csdfg> --arch "<spec>" [options]
+//       --format text|jsonl|sarif            report format (default text)
+//       --werror                             warnings fail the exit code
+//       --unfold N                           unfold cross-check factor (default 3, <2 off)
+//   ccsched certify --replay <trace> --graph <csdfg> --arch "<spec>" [options]
+//       --policy relax|strict --passes N --pipelined --speeds a,b,...
+//                                            the configuration of the recorded
+//                                            run, replayed deterministically
 //   ccsched schedule <graph> --arch "<spec>" [options]
 //       --policy relax|strict|startup|modulo compaction policy (default relax)
 //       --passes N                           rotate-remap passes (default 3|V|)
@@ -19,11 +27,13 @@
 //       --speeds a,b,c,...                   heterogeneous speed factors
 //       --emit-schedule / --emit-graph       print the persistable artifacts
 //       --quiet                              summary line only
+//       --certify                            independent CCS-S certification
 //       --trace FILE                         JSONL pipeline events (docs/OBSERVABILITY.md)
 //       --stats FILE                         metrics JSON ('-' = stdout) + stats section
 //   ccsched validate <graph> <schedule> --arch "<spec>"
 //   ccsched simulate <graph> <schedule> --arch "<spec>" [options]
 //       --iterations N --warmup N --self-timed --contention --gantt CYCLES
+//       --certify                            certify the table before running
 //       --trace FILE --stats FILE            as for schedule
 //
 // `<graph>` and `<schedule>` are file paths, or `-` for stdin (at most one

@@ -34,4 +34,15 @@ struct UnfoldedScheduleResult {
     const Csdfg& g, int factor, const Topology& topo, const CommModel& comm,
     const CycloCompactionOptions& options = {});
 
+/// The flat schedule a cyclic table *induces* on an unfolded graph: copy j
+/// of task v runs at (PE(v), CB(v) + j*L), and the table spans factor*L
+/// steps.  A cyclic table is a valid schedule of g iff its induced flat
+/// schedule is a valid schedule of unfold(g, factor) — the certifier's
+/// translation-validation cross-check (CCS-S011).  Preconditions: `table`
+/// is complete, in-table (occupied_length() <= length()), conflict-free,
+/// and `unfolded` came from unfold(g, factor) for the table's graph.
+[[nodiscard]] ScheduleTable unfold_table(const ScheduleTable& table,
+                                         const Unfolded& unfolded,
+                                         int factor);
+
 }  // namespace ccs

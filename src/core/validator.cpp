@@ -4,6 +4,7 @@
 #include <limits>
 #include <map>
 #include <sstream>
+#include <tuple>
 
 #include "util/contracts.hpp"
 
@@ -90,6 +91,23 @@ ValidationReport validate_schedule(const Csdfg& g, const ScheduleTable& table,
       add(Violation::Kind::kDependence, os.str());
     }
   }
+
+  // Deterministic report: order by (kind, message) and drop duplicates, so
+  // callers can diff reports across runs and diagnostic bridges emit stable
+  // output regardless of map iteration details above.
+  const auto key = [](const Violation& v) {
+    return std::tie(v.kind, v.message);
+  };
+  std::sort(report.violations.begin(), report.violations.end(),
+            [&](const Violation& a, const Violation& b) {
+              return key(a) < key(b);
+            });
+  report.violations.erase(
+      std::unique(report.violations.begin(), report.violations.end(),
+                  [&](const Violation& a, const Violation& b) {
+                    return key(a) == key(b);
+                  }),
+      report.violations.end());
 
   return report;
 }

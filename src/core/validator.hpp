@@ -53,7 +53,8 @@ struct ValidationReport {
 /// Validates `table` as a complete static cyclic schedule of `g` under
 /// communication model `comm`.  Returns every violation found (never throws
 /// on an invalid schedule — failure injection tests depend on the full
-/// report).
+/// report).  The report is deterministic: violations are sorted by
+/// (kind, message) and exact duplicates are dropped.
 [[nodiscard]] ValidationReport validate_schedule(const Csdfg& g,
                                                  const ScheduleTable& table,
                                                  const CommModel& comm);

@@ -17,8 +17,10 @@ namespace {
 
 }  // namespace
 
-std::string serialize_schedule(const Csdfg& g, const ScheduleTable& table) {
+std::string serialize_schedule(const Csdfg& g, const ScheduleTable& table,
+                               const Retiming* retiming) {
   CCS_EXPECTS(g.node_count() == table.node_count());
+  CCS_EXPECTS(retiming == nullptr || retiming->size() == g.node_count());
   std::ostringstream os;
   os << "schedule " << table.length() << ' ' << table.num_pes();
   if (table.pipelined_pes()) os << " pipelined";
@@ -34,6 +36,10 @@ std::string serialize_schedule(const Csdfg& g, const ScheduleTable& table) {
   for (const auto& [v, p] : table.placements())
     os << "place " << g.node(v).name << ' ' << p.pe + 1 << ' ' << p.cb
        << '\n';
+  if (retiming != nullptr)
+    for (NodeId v = 0; v < g.node_count(); ++v)
+      if (retiming->of(v) != 0)
+        os << "retime " << g.node(v).name << ' ' << retiming->of(v) << '\n';
   return os.str();
 }
 
@@ -98,6 +104,17 @@ ScheduleTable parse_schedule(const Csdfg& g, std::istream& in) {
       if (!table->is_free(pe - 1, cb, cb + span - 1))
         fail(lineno, "slot conflict placing '" + name + "'");
       table->place(v, pe - 1, cb);
+    } else if (keyword == "retime") {
+      // Provenance only: validated, then discarded (the certifier reads
+      // retime lines through parse_raw_schedule).
+      std::string name;
+      long long r = 0;
+      if (!(ls >> name >> r)) fail(lineno, "retime: expected <task> <r>");
+      try {
+        (void)g.node_by_name(name);
+      } catch (const GraphError& e) {
+        fail(lineno, e.what());
+      }
     } else {
       fail(lineno, "unknown directive '" + keyword + "'");
     }
@@ -114,6 +131,96 @@ ScheduleTable parse_schedule(const Csdfg& g, std::istream& in) {
 ScheduleTable parse_schedule(const Csdfg& g, const std::string& text) {
   std::istringstream in(text);
   return parse_schedule(g, in);
+}
+
+RawSchedule parse_raw_schedule(const std::string& text,
+                               const std::string& filename,
+                               DiagnosticBag& bag) {
+  RawSchedule raw;
+  raw.file = filename;
+  const auto syntax = [&](std::size_t line, std::string message) {
+    bag.add("CCS-S001", SourceSpan{filename, line}, std::move(message));
+  };
+
+  std::istringstream in(text);
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream ls(line);
+    std::string keyword;
+    if (!(ls >> keyword)) continue;
+
+    if (keyword == "schedule") {
+      if (raw.has_directive) {
+        syntax(lineno, "duplicate schedule directive (first on line " +
+                           std::to_string(raw.schedule_line) + ")");
+        continue;
+      }
+      int length = 0;
+      long long pes = 0;
+      if (!(ls >> length >> pes) || length < 0 || pes < 1) {
+        syntax(lineno, "schedule: expected <length>=0> <pes>=1> [pipelined]");
+        continue;
+      }
+      std::string flag;
+      raw.has_directive = true;
+      raw.schedule_line = lineno;
+      raw.length = length;
+      raw.num_pes = static_cast<std::size_t>(pes);
+      raw.pipelined = (ls >> flag) && flag == "pipelined";
+    } else if (keyword == "speeds") {
+      std::vector<int> speeds;
+      int s = 0;
+      bool ok = true;
+      while (ls >> s) {
+        if (s < 1) {
+          syntax(lineno, "speeds: factors must be >= 1");
+          ok = false;
+          break;
+        }
+        speeds.push_back(s);
+      }
+      if (!ok) continue;
+      if (!raw.has_directive || speeds.size() != raw.num_pes) {
+        syntax(lineno,
+               "speeds: expected one factor per processor, after the "
+               "schedule directive");
+        continue;
+      }
+      raw.speeds = std::move(speeds);
+      raw.speeds_line = lineno;
+    } else if (keyword == "place") {
+      RawPlacement p;
+      long long pe = 0;
+      if (!(ls >> p.task >> pe >> p.cb)) {
+        syntax(lineno, "place: expected <task> <pe> <cb>");
+        continue;
+      }
+      if (pe < 1) {
+        syntax(lineno, "place: pe must be >= 1");
+        continue;
+      }
+      p.pe = static_cast<std::size_t>(pe);
+      p.line = lineno;
+      raw.places.push_back(std::move(p));
+    } else if (keyword == "retime") {
+      RawRetime r;
+      if (!(ls >> r.task >> r.r)) {
+        syntax(lineno, "retime: expected <task> <r>");
+        continue;
+      }
+      r.line = lineno;
+      raw.retimes.push_back(std::move(r));
+    } else {
+      syntax(lineno, "unknown directive '" + keyword + "'");
+    }
+  }
+  if (!raw.has_directive)
+    syntax(0, "missing schedule directive");
+  return raw;
 }
 
 }  // namespace ccs

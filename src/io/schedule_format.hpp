@@ -6,25 +6,39 @@
 // graph format:
 //
 //   schedule <length> <num_pes> [pipelined]
+//   speeds <s1> ... <sP>            # optional, heterogeneous machines
 //   place <task-name> <pe (1-based)> <cb>
+//   retime <task-name> <r>          # optional provenance: accumulated
+//                                   # retiming from the original graph
 //
 // Task names are resolved against the graph the schedule belongs to, so a
 // file is only meaningful alongside its (possibly retimed) CSDFG — the
-// serializer for graphs lives in io/text_format.hpp.
+// serializer for graphs lives in io/text_format.hpp.  `retime` lines
+// record the accumulated retiming the rotation phase applied; the strict
+// parser validates and discards them (the certifier consumes them through
+// the raw representation below).
 #pragma once
 
+#include <cstddef>
 #include <iosfwd>
 #include <string>
+#include <vector>
 
+#include "analysis/diagnostics.hpp"
 #include "core/csdfg.hpp"
+#include "core/retiming.hpp"
 #include "core/schedule.hpp"
 
 namespace ccs {
 
-/// Serializes `table` (placements in ascending task id).  parse_schedule
-/// round-trips it against the same graph.
+/// Serializes `table` (placements in ascending task id).  When `retiming`
+/// is non-null, appends one `retime` line per task with a non-zero r(v) —
+/// the provenance the certifier audits (CCS-S008).  parse_schedule
+/// round-trips the result against the same graph.
 [[nodiscard]] std::string serialize_schedule(const Csdfg& g,
-                                             const ScheduleTable& table);
+                                             const ScheduleTable& table,
+                                             const Retiming* retiming =
+                                                 nullptr);
 
 /// Parses the schedule format against `g`.  Throws ParseError with a line
 /// number on malformed input (unknown task, double placement, occupancy
@@ -34,5 +48,52 @@ namespace ccs {
 /// Convenience overload for in-memory text.
 [[nodiscard]] ScheduleTable parse_schedule(const Csdfg& g,
                                            const std::string& text);
+
+// --- Raw (lenient) representation for the certifier ------------------------
+//
+// The certifier (src/analysis/certify.hpp) must be able to inspect
+// schedules the strict parser rejects — overlapping placements, lengths
+// below the occupied span — so it re-derives every property itself.  The
+// raw parser keeps each directive as written, with its source line, and
+// reports only *syntax* problems; semantic problems (unknown tasks,
+// conflicts, broken constraints) are the certifier's job.
+
+/// One `place` directive as written.
+struct RawPlacement {
+  std::string task;     ///< Task name, unresolved.
+  std::size_t pe = 1;   ///< 1-based processor as in the file.
+  int cb = 0;           ///< First control step.
+  std::size_t line = 0; ///< Declaring line.
+};
+
+/// One `retime` directive as written.
+struct RawRetime {
+  std::string task;
+  long long r = 0;
+  std::size_t line = 0;
+};
+
+/// A schedule file, structurally parsed but semantically unchecked.
+struct RawSchedule {
+  std::string file = "<schedule>";
+  bool has_directive = false;     ///< A `schedule` line was seen.
+  int length = 0;
+  std::size_t num_pes = 1;
+  bool pipelined = false;
+  std::vector<int> speeds;        ///< Empty = homogeneous.
+  std::vector<RawPlacement> places;
+  std::vector<RawRetime> retimes;
+  std::size_t schedule_line = 0;  ///< Line of the `schedule` directive.
+  std::size_t speeds_line = 0;    ///< Line of the `speeds` directive (0 if none).
+};
+
+/// Parses the schedule format leniently: every directive that scans is
+/// recorded verbatim; lines that do not scan (and structural misuses such
+/// as a duplicate or missing `schedule` directive) are reported into `bag`
+/// as CCS-S001 diagnostics with their source line, then skipped.  Never
+/// throws.  `filename` labels the spans.
+[[nodiscard]] RawSchedule parse_raw_schedule(const std::string& text,
+                                             const std::string& filename,
+                                             DiagnosticBag& bag);
 
 }  // namespace ccs

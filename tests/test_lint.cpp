@@ -120,9 +120,13 @@ TEST(LintCorpus, EachFileFiresExactlyItsCode) {
 TEST(LintCorpus, CorpusCoversEveryRule) {
   std::set<std::string> covered;
   for (const CorpusCase& c : kCorpus) covered.insert(c.code);
-  for (const LintRule& r : all_rules())
+  for (const LintRule& r : all_rules()) {
+    // Schedule-certification rules (CCS-S###) are pinned by the
+    // bad_schedules corpus in test_certify.cpp, not by lint inputs.
+    if (r.code.rfind("CCS-S", 0) == 0) continue;
     EXPECT_TRUE(covered.count(std::string(r.code)))
         << r.code << " has no corpus file";
+  }
 }
 
 TEST(LintCorpus, ShippedGoodExamplesLintClean) {

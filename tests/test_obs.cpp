@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/certify.hpp"
 #include "arch/comm_model.hpp"
 #include "arch/topology.hpp"
 #include "cli/cli.hpp"
@@ -17,6 +18,7 @@
 #include "obs/metrics.hpp"
 #include "obs/obs.hpp"
 #include "obs/trace.hpp"
+#include "obs/trace_reader.hpp"
 #include "workloads/library.hpp"
 
 namespace ccs {
@@ -426,6 +428,148 @@ TEST(ObsCli, SimulateEmitsSimRunEvent) {
     if (string_field(line, "kind") == "sim_run") saw_sim_run = true;
   }
   EXPECT_TRUE(saw_sim_run);
+}
+
+// ------------------------------------------------- trace reader + replay
+
+TEST(TraceReader, RoundTripsTracerOutput) {
+  VectorSink sink;
+  Tracer tracer(&sink);
+  tracer.emit(PassStartEvent{1, 7});
+  tracer.emit(RotationEvent{1, {2, 5}});
+  tracer.emit(RemapDecisionEvent{3, true, 1, 4, 2, 9, 8, 3, "placed"});
+  std::string text;
+  for (const std::string& line : sink.lines()) text += line + "\n";
+
+  const ParsedTrace parsed = parse_trace_jsonl(text);
+  EXPECT_TRUE(parsed.issues.empty());
+  ASSERT_EQ(parsed.events.size(), 3u);
+  long long seq = -1;
+  EXPECT_TRUE(parsed.events[1].number("seq", seq));
+  EXPECT_EQ(seq, 1);
+  std::string kind;
+  EXPECT_TRUE(parsed.events[2].string("kind", kind));
+  EXPECT_EQ(kind, "remap_decision");
+  const TraceField* rotated = parsed.events[1].find("rotated");
+  ASSERT_NE(rotated, nullptr);
+  EXPECT_EQ(rotated->kind, TraceField::Kind::kArray);
+  EXPECT_EQ(rotated->text, "[2,5]");
+  EXPECT_EQ(canonical_trace_event(parsed.events[0]),
+            "seq=0;kind=pass_start;pass=1;length=7");
+}
+
+TEST(TraceReader, ReportsMalformedLinesWithTheirNumbers) {
+  const ParsedTrace parsed = parse_trace_jsonl(
+      "{\"seq\":0,\"kind\":\"pass_start\"}\n"
+      "\n"
+      "{\"seq\":1,\"kind\":\"pass_end\"\n"
+      "[1,2,3]\n");
+  EXPECT_EQ(parsed.events.size(), 1u);
+  ASSERT_EQ(parsed.issues.size(), 2u);
+  EXPECT_EQ(parsed.issues[0].line, 3u);
+  EXPECT_EQ(parsed.issues[1].line, 4u);
+}
+
+/// A recorded scheduling trace of the paper graph, produced in-process.
+std::string record_paper_trace(const Csdfg& g, const Topology& topo,
+                               const CommModel& comm,
+                               const CycloCompactionOptions& opt) {
+  VectorSink sink;
+  Tracer tracer(&sink);
+  const ObsContext obs{&tracer, nullptr};
+  (void)cyclo_compact(g, topo, comm, opt, obs);
+  std::string text;
+  for (const std::string& line : sink.lines()) text += line + "\n";
+  return text;
+}
+
+TEST(TraceReplay, FaithfulTraceVerifiesAndTamperedTraceIsRejected) {
+  const Csdfg g = paper_example6();
+  const Topology topo = make_mesh(2, 2);
+  const StoreAndForwardModel comm(topo);
+  const CycloCompactionOptions opt;
+  const std::string text = record_paper_trace(g, topo, comm, opt);
+
+  DiagnosticBag clean;
+  EXPECT_TRUE(audit_trace(text, "<trace>", false, clean));
+  EXPECT_TRUE(replay_trace(g, topo, comm, opt, text, "<trace>", clean))
+      << render_text(clean);
+  EXPECT_TRUE(clean.empty()) << render_text(clean);
+
+  // Tamper with one remap decision: claim a different target step.  The
+  // stream still parses and passes the structural audit, but the replay
+  // diff pins the exact line.
+  std::string tampered = text;
+  const auto pos = tampered.find("\"cb\":");
+  ASSERT_NE(pos, std::string::npos);
+  tampered.insert(pos + 5, "9");  // "cb":N -> "cb":9N
+  DiagnosticBag bag;
+  EXPECT_FALSE(replay_trace(g, topo, comm, opt, tampered, "<trace>", bag));
+  bag.finalize();
+  ASSERT_FALSE(bag.empty());
+  EXPECT_EQ(bag.diagnostics()[0].code, "CCS-S012");
+  EXPECT_NE(bag.diagnostics()[0].message.find("diverges"),
+            std::string::npos);
+
+  // Dropping an event is also a divergence.
+  const auto cut = text.find('\n');
+  DiagnosticBag dropped;
+  EXPECT_FALSE(replay_trace(g, topo, comm, opt, text.substr(cut + 1),
+                            "<trace>", dropped));
+
+  // A syntactically broken stream is CCS-S013 before any diffing.
+  DiagnosticBag broken;
+  EXPECT_FALSE(
+      replay_trace(g, topo, comm, opt, "...not json\n", "<trace>", broken));
+  broken.finalize();
+  ASSERT_FALSE(broken.empty());
+  EXPECT_EQ(broken.diagnostics()[0].code, "CCS-S013");
+}
+
+TEST(TraceReplay, CliReplayModeVerifiesARecordedRun) {
+  const std::string dir = ::testing::TempDir();
+  const std::string graph =
+      std::string(CCS_EXAMPLES_DATA_DIR) + "/paper_fig1b.csdfg";
+  const std::string trace_path = dir + "/replay_cli.jsonl";
+
+  std::istringstream in1;
+  std::ostringstream out1, err1;
+  ASSERT_EQ(run_cli({"schedule", graph, "--arch", "mesh 2 2", "--quiet",
+                     "--trace", trace_path},
+                    in1, out1, err1),
+            0)
+      << err1.str();
+
+  std::istringstream in2;
+  std::ostringstream out2, err2;
+  EXPECT_EQ(run_cli({"certify", "--replay", trace_path, "--graph", graph,
+                     "--arch", "mesh 2 2"},
+                    in2, out2, err2),
+            0)
+      << out2.str() << err2.str();
+
+  // Flip one digit in the file and the replay must fail with CCS-S012.
+  std::string text;
+  {
+    std::ifstream f(trace_path);
+    std::ostringstream os;
+    os << f.rdbuf();
+    text = os.str();
+  }
+  const auto pos = text.find("\"an\":");
+  ASSERT_NE(pos, std::string::npos);
+  text.insert(pos + 5, "1");
+  {
+    std::ofstream f(trace_path);
+    f << text;
+  }
+  std::istringstream in3;
+  std::ostringstream out3, err3;
+  EXPECT_EQ(run_cli({"certify", "--replay", trace_path, "--graph", graph,
+                     "--arch", "mesh 2 2"},
+                    in3, out3, err3),
+            1);
+  EXPECT_NE(out3.str().find("CCS-S012"), std::string::npos) << out3.str();
 }
 
 }  // namespace

@@ -40,3 +40,42 @@ for graph in "${repo_root}"/examples/data/bad/*.csdfg; do
   fi
   echo "rejected as expected: ${graph}"
 done
+
+# Certify gate (docs/DIAGNOSTICS.md, CCS-S rules).  Two directions:
+#  1. every schedule the pipeline produces over the shipped graphs must
+#     certify clean — in-process (--certify) and again after a file
+#     round trip through --emit-graph/--emit-schedule;
+#  2. every mutation in examples/data/bad_schedules must be rejected with
+#     exactly the CCS-S code its name promises, in text and SARIF alike.
+echo "== certify gate =="
+workdir="$(mktemp -d)"
+trap 'rm -rf "${workdir}"' EXIT
+for graph in "${repo_root}"/examples/data/*.csdfg; do
+  for policy in relax strict startup modulo; do
+    "${ccsched}" schedule "${graph}" --arch "mesh 2 2" --policy "${policy}" \
+      --certify --quiet --emit-graph --emit-schedule > "${workdir}/art.txt"
+    sed -n '/^graph /,/^schedule /p' "${workdir}/art.txt" | sed '$d' \
+      > "${workdir}/rt.csdfg"
+    sed -n '/^schedule /,$p' "${workdir}/art.txt" > "${workdir}/rt.sched"
+    "${ccsched}" certify "${workdir}/rt.sched" --graph "${workdir}/rt.csdfg" \
+      --arch "mesh 2 2" > /dev/null
+    echo "certified (${policy}): ${graph}"
+  done
+done
+bad_sched_dir="${repo_root}/examples/data/bad_schedules"
+for sched in "${bad_sched_dir}"/s*.sched; do
+  code="CCS-S$(basename "${sched}" | cut -c2-4)"
+  for format in text sarif; do
+    if "${ccsched}" certify "${sched}" --graph "${bad_sched_dir}/graph.csdfg" \
+        --arch "linear_array 2" --format "${format}" > "${workdir}/out.txt"; then
+      echo "error: ${sched} should have been rejected (${format})" >&2
+      exit 1
+    fi
+    if ! grep -q "${code}" "${workdir}/out.txt"; then
+      echo "error: ${sched} (${format}) did not report ${code}" >&2
+      cat "${workdir}/out.txt" >&2
+      exit 1
+    fi
+  done
+  echo "rejected with ${code}: ${sched}"
+done
