@@ -1,0 +1,91 @@
+// ccsched failover walkthrough — surviving a fail-stop processor.
+//
+// The paper's schedules are static: every task is pinned to a processor and
+// a control step, forever.  This example shows what the resilience subsystem
+// does when "forever" ends — a processor of the 2x2 mesh fail-stops — in
+// four movements:
+//
+//   1. schedule the Figure 1(b) loop with cyclo-compaction (the baseline);
+//   2. inject the fault plan from examples/data/failover.faults into the
+//      cycle-accurate executor and watch the schedule break;
+//   3. repair: walk the degradation ladder (remap -> recompaction ->
+//      list-schedule -> serial) on the reduced machine;
+//   4. verify the repaired table with the independent certifier.
+//
+// Build & run:   ./examples/failover_repair
+// CLI twin:      ccsched stress examples/data/paper_fig1b.csdfg
+//                    --arch "mesh 2 2"
+//                    --faults examples/data/failover.faults --repair
+#include <iostream>
+
+#include "analysis/certify.hpp"
+#include "arch/comm_model.hpp"
+#include "arch/topology.hpp"
+#include "core/cyclo_compaction.hpp"
+#include "io/table_printer.hpp"
+#include "robust/fault_plan.hpp"
+#include "robust/repair.hpp"
+#include "sim/executor.hpp"
+#include "workloads/library.hpp"
+
+int main() {
+  using namespace ccs;
+
+  // 1. Baseline: the six-task walkthrough graph on a 2x2 mesh.
+  const Csdfg g = paper_example6();
+  const Topology mesh = make_mesh(2, 2);
+  const StoreAndForwardModel comm(mesh);
+  const CycloCompactionResult base = cyclo_compact(g, mesh, comm);
+  std::cout << "baseline on " << mesh.name() << " (length "
+            << base.best_length() << "):\n"
+            << render_schedule(base.retimed_graph, base.best);
+
+  // 2. The fault plan: p1 fail-stops at iteration 4, and task E jitters one
+  //    step long (the same plan as examples/data/failover.faults).
+  FaultPlan plan;
+  plan.pe_faults.push_back({/*pe=*/1, /*iteration=*/4});
+  plan.jitters.push_back({g.node_by_name("E"), +1});
+  std::cout << "\nfault plan:\n" << describe_fault_plan(plan, g);
+
+  ExecutorOptions sim;
+  sim.iterations = 16;
+  sim.warmup = 0;
+  sim.faults = &plan;
+  const ExecutionStats stats =
+      execute_static(base.retimed_graph, base.best, mesh, sim);
+  std::cout << "\ninjected over " << sim.iterations << " iterations: "
+            << stats.failed_instances << " instances failed, "
+            << stats.starved_instances << " starved, " << stats.late_arrivals
+            << " late arrivals (first failure @iter "
+            << stats.first_failure_iteration << ")\n";
+
+  // 3. Repair: rebuild a certified schedule for the surviving machine.  The
+  //    ladder tries the cheap rung first (keep survivors, re-place only
+  //    p1's tasks) and escalates only as needed.
+  const RepairOutcome outcome = repair_schedule(g, base, mesh, plan);
+  std::cout << "\nrepair ladder:\n";
+  for (const std::string& attempt : outcome.attempts)
+    std::cout << "  " << attempt << '\n';
+  if (!outcome.success) {
+    std::cout << "repair infeasible: " << outcome.detail << '\n';
+    return 1;
+  }
+  std::cout << "winning rung: " << repair_rung_name(outcome.rung)
+            << " (length " << outcome.schedule->length() << " on "
+            << outcome.machine->name() << ")\npe map: ";
+  for (std::size_t p = 0; p < outcome.to_original.size(); ++p)
+    std::cout << (p ? ", " : "") << 'p' << p << "->p"
+              << outcome.to_original[p];
+  std::cout << '\n' << render_schedule(outcome.graph, *outcome.schedule);
+
+  // 4. Trust, then verify: the certifier re-derives every constraint from
+  //    first principles on the reduced machine.
+  const StoreAndForwardModel reduced_comm(*outcome.machine);
+  DiagnosticBag bag;
+  const bool certified = certify_table(outcome.graph, *outcome.schedule,
+                                       reduced_comm, "repaired", bag);
+  bag.finalize();
+  std::cout << "\ncertifier verdict: "
+            << (certified ? "certified" : "REJECTED") << '\n';
+  return certified ? 0 : 1;
+}

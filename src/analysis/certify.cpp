@@ -383,7 +383,7 @@ bool known_trace_kind(std::string_view kind) {
   static const std::set<std::string, std::less<>> kinds = {
       "pass_start", "rotation",    "remap_target", "remap_decision",
       "psl_pad",    "rollback",    "pass_end",     "startup_done",
-      "sim_run"};
+      "sim_run",    "fault",       "repair_attempt", "budget_exhausted"};
   return kinds.find(kind) != kinds.end();
 }
 
@@ -491,7 +491,11 @@ bool replay_trace(const Csdfg& g, const Topology& topo, const CommModel& comm,
   std::vector<const TraceEvent*> events;
   for (const TraceEvent& e : recorded.events) {
     std::string kind;
-    if (e.string("kind", kind) && kind == "sim_run") continue;
+    // Events appended to the same file by other stages — simulator runs,
+    // fault injection, repair — are outside the scheduling-pipeline replay.
+    if (e.string("kind", kind) &&
+        (kind == "sim_run" || kind == "fault" || kind == "repair_attempt"))
+      continue;
     events.push_back(&e);
   }
 

@@ -6,7 +6,7 @@ namespace ccs {
 
 namespace {
 
-constexpr std::array<LintRule, 27> kRules{{
+constexpr std::array<LintRule, 29> kRules{{
     {"CCS-P001", "syntax-error", Severity::kError,
      "A line of the graph file does not match any directive grammar.",
      "Use `graph <name>`, `node <name> <time>`, or `edge <from> <to> "
@@ -144,6 +144,18 @@ constexpr std::array<LintRule, 27> kRules{{
      "seq/kind field, or broken sequence numbering.",
      "Regenerate the trace with --trace; traces are JSON Lines with "
      "contiguous seq numbers starting at 0."},
+    {"CCS-F001", "fault-spec-syntax", Severity::kError,
+     "A line of the fault spec does not match any directive grammar.",
+     "Use `fail <pe> [@iter <n>]`, `link <peA> <peB> [@iter <n>]`, or "
+     "`jitter <task> <+n|-n>`; `#` starts a comment and iterations are "
+     "0-based."},
+    {"CCS-F002", "fault-unknown-target", Severity::kError,
+     "A fault directive names a target the graph or architecture does not "
+     "have: a PE index out of range, a pair of PEs with no link between "
+     "them, or an unknown task name.",
+     "Name PEs p0..p<P-1> of the --arch machine, fail only links the "
+     "topology actually has, and spell task names as the graph file "
+     "declares them."},
 }};
 
 }  // namespace

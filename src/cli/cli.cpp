@@ -22,6 +22,8 @@
 #include "sdf/sdf.hpp"
 #include "sdf/sdf_format.hpp"
 #include "obs/obs.hpp"
+#include "robust/fault_plan.hpp"
+#include "robust/repair.hpp"
 #include "sim/executor.hpp"
 #include "sim/gantt.hpp"
 #include "util/error.hpp"
@@ -105,7 +107,8 @@ private:
   static bool needs_value(const std::string& key) {
     for (const char* k :
          {"arch", "passes", "speeds", "iterations", "warmup", "gantt",
-          "policy", "trace", "stats", "format", "graph", "unfold", "replay"})
+          "policy", "trace", "stats", "format", "graph", "unfold", "replay",
+          "faults", "budget-passes", "budget-ms", "patience"})
       if (key == k) return true;
     return false;
   }
@@ -144,6 +147,20 @@ std::vector<int> parse_speeds(const std::string& csv) {
   }
   if (speeds.empty()) throw UsageError{"--speeds list is empty"};
   return speeds;
+}
+
+/// Shared budget flags (--budget-passes/--budget-ms/--patience); zero (the
+/// default) disables each condition (core/budget.hpp).
+RunBudget parse_budget(Args& args) {
+  RunBudget budget;
+  budget.max_passes = args.int_value("budget-passes", 0);
+  const int deadline = args.int_value("budget-ms", 0);
+  budget.deadline_ms = deadline;
+  budget.patience = args.int_value("patience", 0);
+  if (budget.max_passes < 0 || deadline < 0 || budget.patience < 0)
+    throw UsageError{
+        "--budget-passes/--budget-ms/--patience must be >= 0"};
+  return budget;
 }
 
 Topology require_arch(Args& args) {
@@ -438,6 +455,7 @@ int cmd_schedule(Args& args, std::istream& in, std::ostream& out,
   }
   const int passes = args.int_value("passes", 0);
   if (passes > 0) opt.passes = passes;
+  opt.budget = parse_budget(args);
   opt.startup.pipelined_pes = args.flag("pipelined");
   if (const auto speeds = args.value("speeds")) {
     opt.startup.pe_speeds = parse_speeds(*speeds);
@@ -499,6 +517,9 @@ int cmd_schedule(Args& args, std::istream& in, std::ostream& out,
       << topo.name() << "  [" << (report.ok() ? "valid" : "INVALID") << "]";
   if (certify) out << "  [" << (certified ? "certified" : "UNCERTIFIED") << "]";
   out << '\n';
+  if (run && !run->stop_reason.empty())
+    out << "budget: stopped by " << run->stop_reason << " after "
+        << run->length_trace.size() << " pass(es)\n";
   obs_setup.finish(out);
   if (emit_graph) out << serialize_csdfg(final_graph);
   if (emit_schedule)
@@ -585,10 +606,133 @@ int cmd_simulate(Args& args, std::istream& in, std::ostream& out,
   return !self_timed && stats.late_arrivals > 0 ? kFailure : kOk;
 }
 
+int cmd_stress(Args& args, std::istream& in, std::ostream& out,
+               std::ostream& err) {
+  if (args.positional().size() != 1)
+    throw UsageError{"stress: expected <graph>"};
+  bool used_stdin = false;
+  const std::string graph_path = args.positional()[0];
+  const std::string graph_text = slurp(graph_path, in, used_stdin);
+  const Csdfg g = parse_csdfg(graph_text);
+  const Topology topo = require_arch(args);
+  const StoreAndForwardModel comm(topo);
+
+  const auto faults_path = args.value("faults");
+  if (!faults_path) throw UsageError{"stress: --faults <spec> is required"};
+  const std::string faults_text = slurp(*faults_path, in, used_stdin);
+
+  CycloCompactionOptions opt;
+  const std::string policy = args.value("policy").value_or("relax");
+  if (policy == "relax") {
+    opt.policy = RemapPolicy::kWithRelaxation;
+  } else if (policy == "strict") {
+    opt.policy = RemapPolicy::kWithoutRelaxation;
+  } else {
+    throw UsageError{"stress: --policy must be relax or strict"};
+  }
+  const int passes = args.int_value("passes", 0);
+  if (passes > 0) opt.passes = passes;
+  opt.budget = parse_budget(args);
+  opt.startup.pipelined_pes = args.flag("pipelined");
+  if (const auto speeds = args.value("speeds")) {
+    opt.startup.pe_speeds = parse_speeds(*speeds);
+    if (opt.startup.pe_speeds.size() != topo.size())
+      throw UsageError{"--speeds must list one factor per processor"};
+  }
+
+  ExecutorOptions sim_opt;
+  sim_opt.iterations = args.int_value("iterations", 64);
+  sim_opt.warmup = args.int_value("warmup", sim_opt.iterations / 4);
+
+  const bool repair = args.flag("repair");
+  const bool quiet = args.flag("quiet");
+  const bool emit_schedule = args.flag("emit-schedule");
+  const bool werror = args.flag("werror");
+  ObsSetup obs_setup;
+  obs_setup.init(args);
+  args.reject_unknown();
+  const ObsContext& obs = obs_setup.obs();
+  preflight_lint(graph_text, graph_path, topo, opt.startup.pe_speeds, err);
+
+  // The fault spec parses leniently; any CCS-F finding is fatal (a stress
+  // run against a half-understood plan would be meaningless).
+  DiagnosticBag bag;
+  const FaultSpec spec =
+      parse_fault_spec(faults_text, span_label(*faults_path), bag);
+  const FaultPlan plan = bind_fault_spec(spec, g, topo, bag);
+  bag.finalize();
+  if (!bag.empty())
+    err << "fault spec (see docs/DIAGNOSTICS.md):\n" << render_text(bag);
+  if (bag.fails(werror)) return kFailure;
+
+  const CycloCompactionResult run = cyclo_compact(g, topo, comm, opt, obs);
+  out << "baseline: startup " << run.startup_length() << " -> "
+      << run.best_length() << " on " << topo.name() << '\n';
+  if (!run.stop_reason.empty())
+    out << "budget:   stopped by " << run.stop_reason << '\n';
+
+  out << "faults:\n";
+  if (plan.empty()) {
+    out << "  (none)\n";
+  } else {
+    std::istringstream described(describe_fault_plan(plan, g));
+    std::string line;
+    while (std::getline(described, line)) out << "  " << line << '\n';
+  }
+
+  sim_opt.faults = &plan;
+  const ExecutionStats stats =
+      execute_static(run.retimed_graph, run.best, topo, sim_opt, obs);
+  out << "injection: " << sim_opt.iterations << " iteration(s): "
+      << stats.failed_instances << " failed, " << stats.starved_instances
+      << " starved, " << stats.lost_messages << " lost message(s), "
+      << stats.late_arrivals << " late arrival(s)";
+  if (stats.first_failure_iteration >= 0)
+    out << ", first failure @iter " << stats.first_failure_iteration;
+  out << '\n';
+
+  const bool broken = stats.failed_instances + stats.starved_instances +
+                          stats.lost_messages + stats.late_arrivals >
+                      0;
+  out << "verdict:  " << (broken ? "broken" : "unaffected") << '\n';
+
+  if (!repair) {
+    obs_setup.finish(out);
+    return broken ? kFailure : kOk;
+  }
+
+  RepairOptions ropt;
+  ropt.pe_speeds = opt.startup.pe_speeds;
+  ropt.pipelined_pes = opt.startup.pipelined_pes;
+  ropt.compaction = opt;
+  const RepairOutcome outcome = repair_schedule(g, run, topo, plan, ropt, obs);
+  out << "repair ladder:\n";
+  for (const std::string& attempt : outcome.attempts)
+    out << "  " << attempt << '\n';
+  if (!outcome.success) {
+    out << "repair:   infeasible (" << outcome.detail << ")\n";
+    obs_setup.finish(out);
+    return kFailure;
+  }
+  out << "repaired: rung " << repair_rung_name(outcome.rung) << ", length "
+      << outcome.schedule->length() << " on " << outcome.machine->name()
+      << "  [certified]\n"
+      << "pe map:   ";
+  for (std::size_t p = 0; p < outcome.to_original.size(); ++p)
+    out << (p ? ", " : "") << 'p' << p << "->p" << outcome.to_original[p];
+  out << '\n';
+  if (!quiet) out << render_schedule(outcome.graph, *outcome.schedule);
+  obs_setup.finish(out);
+  if (emit_schedule)
+    out << serialize_schedule(outcome.graph, *outcome.schedule,
+                              &outcome.retiming);
+  return kOk;
+}
+
 void print_usage(std::ostream& err) {
   err << "usage: ccsched <command> [arguments]\n"
          "commands: info, bound, retime, dot, lint, certify, expand, "
-         "schedule, validate, simulate\n"
+         "schedule, validate, simulate, stress\n"
          "see src/cli/cli.hpp for the full grammar\n";
 }
 
@@ -613,6 +757,7 @@ int run_cli(const std::vector<std::string>& args, std::istream& in,
     if (command == "schedule") return cmd_schedule(parsed, in, out, err);
     if (command == "validate") return cmd_validate(parsed, in, out);
     if (command == "simulate") return cmd_simulate(parsed, in, out, err);
+    if (command == "stress") return cmd_stress(parsed, in, out, err);
     err << "unknown command '" << command << "'\n";
     print_usage(err);
     return kUsage;

@@ -30,18 +30,38 @@
 //       --certify                            independent CCS-S certification
 //       --trace FILE                         JSONL pipeline events (docs/OBSERVABILITY.md)
 //       --stats FILE                         metrics JSON ('-' = stdout) + stats section
+//   ccsched schedule also takes the run-budget flags (core/budget.hpp):
+//       --budget-passes N                    stop after N rotate-remap passes
+//       --budget-ms N                        wall-clock deadline in milliseconds
+//       --patience N                         stop after N passes without a new best
 //   ccsched validate <graph> <schedule> --arch "<spec>"
 //   ccsched simulate <graph> <schedule> --arch "<spec>" [options]
 //       --iterations N --warmup N --self-timed --contention --gantt CYCLES
 //       --certify                            certify the table before running
 //       --trace FILE --stats FILE            as for schedule
+//   ccsched stress <graph> --arch "<spec>" --faults <spec> [options]
+//       --repair                             walk the degradation ladder after
+//                                            injection (docs/ROBUSTNESS.md)
+//       --policy relax|strict --passes N --pipelined --speeds a,b,...
+//       --iterations N --warmup N            fault-injected static execution
+//       --budget-passes/--budget-ms/--patience   as for schedule
+//       --emit-schedule --quiet --werror --trace FILE --stats FILE
 //
-// `<graph>` and `<schedule>` are file paths, or `-` for stdin (at most one
-// stdin argument per invocation).  Architecture specs use the
+// `<graph>`, `<schedule>`, and `<faults>` are file paths, or `-` for stdin
+// (at most one stdin argument per invocation).  Architecture specs use the
 // io/text_format.hpp grammar ("mesh 4 2", "ring 8 uni", ...).
 //
-// Returns a process exit code: 0 success, 1 failure (invalid schedule,
-// infeasible request), 2 usage error.
+// Exit-code contract (pinned by tests/test_cli.cpp):
+//   0  success — the command did what was asked; for lint/certify, the
+//      report carries no errors (nor warnings under --werror); for stress,
+//      the schedule survived the plan or --repair produced a certified
+//      replacement.
+//   1  operational failure — unreadable/unwritable files, malformed inputs
+//      rejected by the strict parsers, invalid or uncertified schedules,
+//      error-bearing diagnostic reports, --werror promotions, infeasible
+//      repairs.
+//   2  usage error — unknown command/option, missing required argument, or
+//      a malformed option value; nothing was executed.
 #pragma once
 
 #include <iosfwd>

@@ -1,0 +1,87 @@
+// ccsched — run budgets: cooperative cancellation for open-ended searches.
+//
+// Cyclo-compaction runs a fixed number of rotate-remap passes, but a
+// production caller cannot afford "fixed" to mean "minutes": a serving
+// deadline, a repair path racing a failover, or a CI job all need the
+// driver to stop early and hand back the best schedule found so far.  A
+// RunBudget expresses three independent stop conditions checked at pass
+// boundaries (the passes themselves are short; finer-grained cancellation
+// would buy nothing and cost determinism):
+//
+//  * max_passes — a hard cap below the configured pass count;
+//  * deadline_ms — wall-clock, measured on an *injectable* clock so tests
+//    and replay stay deterministic (the default steady clock is only used
+//    when no clock is supplied);
+//  * patience — stop after this many consecutive passes without a new
+//    best length (the paper's examples converge within a handful of
+//    passes; the rest is wasted work).
+//
+// Budgeted runs are never worse than unbudgeted ones in correctness terms:
+// the driver always returns the best-so-far schedule, which is valid and
+// no longer than the start-up schedule (Theorem 4.4 / best-so-far
+// bookkeeping).  With a ManualBudgetClock (or no deadline) the run is
+// bit-for-bit deterministic: same graph, options, and budget give the same
+// schedule and the same trace.
+#pragma once
+
+#include <chrono>
+
+namespace ccs {
+
+/// Clock abstraction for deadline budgets.  Injectable so budgeted runs
+/// can be made deterministic (tests drive a ManualBudgetClock).
+class BudgetClock {
+public:
+  virtual ~BudgetClock() = default;
+  /// Milliseconds since an arbitrary fixed origin; must be monotone.
+  [[nodiscard]] virtual long long now_ms() const = 0;
+};
+
+/// The real monotonic clock (used when a deadline is set but no clock is
+/// injected).  Nondeterministic by nature — prefer an injected clock
+/// anywhere reproducibility matters.
+class SteadyBudgetClock final : public BudgetClock {
+public:
+  [[nodiscard]] long long now_ms() const override {
+    return std::chrono::duration_cast<std::chrono::milliseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+};
+
+/// A hand-cranked clock for tests: time advances only when told to, so a
+/// deadline budget fires at an exactly reproducible pass.
+class ManualBudgetClock final : public BudgetClock {
+public:
+  [[nodiscard]] long long now_ms() const override { return now_; }
+  void advance(long long ms) { now_ += ms; }
+  void set(long long ms) { now_ = ms; }
+
+private:
+  long long now_ = 0;
+};
+
+/// Stop conditions for cyclo_compact.  Zero values disable a condition;
+/// the default budget is fully open (today's behavior).
+struct RunBudget {
+  /// Hard cap on rotate-remap passes executed (0 = no cap; the options'
+  /// pass count still applies).
+  int max_passes = 0;
+  /// Wall-clock deadline in milliseconds from the start of the run
+  /// (0 = none).  Checked at pass boundaries on `clock`, or on a
+  /// SteadyBudgetClock when `clock` is null.
+  long long deadline_ms = 0;
+  /// Stop after this many consecutive passes without improving the best
+  /// length (0 = never).
+  int patience = 0;
+  /// Non-owning deadline clock; must outlive the run.  Null selects the
+  /// real steady clock.
+  const BudgetClock* clock = nullptr;
+
+  /// True when any stop condition is configured.
+  [[nodiscard]] bool active() const noexcept {
+    return max_passes > 0 || deadline_ms > 0 || patience > 0;
+  }
+};
+
+}  // namespace ccs

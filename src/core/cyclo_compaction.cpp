@@ -27,9 +27,38 @@ CycloCompactionResult cyclo_compact(const Csdfg& g, const Topology& topo,
   Retiming current_retiming(g.node_count());
 
   CycloCompactionResult result{current_graph, current_retiming, current,
-                               startup, {}, 0};
+                               startup,       {},               0,
+                               {}};
+
+  // Budget bookkeeping: all three stop conditions are evaluated at pass
+  // boundaries so a budgeted run is a deterministic prefix of the
+  // unbudgeted one (given a deterministic clock).
+  const RunBudget& budget = options.budget;
+  const SteadyBudgetClock fallback_clock;
+  const BudgetClock* clock =
+      budget.clock != nullptr ? budget.clock : &fallback_clock;
+  const long long start_ms =
+      budget.deadline_ms > 0 ? clock->now_ms() : 0;
+  int stale_passes = 0;  // Consecutive passes without a new best.
+
+  const auto budget_stop = [&](int pass) -> const char* {
+    if (budget.max_passes > 0 && pass > budget.max_passes)
+      return "max-passes";
+    if (budget.deadline_ms > 0 &&
+        clock->now_ms() - start_ms >= budget.deadline_ms)
+      return "deadline";
+    if (budget.patience > 0 && stale_passes >= budget.patience)
+      return "patience";
+    return nullptr;
+  };
 
   for (int pass = 1; pass <= passes; ++pass) {
+    if (const char* reason = budget_stop(pass)) {
+      result.stop_reason = reason;
+      obs.count("compaction.budget_stops");
+      obs.emit(BudgetEvent{reason, pass, result.best.length()});
+      break;
+    }
     const int previous_length = current.length();
     if (previous_length <= 0) break;
     obs.count("compaction.passes");
@@ -71,7 +100,10 @@ CycloCompactionResult cyclo_compact(const Csdfg& g, const Topology& topo,
       result.retimed_graph = current_graph;
       result.retiming = current_retiming;
       result.best_pass = pass;
+      stale_passes = 0;
       obs.count("compaction.improved_passes");
+    } else {
+      ++stale_passes;
     }
     obs.emit(
         PassEndEvent{pass, current.length(), improved, result.best.length()});

@@ -18,8 +18,11 @@
 
 #include <vector>
 
+#include <string>
+
 #include "arch/comm_model.hpp"
 #include "arch/topology.hpp"
+#include "core/budget.hpp"
 #include "core/csdfg.hpp"
 #include "core/list_scheduler.hpp"
 #include "core/remap.hpp"
@@ -42,6 +45,10 @@ struct CycloCompactionOptions {
   int passes = 0;
   /// Start-up scheduler configuration.
   StartUpOptions startup;
+  /// Cooperative stop conditions (core/budget.hpp).  Checked at pass
+  /// boundaries; a budget stop returns the best-so-far schedule and sets
+  /// CycloCompactionResult::stop_reason.  The default budget never fires.
+  RunBudget budget;
 };
 
 /// Everything a caller needs to audit a cyclo-compaction run.
@@ -62,6 +69,11 @@ struct CycloCompactionResult {
   /// Pass index (1-based) at which `best` was first reached; 0 when the
   /// start-up schedule was never improved.
   int best_pass = 0;
+  /// Why the run stopped before its configured pass count: "max-passes",
+  /// "deadline", or "patience" when a budget fired (a budget_exhausted
+  /// event carries the same reason); empty when every pass ran or a
+  /// without-relaxation rollback ended the loop.
+  std::string stop_reason;
 
   [[nodiscard]] int startup_length() const { return startup.length(); }
   [[nodiscard]] int best_length() const { return best.length(); }
@@ -73,7 +85,8 @@ struct CycloCompactionResult {
 /// satisfies validate_schedule.
 ///
 /// `obs` (optional) streams the run: pass_start / rotation / remap_target /
-/// remap_decision / psl_pad / rollback / pass_end events plus the
+/// remap_decision / psl_pad / rollback / pass_end / budget_exhausted events
+/// plus the
 /// compaction.* counters and the time.compaction / time.startup /
 /// time.remap timers (docs/OBSERVABILITY.md).  The default context is
 /// disabled and costs nothing.

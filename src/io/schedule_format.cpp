@@ -6,6 +6,7 @@
 
 #include "util/contracts.hpp"
 #include "util/error.hpp"
+#include "util/lines.hpp"
 
 namespace ccs {
 
@@ -14,6 +15,14 @@ namespace {
 [[noreturn]] void fail(std::size_t line, const std::string& what) {
   throw ParseError(line, what);  // Structured: what() renders "line N: ...".
 }
+
+/// Caps on declared sizes: a schedule's control steps materialize as table
+/// rows (ScheduleTable::ensure_rows), so a hostile `schedule 2000000000 2`
+/// or `place A 1 2000000000` would be an allocation bomb, not a parse
+/// error.  Generous for real workloads (the paper's tables are < 100
+/// steps on < 20 PEs).
+constexpr int kMaxScheduleLength = 1'000'000;
+constexpr long long kMaxSchedulePes = 65'536;
 
 }  // namespace
 
@@ -50,6 +59,7 @@ ScheduleTable parse_schedule(const Csdfg& g, std::istream& in) {
   std::size_t lineno = 0;
   while (std::getline(in, line)) {
     ++lineno;
+    normalize_parsed_line(line, lineno == 1);
     const auto hash = line.find('#');
     if (hash != std::string::npos) line.erase(hash);
     std::istringstream ls(line);
@@ -62,6 +72,11 @@ ScheduleTable parse_schedule(const Csdfg& g, std::istream& in) {
       std::size_t pes = 0;
       if (!(ls >> length >> pes) || length < 0 || pes < 1)
         fail(lineno, "schedule: expected <length>=0> <pes>=1> [pipelined]");
+      if (length > kMaxScheduleLength ||
+          pes > static_cast<std::size_t>(kMaxSchedulePes))
+        fail(lineno, "schedule dimensions exceed the supported bounds (" +
+                         std::to_string(kMaxScheduleLength) + " steps, " +
+                         std::to_string(kMaxSchedulePes) + " PEs)");
       std::string flag;
       const bool pipelined = (ls >> flag) && flag == "pipelined";
       table.emplace(g, pes, pipelined);
@@ -92,6 +107,9 @@ ScheduleTable parse_schedule(const Csdfg& g, std::istream& in) {
       if (pe < 1 || pe > table->num_pes())
         fail(lineno, "pe " + std::to_string(pe) + " out of range");
       if (cb < 1) fail(lineno, "cb must be >= 1");
+      if (cb > kMaxScheduleLength)
+        fail(lineno, "cb " + std::to_string(cb) + " exceeds the " +
+                         std::to_string(kMaxScheduleLength) + "-step limit");
       NodeId v = 0;
       try {
         v = g.node_by_name(name);
@@ -147,6 +165,7 @@ RawSchedule parse_raw_schedule(const std::string& text,
   std::size_t lineno = 0;
   while (std::getline(in, line)) {
     ++lineno;
+    normalize_parsed_line(line, lineno == 1);
     const auto hash = line.find('#');
     if (hash != std::string::npos) line.erase(hash);
     std::istringstream ls(line);
@@ -163,6 +182,12 @@ RawSchedule parse_raw_schedule(const std::string& text,
       long long pes = 0;
       if (!(ls >> length >> pes) || length < 0 || pes < 1) {
         syntax(lineno, "schedule: expected <length>=0> <pes>=1> [pipelined]");
+        continue;
+      }
+      if (length > kMaxScheduleLength || pes > kMaxSchedulePes) {
+        syntax(lineno, "schedule dimensions exceed the supported bounds (" +
+                           std::to_string(kMaxScheduleLength) + " steps, " +
+                           std::to_string(kMaxSchedulePes) + " PEs)");
         continue;
       }
       std::string flag;
@@ -199,8 +224,14 @@ RawSchedule parse_raw_schedule(const std::string& text,
         syntax(lineno, "place: expected <task> <pe> <cb>");
         continue;
       }
-      if (pe < 1) {
-        syntax(lineno, "place: pe must be >= 1");
+      if (pe < 1 || pe > kMaxSchedulePes) {
+        syntax(lineno, "place: pe must be in [1, " +
+                           std::to_string(kMaxSchedulePes) + "]");
+        continue;
+      }
+      if (p.cb > kMaxScheduleLength) {
+        syntax(lineno, "place: cb " + std::to_string(p.cb) + " exceeds the " +
+                           std::to_string(kMaxScheduleLength) + "-step limit");
         continue;
       }
       p.pe = static_cast<std::size_t>(pe);

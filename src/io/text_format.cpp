@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "util/error.hpp"
+#include "util/lines.hpp"
 
 namespace ccs {
 
@@ -41,6 +42,7 @@ ParsedCsdfg parse_csdfg_with_spans(std::istream& in,
 
   while (std::getline(in, line)) {
     ++lineno;
+    normalize_parsed_line(line, lineno == 1);
     const auto hash = line.find('#');
     if (hash != std::string::npos) line.erase(hash);
     std::istringstream ls(line);
@@ -197,17 +199,47 @@ Topology parse_topology(const std::string& spec) {
     }
   };
 
-  if (kind == "linear_array") return make_linear_array(num(0));
+  // Cap the machine size before any factory runs: the all-pairs distance
+  // matrix is O(P^2), so a hostile "complete 1000000" would otherwise be
+  // an allocation bomb, not a parse error.
+  constexpr std::size_t kMaxPes = 1024;
+  const auto capped = [&](std::size_t pes) -> std::size_t {
+    if (pes > kMaxPes)
+      throw fail("machine size " + std::to_string(pes) + " exceeds the " +
+                 std::to_string(kMaxPes) + "-processor limit");
+    return pes;
+  };
+  const auto capped_grid = [&](std::size_t rows,
+                               std::size_t cols) -> std::pair<std::size_t,
+                                                              std::size_t> {
+    if (rows == 0 || cols == 0 || rows > kMaxPes || cols > kMaxPes)
+      throw fail("grid dimensions must be in [1, " +
+                 std::to_string(kMaxPes) + "]");
+    (void)capped(rows * cols);
+    return {rows, cols};
+  };
+
+  if (kind == "linear_array") return make_linear_array(capped(num(0)));
   if (kind == "ring") {
     const bool uni = args.size() > 1 && args[1] == "uni";
-    return make_ring(num(0), /*bidirectional=*/!uni);
+    return make_ring(capped(num(0)), /*bidirectional=*/!uni);
   }
-  if (kind == "complete") return make_complete(num(0));
-  if (kind == "mesh") return make_mesh(num(0), num(1));
-  if (kind == "torus") return make_torus(num(0), num(1));
-  if (kind == "hypercube") return make_hypercube(num(0));
-  if (kind == "star") return make_star(num(0));
-  if (kind == "binary_tree") return make_binary_tree(num(0));
+  if (kind == "complete") return make_complete(capped(num(0)));
+  if (kind == "mesh") {
+    const auto [rows, cols] = capped_grid(num(0), num(1));
+    return make_mesh(rows, cols);
+  }
+  if (kind == "torus") {
+    const auto [rows, cols] = capped_grid(num(0), num(1));
+    return make_torus(rows, cols);
+  }
+  if (kind == "hypercube") {
+    const std::size_t dims = num(0);
+    if (dims > 10) throw fail("hypercube dimension exceeds 10 (1024 PEs)");
+    return make_hypercube(dims);
+  }
+  if (kind == "star") return make_star(capped(num(0)));
+  if (kind == "binary_tree") return make_binary_tree(capped(num(0)));
   throw fail("unknown architecture '" + kind + "'");
 }
 

@@ -105,4 +105,38 @@ void Tracer::emit(const SimRunEvent& e) {
                    .close());
 }
 
+void Tracer::emit(const FaultEvent& e) {
+  if (!sink_) return;
+  JsonWriter w = header(seq_++, "fault");
+  w.field("fault", e.fault);
+  if (e.fault == "link_down") {
+    w.field("pe", e.pe).field("pe2", e.pe2);
+  } else if (e.fault == "jitter") {
+    w.field("node", e.node);
+  } else {
+    w.field("pe", e.pe);
+  }
+  w.field("iteration", e.iteration).field("detail", e.detail);
+  sink_->write(w.close());
+}
+
+void Tracer::emit(const RepairEvent& e) {
+  if (!sink_) return;
+  sink_->write(header(seq_++, "repair_attempt")
+                   .field("rung", e.rung)
+                   .field("success", e.success)
+                   .field("length", e.length)
+                   .field("detail", e.detail)
+                   .close());
+}
+
+void Tracer::emit(const BudgetEvent& e) {
+  if (!sink_) return;
+  sink_->write(header(seq_++, "budget_exhausted")
+                   .field("reason", e.reason)
+                   .field("pass", e.pass)
+                   .field("best_length", e.best_length)
+                   .close());
+}
+
 }  // namespace ccs

@@ -136,6 +136,34 @@ struct SimRunEvent {
   bool deadlocked = false;
 };
 
+/// A fault from an injected FaultPlan (src/robust) bit during execution.
+/// Emitted once per fault when it first takes effect, not per instance.
+struct FaultEvent {
+  std::string fault;          ///< "fail_stop", "link_down", or "jitter".
+  std::size_t pe = 0;         ///< Failed PE (fail_stop) / link endpoint A.
+  std::size_t pe2 = 0;        ///< Link endpoint B (link_down only).
+  std::size_t node = 0;       ///< Jittered task (jitter only).
+  long long iteration = 0;    ///< First affected iteration (0-based).
+  std::string detail;         ///< Human-readable description.
+};
+
+/// One rung of the schedule-repair degradation ladder was attempted.
+struct RepairEvent {
+  std::string rung;    ///< "remap", "recompact_relax", "recompact_strict",
+                       ///< "list_schedule", or "serial".
+  bool success = false;  ///< The rung produced a certified schedule.
+  int length = 0;        ///< Schedule length the rung achieved (success only).
+  std::string detail;    ///< Why the rung failed / what it produced.
+};
+
+/// A run budget stopped cyclo-compaction before its pass limit: the driver
+/// returns the best-so-far schedule.
+struct BudgetEvent {
+  std::string reason;   ///< "max-passes", "deadline", or "patience".
+  int pass = 0;         ///< Pass at which the budget fired (1-based).
+  int best_length = 0;  ///< Best length at the stop.
+};
+
 // --- Tracer -----------------------------------------------------------------
 
 /// Serializes typed events to a sink as JSON Lines.  Default-constructed
@@ -161,6 +189,9 @@ public:
   void emit(const PassEndEvent& e);
   void emit(const StartupEvent& e);
   void emit(const SimRunEvent& e);
+  void emit(const FaultEvent& e);
+  void emit(const RepairEvent& e);
+  void emit(const BudgetEvent& e);
 
 private:
   TraceSink* sink_ = nullptr;

@@ -4,6 +4,8 @@
 #include <map>
 #include <optional>
 #include <queue>
+#include <set>
+#include <string>
 
 #include "util/contracts.hpp"
 
@@ -98,8 +100,23 @@ ExecutionStats run(const Csdfg& g, const ScheduleTable& table,
   const ShortestPathRouter default_router(topo);
   const Router& router = options.router ? *options.router : default_router;
 
+  // Fault injection is a static-mode feature (the callers enforce it); an
+  // empty plan behaves exactly like no plan.
+  const FaultPlan* faults =
+      mode == Mode::kStatic && options.faults != nullptr &&
+              !options.faults->empty()
+          ? options.faults
+          : nullptr;
+
   ExecutionStats stats;
   stats.iteration_finish.assign(static_cast<std::size_t>(K), 0);
+
+  // Effective execution time under jitter; never below one control step.
+  const auto duration_of = [&](NodeId v, PeId pe) {
+    int t = table.time_on(v, pe);
+    if (faults != nullptr) t = std::max(1, t + faults->jitter_of(v));
+    return t;
+  };
 
   // Evaluation order within one iteration.
   std::vector<NodeId> order;
@@ -135,16 +152,95 @@ ExecutionStats run(const Csdfg& g, const ScheduleTable& table,
       for (NodeId v = 0; v < n; ++v)
         finish[static_cast<std::size_t>(i) * n + v] =
             static_cast<long long>(i) * L + table.cb(v) +
-            table.time_on(v, table.pe(v)) - 1;
+            duration_of(v, table.pe(v)) - 1;
   }
 
   std::vector<long long> pe_free(topo.size(), 0);
   LinkClock links;
 
+  // instance_ok[i*n + v] = instance (i, v) ran and its output exists.
+  // Only fault injection can clear entries.
+  std::vector<char> instance_ok(static_cast<std::size_t>(K) * n, 1);
+  std::vector<char> pe_fault_reported(topo.size(), 0);
+  std::set<std::pair<PeId, PeId>> link_fault_reported;
+  const auto mark_failure = [&](int iteration) {
+    if (stats.first_failure_iteration < 0)
+      stats.first_failure_iteration = iteration;
+  };
+
+  // Jitter directives take effect from the first instance: report them up
+  // front, once each.
+  if (faults != nullptr) {
+    for (const JitterFault& j : faults->jitters) {
+      ++stats.faults_injected;
+      obs.count("sim.faults");
+      obs.emit(FaultEvent{"jitter", 0, 0, j.node, 0,
+                          "t(" + g.node(j.node).name + ") " +
+                              (j.delta >= 0 ? "+" : "") +
+                              std::to_string(j.delta)});
+    }
+  }
+
   for (int i = 0; i < K; ++i) {
     long long iter_finish = 0;
     for (NodeId v : order) {
       const PeId pv = table.pe(v);
+
+      if (faults != nullptr) {
+        // Fail-stop processor: the instance never runs.
+        if (faults->pe_dead(pv, i)) {
+          instance_ok[static_cast<std::size_t>(i) * n + v] = 0;
+          ++stats.failed_instances;
+          mark_failure(i);
+          if (!pe_fault_reported[pv]) {
+            pe_fault_reported[pv] = 1;
+            ++stats.faults_injected;
+            obs.count("sim.faults");
+            obs.emit(FaultEvent{"fail_stop", pv, 0, 0, i,
+                                "p" + std::to_string(pv) +
+                                    " fail-stop; first lost instance: " +
+                                    g.node(v).name});
+          }
+          continue;
+        }
+        // Starvation: a missing operand (dead producer upstream) or a
+        // message lost on a dead link keeps the instance from running.
+        bool starved = false;
+        for (EdgeId eid : g.in_edges(v)) {
+          const Edge& e = g.edge(eid);
+          const int src_iter = i - e.delay;
+          if (src_iter < 0) continue;  // initial token, always present
+          if (!instance_ok[static_cast<std::size_t>(src_iter) * n + e.from]) {
+            starved = true;
+            break;
+          }
+          const PeId pu = table.pe(e.from);
+          if (pu == pv) continue;
+          const std::vector<PeId> path = router.route(pu, pv);
+          for (std::size_t h = 0; h + 1 < path.size(); ++h) {
+            if (!faults->link_dead(path[h], path[h + 1], i)) continue;
+            ++stats.lost_messages;
+            const PeId a = std::min(path[h], path[h + 1]);
+            const PeId b = std::max(path[h], path[h + 1]);
+            if (link_fault_reported.insert({a, b}).second) {
+              ++stats.faults_injected;
+              obs.count("sim.faults");
+              obs.emit(FaultEvent{"link_down", a, b, 0, i,
+                                  "message " + g.node(e.from).name + "->" +
+                                      g.node(e.to).name + " lost"});
+            }
+            starved = true;
+            break;
+          }
+          if (starved) break;
+        }
+        if (starved) {
+          instance_ok[static_cast<std::size_t>(i) * n + v] = 0;
+          ++stats.starved_instances;
+          mark_failure(i);
+          continue;
+        }
+      }
 
       // Latest operand arrival across incoming edges.
       long long arrival = 0;
@@ -175,7 +271,7 @@ ExecutionStats run(const Csdfg& g, const ScheduleTable& table,
       } else {
         start = std::max({pe_free[pv] + 1, arrival + 1, 1LL});
       }
-      const long long done = start + table.time_on(v, pv) - 1;
+      const long long done = start + duration_of(v, pv) - 1;
       if (mode == Mode::kSelfTimed) {
         finish[static_cast<std::size_t>(i) * n + v] = done;
         pe_free[pv] = done;
@@ -187,7 +283,10 @@ ExecutionStats run(const Csdfg& g, const ScheduleTable& table,
     stats.iteration_finish[static_cast<std::size_t>(i)] = iter_finish;
   }
 
-  stats.makespan = stats.iteration_finish.back();
+  // With faults an iteration can lose every instance (finish 0), so the
+  // makespan is the maximum over iterations, not the last one.
+  stats.makespan = *std::max_element(stats.iteration_finish.begin(),
+                                     stats.iteration_finish.end());
   if (K - 1 > options.warmup) {
     stats.steady_initiation_interval =
         static_cast<double>(
@@ -205,6 +304,11 @@ ExecutionStats run(const Csdfg& g, const ScheduleTable& table,
     obs.metrics->add("sim.messages", stats.total_messages);
     obs.metrics->add("sim.late_arrivals", stats.late_arrivals);
     obs.metrics->set("sim.steady_ii", stats.steady_initiation_interval);
+    if (faults != nullptr) {
+      obs.metrics->add("sim.failed_instances", stats.failed_instances);
+      obs.metrics->add("sim.starved_instances", stats.starved_instances);
+      obs.metrics->add("sim.lost_messages", stats.lost_messages);
+    }
   }
   if (obs.tracing()) {
     SimRunEvent ev;
@@ -232,6 +336,7 @@ ExecutionStats execute_self_timed(const Csdfg& g, const ScheduleTable& table,
                                   const Topology& topo,
                                   const ExecutorOptions& options,
                                   const ObsContext& obs) {
+  CCS_EXPECTS(options.faults == nullptr || options.faults->empty());
   return run(g, table, topo, options, Mode::kSelfTimed, obs);
 }
 

@@ -34,6 +34,7 @@
 #include "core/csdfg.hpp"
 #include "core/schedule.hpp"
 #include "obs/obs.hpp"
+#include "robust/fault_plan.hpp"
 
 namespace ccs {
 
@@ -54,6 +55,12 @@ struct ExecutorOptions {
   /// Record one TaskEvent per executed instance in ExecutionStats::trace
   /// (off by default; traces grow as iterations x tasks).
   bool record_trace = false;
+  /// Fault plan to inject (robust/fault_plan.hpp); nullptr or an empty plan
+  /// runs fault-free.  Non-owning: the plan must outlive the call.  Faults
+  /// are a *static-mode* feature — the static table is the artifact whose
+  /// resilience is being probed; execute_self_timed rejects a non-empty
+  /// plan (contract check).
+  const FaultPlan* faults = nullptr;
 };
 
 /// One executed task instance, for Gantt rendering and trace analysis.
@@ -84,6 +91,22 @@ struct ExecutionStats {
   /// Per-instance events when ExecutorOptions::record_trace is set,
   /// in execution order.
   std::vector<TaskEvent> trace;
+  /// Fault injection only: instances not executed because their processor
+  /// was fail-stop at their iteration.
+  long long failed_instances = 0;
+  /// Fault injection only: instances not executed because an operand was
+  /// never produced (cascade starvation) or its message was lost on a dead
+  /// link.
+  long long starved_instances = 0;
+  /// Fault injection only: messages dropped on a dead link.
+  long long lost_messages = 0;
+  /// Distinct fault activations during the run (one per emitted fault
+  /// event: each fail-stop PE and dead link at first effect, each jitter
+  /// directive up front).
+  long long faults_injected = 0;
+  /// First iteration at which any instance failed or starved; -1 when the
+  /// run was unaffected by the plan.
+  long long first_failure_iteration = -1;
   /// Self-timed mode only: the table's per-processor task order and its
   /// zero-delay data dependences form a cycle, so blocking execution can
   /// never make progress.  Only possible for invalid tables (e.g.
@@ -95,6 +118,10 @@ struct ExecutionStats {
 /// late_arrivals.  The table must be complete.  Contention is not modeled in
 /// static mode (the table was constructed under the no-congestion
 /// assumption; late arrivals under contention are a self-timed question).
+/// With ExecutorOptions::faults set, fail-stop processors skip their
+/// instances, dead links drop messages (starving the consumers), and jitter
+/// stretches execution times — each reported through the fault counters and
+/// one `fault` trace event per activation.
 /// `obs` (optional) records the time.simulate timer, sim.* counters, and
 /// one sim_run event.
 [[nodiscard]] ExecutionStats execute_static(const Csdfg& g,

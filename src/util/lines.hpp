@@ -1,0 +1,24 @@
+// ccsched — line normalization shared by every text parser.
+//
+// All of the repo's text formats (graph, schedule, SDF, fault spec) are
+// line-oriented.  Files arrive from any platform and any editor, so every
+// parser strips a UTF-8 byte-order mark from the first line and a trailing
+// carriage return from every line before tokenizing — CRLF and BOM'd
+// inputs must parse identically to plain LF files, never as mysterious
+// "unknown directive" diagnostics on otherwise valid lines.
+#pragma once
+
+#include <string>
+
+namespace ccs {
+
+/// Normalizes one line in place: strips the UTF-8 BOM when `first_line`,
+/// and a trailing '\r' always.
+inline void normalize_parsed_line(std::string& line, bool first_line) {
+  if (first_line && line.size() >= 3 && line[0] == '\xEF' &&
+      line[1] == '\xBB' && line[2] == '\xBF')
+    line.erase(0, 3);
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+}
+
+}  // namespace ccs

@@ -1,0 +1,157 @@
+// Tests of run budgets (core/budget.hpp): the property sweep the resilience
+// subsystem depends on — a budgeted run is never worse than the start-up
+// schedule, bit-identical across reruns, and announces why it stopped.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "arch/comm_model.hpp"
+#include "arch/topology.hpp"
+#include "core/budget.hpp"
+#include "core/cyclo_compaction.hpp"
+#include "io/schedule_format.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "workloads/library.hpp"
+
+namespace ccs {
+namespace {
+
+/// A clock that advances a fixed step on every reading: deadline budgets
+/// fire at an exactly reproducible pass boundary.
+class TickingClock final : public BudgetClock {
+public:
+  explicit TickingClock(long long step) : step_(step) {}
+  [[nodiscard]] long long now_ms() const override { return now_ += step_; }
+
+private:
+  long long step_;
+  mutable long long now_ = 0;
+};
+
+struct Bench {
+  Csdfg g = paper_example19();
+  Topology mesh = make_mesh(2, 2);
+  StoreAndForwardModel comm{mesh};
+};
+
+std::string table_text(const CycloCompactionResult& r) {
+  return serialize_schedule(r.retimed_graph, r.best, &r.retiming);
+}
+
+TEST(Budget, InactiveByDefault) {
+  EXPECT_FALSE(RunBudget{}.active());
+  RunBudget b;
+  b.patience = 2;
+  EXPECT_TRUE(b.active());
+}
+
+TEST(Budget, BudgetedRunNeverLongerThanTheStartupSchedule) {
+  Bench bench;
+  for (const int max_passes : {1, 2, 5, 17}) {
+    CycloCompactionOptions opt;
+    opt.budget.max_passes = max_passes;
+    const auto res = cyclo_compact(bench.g, bench.mesh, bench.comm, opt);
+    EXPECT_LE(res.best_length(), res.startup_length()) << max_passes;
+  }
+}
+
+TEST(Budget, MaxPassesStopsExactlyThereAndSaysSo) {
+  Bench bench;
+  CycloCompactionOptions opt;
+  opt.budget.max_passes = 2;
+  const auto res = cyclo_compact(bench.g, bench.mesh, bench.comm, opt);
+  EXPECT_EQ(res.length_trace.size(), 2u);
+  EXPECT_EQ(res.stop_reason, "max-passes");
+}
+
+TEST(Budget, PatienceStopsAfterAStreakWithoutImprovement) {
+  Bench bench;
+  CycloCompactionOptions opt;
+  opt.budget.patience = 1;
+  const auto res = cyclo_compact(bench.g, bench.mesh, bench.comm, opt);
+  EXPECT_EQ(res.stop_reason, "patience");
+  // The pass right after the last improvement is where the streak ends.
+  EXPECT_EQ(static_cast<int>(res.length_trace.size()), res.best_pass + 1);
+}
+
+TEST(Budget, DeadlineOnAnInjectedClockIsDeterministic) {
+  Bench bench;
+  const auto run = [&] {
+    TickingClock clock(10);  // every reading advances 10ms
+    CycloCompactionOptions opt;
+    opt.budget.deadline_ms = 25;
+    opt.budget.clock = &clock;
+    return cyclo_compact(bench.g, bench.mesh, bench.comm, opt);
+  };
+  const auto a = run();
+  const auto b = run();
+  EXPECT_EQ(a.stop_reason, "deadline");
+  EXPECT_EQ(a.length_trace, b.length_trace);
+  EXPECT_EQ(table_text(a), table_text(b));
+}
+
+TEST(Budget, RerunsAreBitIdentical) {
+  Bench bench;
+  CycloCompactionOptions opt;
+  opt.budget.max_passes = 3;
+  opt.budget.patience = 2;
+  const auto a = cyclo_compact(bench.g, bench.mesh, bench.comm, opt);
+  const auto b = cyclo_compact(bench.g, bench.mesh, bench.comm, opt);
+  EXPECT_EQ(a.stop_reason, b.stop_reason);
+  EXPECT_EQ(a.best_pass, b.best_pass);
+  EXPECT_EQ(a.length_trace, b.length_trace);
+  EXPECT_EQ(table_text(a), table_text(b));
+}
+
+TEST(Budget, UnbudgetedRunLeavesStopReasonEmpty) {
+  Bench bench;
+  const auto res = cyclo_compact(bench.g, bench.mesh, bench.comm, {});
+  EXPECT_TRUE(res.stop_reason.empty());
+}
+
+TEST(Budget, ExhaustionEmitsATraceEventWithTheReason) {
+  Bench bench;
+  for (const std::string reason : {"max-passes", "patience"}) {
+    VectorSink sink;
+    Tracer tracer(&sink);
+    MetricsRegistry metrics;
+    CycloCompactionOptions opt;
+    if (reason == "max-passes")
+      opt.budget.max_passes = 1;
+    else
+      opt.budget.patience = 1;
+    const auto res = cyclo_compact(bench.g, bench.mesh, bench.comm, opt,
+                                   ObsContext{&tracer, &metrics});
+    EXPECT_EQ(res.stop_reason, reason);
+    bool found = false;
+    for (const std::string& line : sink.lines())
+      if (line.find("\"kind\":\"budget_exhausted\"") != std::string::npos &&
+          line.find("\"reason\":\"" + reason + "\"") != std::string::npos)
+        found = true;
+    EXPECT_TRUE(found) << reason;
+    EXPECT_EQ(metrics.counter("compaction.budget_stops"), 1);
+  }
+}
+
+TEST(Budget, DeadlineEventCarriesItsReasonToo) {
+  Bench bench;
+  TickingClock clock(50);
+  VectorSink sink;
+  Tracer tracer(&sink);
+  CycloCompactionOptions opt;
+  opt.budget.deadline_ms = 25;
+  opt.budget.clock = &clock;
+  const auto res = cyclo_compact(bench.g, bench.mesh, bench.comm, opt,
+                                 ObsContext{&tracer, nullptr});
+  EXPECT_EQ(res.stop_reason, "deadline");
+  bool found = false;
+  for (const std::string& line : sink.lines())
+    if (line.find("\"reason\":\"deadline\"") != std::string::npos)
+      found = true;
+  EXPECT_TRUE(found);
+}
+
+}  // namespace
+}  // namespace ccs

@@ -218,5 +218,139 @@ TEST(Cli, TwoStdinArgumentsRejected) {
   EXPECT_NE(r.err.find("stdin"), std::string::npos);
 }
 
+// ------------------------------------------------------- exit-code contract
+//
+// The contract documented in cli.hpp, pinned here: 0 = success, 1 =
+// operational failure (bad input, invalid/uncertified result, --werror),
+// 2 = usage error (the command line itself is malformed).
+
+TEST(CliExitCodes, ZeroMeansSuccess) {
+  EXPECT_EQ(cli({"bound", "-"}, kDemo).code, 0);
+}
+
+TEST(CliExitCodes, OperationalFailuresAreOne) {
+  // Unreadable input file.
+  EXPECT_EQ(cli({"bound", "/nonexistent/file.csdfg"}).code, 1);
+  // Unparsable graph text.
+  EXPECT_EQ(cli({"bound", "-"}, "graph g\nnode a\n").code, 1);
+  // A schedule the validator rejects (validate prints, then fails).
+  const std::string gfile = temp_file("ec.csdfg", kDemo);
+  const std::string sfile = temp_file(
+      "ec.sched", "schedule 6 2\nplace a 1 1\nplace b 2 2\n");
+  EXPECT_EQ(cli({"validate", gfile, sfile, "--arch", "linear_array 2"}).code,
+            1);
+  // --werror promotes lint warnings (here CCS-G007, isolated node) to
+  // failure; without it they report but succeed.
+  const char* lonely =
+      "graph g\nnode a 1\nnode b 1\nnode c 1\nedge a b 1\nedge b a 1\n";
+  EXPECT_EQ(cli({"lint", "-"}, lonely).code, 0);
+  EXPECT_EQ(cli({"lint", "-", "--werror"}, lonely).code, 1);
+}
+
+TEST(CliExitCodes, UsageErrorsAreTwo) {
+  EXPECT_EQ(cli({}).code, 2);                                  // no command
+  EXPECT_EQ(cli({"frobnicate"}).code, 2);                      // unknown cmd
+  EXPECT_EQ(cli({"schedule", "-"}, kDemo).code, 2);            // missing arg
+  EXPECT_EQ(cli({"schedule", "-", "--arch", "mesh 2 2", "--turbo"},
+                kDemo).code, 2);                               // unknown flag
+  EXPECT_EQ(cli({"schedule", "-", "--arch", "mesh 2 2",
+                 "--budget-passes", "-1"}, kDemo).code, 2);     // bad value
+}
+
+// ------------------------------------------------------------------ budgets
+
+TEST(Cli, ScheduleBudgetReportsTheStop) {
+  const CliResult r = cli({"schedule", "-", "--arch", "mesh 2 2",
+                           "--budget-passes", "1", "--quiet"},
+                          kDemo);
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("budget: stopped by max-passes after 1 pass(es)"),
+            std::string::npos)
+      << r.out;
+}
+
+// ------------------------------------------------------------------- stress
+
+std::string paper6_text() {
+  static const std::string text = serialize_csdfg(paper_example6());
+  return text;
+}
+
+TEST(Cli, StressRequiresAFaultSpec) {
+  const CliResult r =
+      cli({"stress", "-", "--arch", "mesh 2 2"}, paper6_text());
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("--faults"), std::string::npos);
+}
+
+TEST(Cli, StressRejectsABadFaultSpec) {
+  const std::string faults = temp_file("bad.faults", "explode p0\n");
+  const CliResult r = cli(
+      {"stress", "-", "--arch", "mesh 2 2", "--faults", faults},
+      paper6_text());
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("CCS-F001"), std::string::npos);
+}
+
+TEST(Cli, StressUnknownTargetIsAFailure) {
+  const std::string faults = temp_file("oob.faults", "fail p9\n");
+  const CliResult r = cli(
+      {"stress", "-", "--arch", "mesh 2 2", "--faults", faults},
+      paper6_text());
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("CCS-F002"), std::string::npos);
+}
+
+TEST(Cli, StressBrokenVerdictFailsWithoutRepair) {
+  // Killing every processor but p3 must hit the schedule somewhere.
+  const std::string faults =
+      temp_file("kill3.faults", "fail p0\nfail p1\nfail p2\n");
+  const CliResult r = cli(
+      {"stress", "-", "--arch", "mesh 2 2", "--faults", faults, "--quiet"},
+      paper6_text());
+  EXPECT_EQ(r.code, 1) << r.out;
+  EXPECT_NE(r.out.find("verdict:  broken"), std::string::npos);
+  EXPECT_NE(r.out.find("first failure @iter"), std::string::npos);
+}
+
+TEST(Cli, StressDormantFaultIsUnaffected) {
+  // The link dies long after the simulated window: verdict unaffected.
+  const std::string faults =
+      temp_file("dormant.faults", "link p0 p1 @iter 999999\n");
+  const CliResult r = cli(
+      {"stress", "-", "--arch", "mesh 2 2", "--faults", faults,
+       "--iterations", "16", "--quiet"},
+      paper6_text());
+  EXPECT_EQ(r.code, 0) << r.out << r.err;
+  EXPECT_NE(r.out.find("verdict:  unaffected"), std::string::npos);
+}
+
+TEST(Cli, StressRepairProducesACertifiedSchedule) {
+  const std::string faults = temp_file("fail0.faults", "fail p0\n");
+  const CliResult r = cli(
+      {"stress", "-", "--arch", "mesh 2 2", "--faults", faults, "--repair",
+       "--emit-schedule"},
+      paper6_text());
+  EXPECT_EQ(r.code, 0) << r.out << r.err;
+  EXPECT_NE(r.out.find("repair ladder:"), std::string::npos);
+  EXPECT_NE(r.out.find("[certified]"), std::string::npos);
+  EXPECT_NE(r.out.find("pe map:"), std::string::npos);
+  // The repaired machine has no p0: the map targets only p1..p3.
+  EXPECT_EQ(r.out.find("->p0"), std::string::npos);
+  // --emit-schedule appends a parsable table for the reduced machine.
+  EXPECT_NE(r.out.find("schedule "), std::string::npos);
+}
+
+TEST(Cli, StressRepairOnAnAllDeadMachineIsInfeasible) {
+  const std::string faults = temp_file(
+      "all.faults", "fail p0\nfail p1\nfail p2\nfail p3\n");
+  const CliResult r = cli(
+      {"stress", "-", "--arch", "mesh 2 2", "--faults", faults, "--repair",
+       "--quiet"},
+      paper6_text());
+  EXPECT_EQ(r.code, 1) << r.out;
+  EXPECT_NE(r.out.find("repair:   infeasible"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace ccs

@@ -15,7 +15,7 @@ cmake -B "${build_dir}" -S "${repo_root}" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DCCSCHED_SANITIZE="${sanitizers}"
 cmake --build "${build_dir}" -j
-ctest --test-dir "${build_dir}" --output-on-failure -j "$(nproc)"
+ctest --test-dir "${build_dir}" --output-on-failure --timeout 60 -j "$(nproc)"
 
 # Lint smoke gate: every shipped good graph must be diagnostic-free under
 # --werror, and every file in the malformed corpus must be rejected.  The
@@ -79,3 +79,18 @@ for sched in "${bad_sched_dir}"/s*.sched; do
   done
   echo "rejected with ${code}: ${sched}"
 done
+
+# Stress gate (docs/ROBUSTNESS.md): a single-PE fail-stop must walk the
+# repair ladder to a certified schedule on every shipped workload, and the
+# worked failover example must end certified — all under the sanitizers.
+echo "== stress gate =="
+printf 'fail p0\n' > "${workdir}/fail0.faults"
+for graph in "${repo_root}"/examples/data/*.csdfg; do
+  "${ccsched}" stress "${graph}" --arch "mesh 2 2" \
+    --faults "${workdir}/fail0.faults" --repair --quiet > /dev/null
+  echo "repaired after fail p0: ${graph}"
+done
+"${ccsched}" stress "${repo_root}/examples/data/paper_fig1b.csdfg" \
+  --arch "mesh 2 2" --faults "${repo_root}/examples/data/failover.faults" \
+  --repair --quiet > /dev/null
+echo "failover walkthrough repaired"
