@@ -1,0 +1,135 @@
+// Portfolio engine benchmark (DESIGN.md §4, PR 5): wall-clock of the
+// parallel portfolio search against the serial cyclo-compaction driver, and
+// the route-cache effect on topology construction.
+//
+// Two roles:
+//  * measurement — BM_Portfolio at jobs ∈ {1, 2, 4, 8} against
+//    BM_SerialCompaction quantifies the speedup (on a 1-CPU container the
+//    jobs>1 rows collapse onto jobs=1: record what the machine gives);
+//  * CI gate — print_quality_gate() runs the portfolio on the paper's
+//    19-node workload across the five experiment architectures and aborts
+//    if the winner is ever longer than the serial driver, so a regression
+//    fails the benchmark job before any numbers are reported.
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "engine/portfolio.hpp"
+#include "workloads/generator.hpp"
+#include "workloads/library.hpp"
+
+namespace {
+
+using namespace ccs;
+
+Csdfg scaling_graph(std::size_t nodes) {
+  RandomDfgConfig cfg;
+  cfg.num_nodes = nodes;
+  cfg.num_layers = std::max<std::size_t>(3, nodes / 6);
+  cfg.num_back_edges = std::max<std::size_t>(2, nodes / 8);
+  cfg.max_time = 3;
+  cfg.max_volume = 3;
+  return random_csdfg(cfg, /*seed=*/4242);
+}
+
+/// The CI gate: on every paper architecture, the 19-node portfolio winner
+/// must not be longer than the serial driver (it runs the serial
+/// configuration as attempt 0, so anything else is a bug).  Printed as a
+/// table so the BENCH_*.json artifact's stdout shows the actual lengths.
+void print_quality_gate() {
+  bench::banner("portfolio vs serial, 19-node paper workload (CI gate)");
+  const Csdfg g = paper_example19();
+  std::cout << "architecture        serial  portfolio  winner\n";
+  for (const Topology& topo : bench::paper_architectures()) {
+    const StoreAndForwardModel comm(topo);
+    const CycloCompactionResult serial = cyclo_compact(g, topo, comm, {});
+    PortfolioOptions opt;
+    opt.jobs = 0;  // whatever the machine has
+    const PortfolioResult folio = portfolio_compact(g, topo, comm, opt);
+    std::cout << topo.name();
+    for (std::size_t pad = topo.name().size(); pad < 20; ++pad)
+      std::cout << ' ';
+    std::cout << serial.best.length() << "       " << folio.winner.best.length()
+              << "          #" << folio.winner_attempt << " ("
+              << folio.winner_label << ")\n";
+    if (folio.winner.best.length() > serial.best.length()) {
+      std::cerr << "PORTFOLIO REGRESSION: winner " << folio.winner.best.length()
+                << " > serial " << serial.best.length() << " on "
+                << topo.name() << std::endl;
+      std::abort();
+    }
+    if (!folio.certified) {
+      std::cerr << "PORTFOLIO WINNER FAILED CERTIFICATION on " << topo.name()
+                << std::endl;
+      std::abort();
+    }
+  }
+}
+
+void BM_SerialCompaction(benchmark::State& state) {
+  const Csdfg g = scaling_graph(static_cast<std::size_t>(state.range(0)));
+  const Topology topo = make_mesh(4, 2);
+  const StoreAndForwardModel comm(topo);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(cyclo_compact(g, topo, comm, {}));
+}
+BENCHMARK(BM_SerialCompaction)
+    ->Arg(19)->Arg(48)
+    ->Unit(benchmark::kMillisecond);
+
+/// The full roster (24 attempts) at a given worker count.  The speedup over
+/// BM_SerialCompaction×24 is the engine's parallel efficiency; the exported
+/// portfolio.* counters record pruning and the route-cache hit rate.
+void BM_Portfolio(benchmark::State& state) {
+  const Csdfg g = scaling_graph(static_cast<std::size_t>(state.range(0)));
+  const Topology topo = make_mesh(4, 2);
+  const StoreAndForwardModel comm(topo);
+  PortfolioOptions opt;
+  opt.jobs = static_cast<int>(state.range(1));
+  opt.certify_winner = false;  // measure the search, not the certifier
+  MetricsRegistry metrics;
+  const ObsContext obs{nullptr, &metrics};
+  for (auto _ : state)
+    benchmark::DoNotOptimize(portfolio_compact(g, topo, comm, opt, obs));
+  bench::export_metrics(state, metrics);
+}
+BENCHMARK(BM_Portfolio)
+    ->ArgsProduct({{19, 48}, {1, 2, 4, 8}})
+    ->ArgNames({"nodes", "jobs"})
+    ->Unit(benchmark::kMillisecond);
+
+/// Topology construction with and without the route cache: the portfolio
+/// and the repair ladder construct the same machines over and over, and
+/// the memoized tables turn the all-pairs BFS into a map lookup.
+void BM_TopologyConstruction(benchmark::State& state) {
+  const bool cached = state.range(0) != 0;
+  RouteCache::global().clear();
+  RouteCache::global().set_enabled(cached);
+  for (auto _ : state) {
+    const Topology topo = make_mesh(8, 8);
+    benchmark::DoNotOptimize(topo.diameter());
+  }
+  const RouteCache::Stats stats = RouteCache::global().stats();
+  state.counters["route_cache.hits"] =
+      ::benchmark::Counter(static_cast<double>(stats.hits));
+  state.counters["route_cache.misses"] =
+      ::benchmark::Counter(static_cast<double>(stats.misses));
+  RouteCache::global().set_enabled(true);
+  state.SetLabel(cached ? "cached" : "uncached");
+}
+BENCHMARK(BM_TopologyConstruction)
+    ->Arg(0)->Arg(1)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_quality_gate();
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}

@@ -1,4 +1,4 @@
-// ccsched — a small command-line scheduler driving the text formats.
+// ccsched — a small command-line scheduler driving the Solver facade.
 //
 // Usage:
 //   architecture_explorer [graph-file] [arch-spec...]
@@ -8,19 +8,18 @@
 // "ring 8 uni", ...).  With no arguments it runs a built-in demonstration
 // graph on the paper's five machines, so the example is runnable bare.
 //
+// Each machine is one SolveRequest: the arch spec goes in as a string, the
+// response comes back certified or with diagnostics explaining why not —
+// a malformed spec on the command line prints a CCS-E001 finding instead
+// of a stack trace.
+//
 // Build & run:   ./examples/architecture_explorer
 //                ./examples/architecture_explorer my_loop.csdfg "mesh 4 4"
 #include <fstream>
 #include <iostream>
 #include <sstream>
 
-#include "arch/comm_model.hpp"
-#include "core/cyclo_compaction.hpp"
-#include "core/iteration_bound.hpp"
-#include "core/validator.hpp"
-#include "io/table_printer.hpp"
-#include "io/text_format.hpp"
-#include "util/error.hpp"
+#include "ccsched.hpp"
 
 namespace {
 
@@ -69,24 +68,22 @@ int main(int argc, char** argv) {
               << " tasks, " << g.edge_count() << " dependences, iteration "
               << "bound " << iteration_bound(g).to_string() << "\n";
 
+    const Solver solver;
     for (const std::string& spec : specs) {
-      const Topology topo = parse_topology(spec);
-      const StoreAndForwardModel comm(topo);
-      CycloCompactionOptions opt;
-      opt.policy = RemapPolicy::kWithRelaxation;
-      const auto res = cyclo_compact(g, topo, comm, opt);
-      const auto report =
-          validate_schedule(res.retimed_graph, res.best, comm);
-      std::cout << "\n--- " << topo.name() << " (diameter "
-                << topo.diameter() << ") ---\n"
-                << render_schedule(res.retimed_graph, res.best)
-                << "start-up " << res.startup_length() << " -> compacted "
-                << res.best_length() << "  ["
-                << (report.ok() ? "valid" : "INVALID") << "]\n";
-      if (!report.ok()) {
-        std::cerr << report.to_string() << '\n';
+      SolveRequest req;
+      req.graph = g;
+      req.arch = spec;
+      const SolveResponse res = solver.solve(req);
+      if (!res.ok()) {
+        std::cerr << "--- " << spec << " ---\n"
+                  << render_text(res.diagnostics);
         return 1;
       }
+      std::cout << "\n--- " << res.machine->name() << " (diameter "
+                << res.machine->diameter() << ") ---\n"
+                << render_schedule(res.graph, *res.schedule)
+                << "start-up " << res.startup_length << " -> compacted "
+                << res.best_length << "  [certified]\n";
     }
     return 0;
   } catch (const Error& e) {

@@ -12,15 +12,7 @@
 // Build & run:   ./examples/codegen_pipeline
 #include <iostream>
 
-#include "arch/comm_model.hpp"
-#include "arch/topology.hpp"
-#include "core/cyclo_compaction.hpp"
-#include "core/prologue.hpp"
-#include "io/schedule_format.hpp"
-#include "io/table_printer.hpp"
-#include "io/text_format.hpp"
-#include "sim/executor.hpp"
-#include "sim/gantt.hpp"
+#include "ccsched.hpp"
 #include "workloads/library.hpp"
 
 int main() {

@@ -11,11 +11,7 @@
 #include <iomanip>
 #include <iostream>
 
-#include "arch/comm_model.hpp"
-#include "arch/topology.hpp"
-#include "core/cyclo_compaction.hpp"
-#include "core/iteration_bound.hpp"
-#include "sim/executor.hpp"
+#include "ccsched.hpp"
 #include "util/text_table.hpp"
 #include "workloads/library.hpp"
 #include "workloads/transforms.hpp"

@@ -8,9 +8,11 @@
 //   1. schedule the Figure 1(b) loop with cyclo-compaction (the baseline);
 //   2. inject the fault plan from examples/data/failover.faults into the
 //      cycle-accurate executor and watch the schedule break;
-//   3. repair: walk the degradation ladder (remap -> recompaction ->
+//   3. repair through the Solver facade: one request with the fault-spec
+//      text walks the degradation ladder (remap -> recompaction ->
 //      list-schedule -> serial) on the reduced machine;
-//   4. verify the repaired table with the independent certifier.
+//   4. the response is already certified — every accepted rung is verified
+//      by the independent certifier before the ladder returns it.
 //
 // Build & run:   ./examples/failover_repair
 // CLI twin:      ccsched stress examples/data/paper_fig1b.csdfg
@@ -18,14 +20,7 @@
 //                    --faults examples/data/failover.faults --repair
 #include <iostream>
 
-#include "analysis/certify.hpp"
-#include "arch/comm_model.hpp"
-#include "arch/topology.hpp"
-#include "core/cyclo_compaction.hpp"
-#include "io/table_printer.hpp"
-#include "robust/fault_plan.hpp"
-#include "robust/repair.hpp"
-#include "sim/executor.hpp"
+#include "ccsched.hpp"
 #include "workloads/library.hpp"
 
 int main() {
@@ -42,6 +37,7 @@ int main() {
 
   // 2. The fault plan: p1 fail-stops at iteration 4, and task E jitters one
   //    step long (the same plan as examples/data/failover.faults).
+  const std::string faults = "fail p1 @iter 4\njitter E +1\n";
   FaultPlan plan;
   plan.pe_faults.push_back({/*pe=*/1, /*iteration=*/4});
   plan.jitters.push_back({g.node_by_name("E"), +1});
@@ -59,33 +55,36 @@ int main() {
             << " late arrivals (first failure @iter "
             << stats.first_failure_iteration << ")\n";
 
-  // 3. Repair: rebuild a certified schedule for the surviving machine.  The
-  //    ladder tries the cheap rung first (keep survivors, re-place only
-  //    p1's tasks) and escalates only as needed.
-  const RepairOutcome outcome = repair_schedule(g, base, mesh, plan);
-  std::cout << "\nrepair ladder:\n";
-  for (const std::string& attempt : outcome.attempts)
-    std::cout << "  " << attempt << '\n';
-  if (!outcome.success) {
-    std::cout << "repair infeasible: " << outcome.detail << '\n';
+  // 3. Repair: one Solver request rebuilds a certified schedule for the
+  //    surviving machine.  The ladder tries the cheap rung first (keep
+  //    survivors, re-place only p1's tasks) and escalates only as needed;
+  //    an unrepairable plan would come back kInfeasible with a CCS-E002
+  //    finding, not an exception.
+  Solver solver;
+  SolveRequest req;
+  req.graph = g;
+  req.topology = mesh;
+  req.mode = SolveMode::kRepair;
+  req.faults = faults;
+  const SolveResponse res = solver.solve(req);
+  if (!res.ok()) {
+    std::cout << "\nrepair failed (" << solve_status_name(res.status)
+              << "):\n"
+              << render_text(res.diagnostics);
     return 1;
   }
-  std::cout << "winning rung: " << repair_rung_name(outcome.rung)
-            << " (length " << outcome.schedule->length() << " on "
-            << outcome.machine->name() << ")\npe map: ";
-  for (std::size_t p = 0; p < outcome.to_original.size(); ++p)
-    std::cout << (p ? ", " : "") << 'p' << p << "->p"
-              << outcome.to_original[p];
-  std::cout << '\n' << render_schedule(outcome.graph, *outcome.schedule);
 
-  // 4. Trust, then verify: the certifier re-derives every constraint from
-  //    first principles on the reduced machine.
-  const StoreAndForwardModel reduced_comm(*outcome.machine);
-  DiagnosticBag bag;
-  const bool certified = certify_table(outcome.graph, *outcome.schedule,
-                                       reduced_comm, "repaired", bag);
-  bag.finalize();
-  std::cout << "\ncertifier verdict: "
-            << (certified ? "certified" : "REJECTED") << '\n';
-  return certified ? 0 : 1;
+  // 4. The response carries the winning rung, the reduced machine, and the
+  //    PE mapping back to the original mesh; certified is always true on
+  //    kOk because the ladder only accepts certified rungs.
+  std::cout << "\nwinning rung: " << res.repair_rung << " (length "
+            << res.schedule->length() << " on " << res.machine->name()
+            << ")\npe map: ";
+  for (std::size_t p = 0; p < res.pe_map.size(); ++p)
+    std::cout << (p ? ", " : "") << 'p' << p << "->p" << res.pe_map[p];
+  std::cout << '\n'
+            << render_schedule(res.graph, *res.schedule)
+            << "\ncertifier verdict: "
+            << (res.certified ? "certified" : "REJECTED") << '\n';
+  return res.certified ? 0 : 1;
 }

@@ -10,14 +10,8 @@
 // Build & run:   ./examples/multirate_sdf
 #include <iostream>
 
-#include "arch/comm_model.hpp"
-#include "arch/topology.hpp"
-#include "core/cyclo_compaction.hpp"
-#include "core/iteration_bound.hpp"
-#include "core/validator.hpp"
-#include "io/table_printer.hpp"
+#include "ccsched.hpp"
 #include "sdf/sdf.hpp"
-#include "sim/executor.hpp"
 
 int main() {
   using namespace ccs;

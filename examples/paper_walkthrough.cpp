@@ -9,14 +9,8 @@
 // Build & run:   ./examples/paper_walkthrough
 #include <iostream>
 
-#include "arch/comm_model.hpp"
-#include "arch/topology.hpp"
-#include "core/cyclo_compaction.hpp"
-#include "core/remap.hpp"
+#include "ccsched.hpp"
 #include "core/rotation.hpp"
-#include "core/validator.hpp"
-#include "io/dot.hpp"
-#include "io/table_printer.hpp"
 #include "workloads/library.hpp"
 
 int main() {

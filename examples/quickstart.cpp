@@ -1,18 +1,15 @@
 // ccsched quickstart — the smallest end-to-end use of the library.
 //
-// We describe a loop body as a communication-sensitive data-flow graph
-// (CSDFG), pick a target machine, run cyclo-compaction scheduling, and print
-// the resulting static schedule table.
+// One include, one facade: build a graph, name a machine, call solve().
+// The Solver runs the communication-aware start-up scheduler, compacts the
+// table with rotate-remap passes, and certifies the result from first
+// principles before handing it back; any failure comes back as diagnostics
+// in the response, never as an exception (docs/API.md).
 //
 // Build & run:   ./examples/quickstart
 #include <iostream>
 
-#include "arch/comm_model.hpp"
-#include "arch/topology.hpp"
-#include "core/cyclo_compaction.hpp"
-#include "core/iteration_bound.hpp"
-#include "core/validator.hpp"
-#include "io/table_printer.hpp"
+#include "ccsched.hpp"
 
 int main() {
   using namespace ccs;
@@ -32,34 +29,39 @@ int main() {
   loop.add_edge(acc, acc, 1, 1);    // accumulator: depends on last iteration
   loop.add_edge(store, load, 2, 1); // double-buffered memory hand-back
 
-  // 2. The machine: four processors in a 2x2 mesh, store-and-forward links
-  //    (a transfer costs hops x volume control steps).
-  const Topology machine = make_mesh(2, 2);
-  const StoreAndForwardModel comm(machine);
+  // 2. Solve: four processors in a 2x2 mesh with store-and-forward links
+  //    (a transfer costs hops x volume control steps).  This is the whole
+  //    hello-world — the ten lines the README quotes.
+  Solver solver;
+  SolveRequest req;
+  req.graph = loop;
+  req.arch = "mesh 2 2";
+  const SolveResponse res = solver.solve(req);
+  if (!res.ok()) {
+    std::cerr << render_text(res.diagnostics);
+    return 1;
+  }
 
-  // 3. Schedule.  cyclo_compact runs the communication-aware start-up list
-  //    scheduler and then iteratively rotates (retimes) and remaps tasks to
-  //    shrink the table.
-  CycloCompactionOptions options;
-  options.policy = RemapPolicy::kWithRelaxation;  // the paper's best setting
-  const CycloCompactionResult result =
-      cyclo_compact(loop, machine, comm, options);
+  // 3. Inspect.  The schedule repeats every best_length control steps on
+  //    the retimed graph; the iteration bound is the theoretical floor for
+  //    any machine.
+  std::cout << "start-up schedule: " << res.startup_length << " steps\n"
+            << "after cyclo-compaction (" << res.best_length << " steps):\n"
+            << render_schedule(res.graph, *res.schedule) << '\n'
+            << "iteration bound: " << iteration_bound(loop).to_string()
+            << " steps/iteration\n"
+            << "certified: " << (res.certified ? "yes" : "no") << '\n';
 
-  // 4. Inspect.  The schedule repeats every `length` control steps; the
-  //    iteration bound is the theoretical floor for any machine.
-  std::cout << "start-up schedule (" << result.startup_length()
-            << " steps):\n"
-            << render_schedule(loop, result.startup) << '\n';
-  std::cout << "after cyclo-compaction (" << result.best_length()
-            << " steps):\n"
-            << render_schedule(result.retimed_graph, result.best) << '\n';
-  std::cout << "iteration bound: " << iteration_bound(loop).to_string()
-            << " steps/iteration\n";
-
-  // 5. Trust, but verify: every claim above is checkable.
-  const auto report =
-      validate_schedule(result.retimed_graph, result.best, comm);
-  std::cout << "validator: " << (report.ok() ? "OK" : report.to_string())
-            << '\n';
-  return report.ok() ? 0 : 1;
+  // 4. The portfolio engine is one field away: explore the whole
+  //    configuration grid on a worker pool and keep the best certified
+  //    schedule (bit-deterministic for a fixed seed and jobs).
+  req.mode = SolveMode::kPortfolio;
+  req.portfolio.jobs = 4;
+  const SolveResponse folio = solver.solve(req);
+  if (folio.ok()) {
+    std::cout << "portfolio: " << folio.attempts.size() << " attempts, best "
+              << folio.best_length << " steps (attempt #"
+              << folio.winner_attempt << ", " << folio.winner_label << ")\n";
+  }
+  return 0;
 }

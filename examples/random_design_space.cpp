@@ -11,10 +11,7 @@
 #include <iostream>
 #include <map>
 
-#include "arch/comm_model.hpp"
-#include "arch/topology.hpp"
-#include "core/cyclo_compaction.hpp"
-#include "sim/executor.hpp"
+#include "ccsched.hpp"
 #include "util/text_table.hpp"
 #include "workloads/generator.hpp"
 

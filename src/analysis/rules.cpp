@@ -6,7 +6,7 @@ namespace ccs {
 
 namespace {
 
-constexpr std::array<LintRule, 29> kRules{{
+constexpr std::array<LintRule, 31> kRules{{
     {"CCS-P001", "syntax-error", Severity::kError,
      "A line of the graph file does not match any directive grammar.",
      "Use `graph <name>`, `node <name> <time>`, or `edge <from> <to> "
@@ -156,6 +156,18 @@ constexpr std::array<LintRule, 29> kRules{{
      "Name PEs p0..p<P-1> of the --arch machine, fail only links the "
      "topology actually has, and spell task names as the graph file "
      "declares them."},
+    {"CCS-E001", "invalid-request", Severity::kError,
+     "The solve request cannot be executed as given: an illegal graph, a "
+     "malformed architecture or fault spec, or an unsupported option "
+     "combination (ccs::Solver, docs/API.md).",
+     "Fix the request field named in the message; the wording matches the "
+     "exception the underlying component raised."},
+    {"CCS-E002", "infeasible-request", Severity::kError,
+     "The solve request is well-formed but provably has no certified "
+     "answer — e.g. a repair request whose fault plan leaves no usable "
+     "machine (ccs::Solver, docs/API.md).",
+     "Relax the fault plan or the budgets, or provide a machine with more "
+     "survivors; the message carries the infeasibility detail."},
 }};
 
 }  // namespace

@@ -1,0 +1,154 @@
+#include "arch/route_cache.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace ccs {
+
+namespace {
+
+constexpr std::size_t kUnreachable = std::numeric_limits<std::size_t>::max();
+
+/// Structural key: every field that influences the tables, nothing else.
+/// Links are normalized by the caller, so equal structures produce equal
+/// keys byte for byte.
+std::string structure_key(
+    std::size_t num_pes, bool directed,
+    const std::vector<std::pair<std::size_t, std::size_t>>& links) {
+  std::ostringstream os;
+  os << (directed ? 'd' : 'u') << num_pes;
+  for (const auto& [a, b] : links) os << ':' << a << ',' << b;
+  return os.str();
+}
+
+}  // namespace
+
+RouteTables compute_route_tables(
+    std::size_t num_pes, bool directed,
+    const std::vector<std::pair<std::size_t, std::size_t>>& links,
+    const std::string& name, std::size_t next_hop_limit) {
+  // Adjacency exactly as Topology builds it: sorted neighbor lists, reverse
+  // direction added for undirected structures.
+  std::vector<std::vector<std::size_t>> adjacency(num_pes);
+  for (const auto& [a, b] : links) {
+    adjacency[a].push_back(b);
+    if (!directed) adjacency[b].push_back(a);
+  }
+  for (auto& nb : adjacency) std::sort(nb.begin(), nb.end());
+
+  RouteTables tables;
+  tables.dist = Matrix<std::size_t>(num_pes, num_pes, kUnreachable);
+  for (std::size_t src = 0; src < num_pes; ++src) {
+    tables.dist(src, src) = 0;
+    std::deque<std::size_t> frontier{src};
+    while (!frontier.empty()) {
+      const std::size_t u = frontier.front();
+      frontier.pop_front();
+      for (const std::size_t v : adjacency[u]) {
+        if (tables.dist(src, v) == kUnreachable) {
+          tables.dist(src, v) = tables.dist(src, u) + 1;
+          frontier.push_back(v);
+        }
+      }
+    }
+  }
+
+  tables.diameter = 0;
+  for (std::size_t a = 0; a < num_pes; ++a) {
+    for (std::size_t b = 0; b < num_pes; ++b) {
+      if (tables.dist(a, b) == kUnreachable) {
+        std::ostringstream os;
+        os << "topology '" << name << "' is not connected: PE " << b
+           << " is unreachable from PE " << a;
+        throw ArchitectureError(os.str());
+      }
+      tables.diameter = std::max(tables.diameter, tables.dist(a, b));
+    }
+  }
+
+  if (num_pes <= next_hop_limit) {
+    // next(u, v): lowest-numbered neighbor of u one hop closer to v — the
+    // same tie-break Topology::shortest_path has always used, frozen into a
+    // table so path reconstruction is O(path length).
+    tables.next = Matrix<std::size_t>(num_pes, num_pes, 0);
+    for (std::size_t u = 0; u < num_pes; ++u) {
+      for (std::size_t v = 0; v < num_pes; ++v) {
+        if (u == v) {
+          tables.next(u, v) = u;
+          continue;
+        }
+        for (const std::size_t nb : adjacency[u]) {
+          if (tables.dist(nb, v) + 1 == tables.dist(u, v)) {
+            tables.next(u, v) = nb;
+            break;
+          }
+        }
+      }
+    }
+  }
+
+  return tables;
+}
+
+RouteCache& RouteCache::global() {
+  static RouteCache cache;
+  return cache;
+}
+
+std::shared_ptr<const RouteTables> RouteCache::tables_for(
+    std::size_t num_pes, bool directed,
+    const std::vector<std::pair<std::size_t, std::size_t>>& links,
+    const std::string& name) {
+  {
+    const std::scoped_lock lock(mu_);
+    if (enabled_) {
+      const auto it = entries_.find(structure_key(num_pes, directed, links));
+      if (it != entries_.end()) {
+        ++hits_;
+        return it->second;
+      }
+    }
+  }
+
+  // Compute outside the lock: BFS over a large fabric must not serialize
+  // unrelated constructions, and compute_route_tables may throw.
+  auto tables = std::make_shared<const RouteTables>(
+      compute_route_tables(num_pes, directed, links, name, kNextHopLimit));
+
+  const std::scoped_lock lock(mu_);
+  if (!enabled_) return tables;
+  ++misses_;
+  // Two threads may race to insert the same structure; the first insert
+  // wins and both callers end up sharing that entry.
+  const auto [it, inserted] = entries_.emplace(
+      structure_key(num_pes, directed, links), std::move(tables));
+  return it->second;
+}
+
+RouteCache::Stats RouteCache::stats() const {
+  const std::scoped_lock lock(mu_);
+  return Stats{hits_, misses_, entries_.size()};
+}
+
+void RouteCache::clear() {
+  const std::scoped_lock lock(mu_);
+  entries_.clear();
+  hits_ = 0;
+  misses_ = 0;
+}
+
+void RouteCache::set_enabled(bool enabled) {
+  const std::scoped_lock lock(mu_);
+  enabled_ = enabled;
+}
+
+bool RouteCache::enabled() const {
+  const std::scoped_lock lock(mu_);
+  return enabled_;
+}
+
+}  // namespace ccs

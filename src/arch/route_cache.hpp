@@ -1,0 +1,103 @@
+// ccsched — process-wide routing tables, memoized per topology structure.
+//
+// Every Topology used to run its own all-pairs BFS at construction.  That is
+// fine for one machine built once, but the portfolio engine (src/engine/)
+// constructs the same architectures over and over — one per attempt, per
+// repair rung, per benchmark repetition — and the BFS dominated construction
+// for the larger fabrics.  The RouteCache memoizes the result: topologies
+// with the same *structure* (PE count, directedness, normalized link list —
+// the name is deliberately excluded) share one immutable RouteTables block
+// behind a shared_ptr.
+//
+// Thread-safety contract: the cache itself is mutex-guarded; the tables it
+// hands out are immutable after construction, so any number of portfolio
+// workers may read them concurrently without synchronization.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/matrix.hpp"
+
+namespace ccs {
+
+/// Immutable per-structure routing data shared read-only across threads.
+struct RouteTables {
+  /// All-pairs minimum hop counts (BFS from every PE).
+  Matrix<std::size_t> dist;
+  /// First hop of the deterministic shortest path: next(u, v) is the
+  /// lowest-numbered neighbor of u that strictly decreases the distance to
+  /// v, and next(u, u) == u.  Empty (0x0) for structures above
+  /// RouteCache::kNextHopLimit PEs, where the quadratic-times-degree
+  /// precomputation would dwarf the queries it saves; Topology falls back
+  /// to the same greedy descent the table encodes.
+  Matrix<std::size_t> next;
+  /// max over all pairs of dist — the network diameter.
+  std::size_t diameter = 0;
+};
+
+/// Computes the tables directly, with no caching: BFS from every PE, then
+/// (for structures within `next_hop_limit`) the first-hop matrix.  Throws
+/// ArchitectureError naming `name` if the structure is not (strongly)
+/// connected.  `links` must already be validated and normalized the way
+/// Topology normalizes them (in range, no self-loops, deduplicated,
+/// smaller endpoint first when undirected).
+[[nodiscard]] RouteTables compute_route_tables(
+    std::size_t num_pes, bool directed,
+    const std::vector<std::pair<std::size_t, std::size_t>>& links,
+    const std::string& name, std::size_t next_hop_limit);
+
+/// The process-wide memo.  Topology construction goes through
+/// RouteCache::global(); benches can set_enabled(false) to measure the
+/// uncached path and clear() between measurements.
+class RouteCache {
+public:
+  /// Structures up to this many PEs also get the O(P^2 · degree) next-hop
+  /// matrix; larger ones only cache the distance table.
+  static constexpr std::size_t kNextHopLimit = 256;
+
+  /// The singleton shared by every Topology in the process.
+  [[nodiscard]] static RouteCache& global();
+
+  /// Returns the (possibly memoized) tables for the given structure,
+  /// computing and caching them on first sight.  `name` is used only in the
+  /// not-connected error message; structurally equal topologies with
+  /// different names share an entry.  When the cache is disabled the tables
+  /// are computed fresh on every call and nothing is stored.
+  [[nodiscard]] std::shared_ptr<const RouteTables> tables_for(
+      std::size_t num_pes, bool directed,
+      const std::vector<std::pair<std::size_t, std::size_t>>& links,
+      const std::string& name);
+
+  /// Cache effectiveness counters, cumulative since the last clear().
+  struct Stats {
+    long long hits = 0;
+    long long misses = 0;
+    std::size_t entries = 0;
+  };
+  [[nodiscard]] Stats stats() const;
+
+  /// Drops every memoized entry and zeroes the counters.  Tables already
+  /// handed out stay alive through their shared_ptrs.
+  void clear();
+
+  /// Turns memoization on or off (on by default).  Disabling does not drop
+  /// existing entries; it only bypasses them — benches use this to compare
+  /// cached vs. uncached construction.
+  void set_enabled(bool enabled);
+  [[nodiscard]] bool enabled() const;
+
+private:
+  mutable std::mutex mu_;
+  bool enabled_ = true;
+  long long hits_ = 0;
+  long long misses_ = 0;
+  std::map<std::string, std::shared_ptr<const RouteTables>> entries_;
+};
+
+}  // namespace ccs

@@ -1,19 +1,14 @@
 #include "arch/topology.hpp"
 
 #include <algorithm>
-#include <deque>
-#include <limits>
 #include <set>
 #include <sstream>
 
+#include "arch/route_cache.hpp"
 #include "util/contracts.hpp"
 #include "util/error.hpp"
 
 namespace ccs {
-
-namespace {
-constexpr std::size_t kUnreachable = std::numeric_limits<std::size_t>::max();
-}  // namespace
 
 Topology::Topology(std::size_t num_pes,
                    std::vector<std::pair<PeId, PeId>> links, bool directed,
@@ -47,37 +42,8 @@ Topology::Topology(std::size_t num_pes,
   }
   for (auto& nb : adjacency_) std::sort(nb.begin(), nb.end());
 
-  compute_distances();
-}
-
-void Topology::compute_distances() {
-  dist_ = Matrix<std::size_t>(num_pes_, num_pes_, kUnreachable);
-  for (PeId src = 0; src < num_pes_; ++src) {
-    dist_(src, src) = 0;
-    std::deque<PeId> frontier{src};
-    while (!frontier.empty()) {
-      const PeId u = frontier.front();
-      frontier.pop_front();
-      for (PeId v : adjacency_[u]) {
-        if (dist_(src, v) == kUnreachable) {
-          dist_(src, v) = dist_(src, u) + 1;
-          frontier.push_back(v);
-        }
-      }
-    }
-  }
-  diameter_ = 0;
-  for (PeId a = 0; a < num_pes_; ++a) {
-    for (PeId b = 0; b < num_pes_; ++b) {
-      if (dist_(a, b) == kUnreachable) {
-        std::ostringstream os;
-        os << "topology '" << name_ << "' is not connected: PE " << b
-           << " is unreachable from PE " << a;
-        throw ArchitectureError(os.str());
-      }
-      diameter_ = std::max(diameter_, dist_(a, b));
-    }
-  }
+  tables_ = RouteCache::global().tables_for(num_pes_, directed_, links_,
+                                            name_);
 }
 
 const std::vector<PeId>& Topology::neighbors(PeId pe) const {
@@ -87,7 +53,7 @@ const std::vector<PeId>& Topology::neighbors(PeId pe) const {
 
 std::size_t Topology::distance(PeId from, PeId to) const {
   CCS_EXPECTS(from < num_pes_ && to < num_pes_);
-  return dist_(from, to);
+  return tables_->dist(from, to);
 }
 
 std::size_t Topology::degree(PeId pe) const {
@@ -99,22 +65,28 @@ std::vector<PeId> Topology::shortest_path(PeId from, PeId to) const {
   CCS_EXPECTS(from < num_pes_ && to < num_pes_);
   std::vector<PeId> path{from};
   PeId cur = from;
+  const bool have_next = tables_->next.rows() > 0;
   while (cur != to) {
-    // Greedy descent on the distance table; neighbors are sorted, so the
-    // lowest-numbered PE that strictly decreases the remaining distance is
-    // chosen — deterministic across runs and platforms.
+    // The cached first-hop table (when the structure is small enough to
+    // carry one) and the greedy fallback implement the same rule: the
+    // lowest-numbered neighbor that strictly decreases the remaining
+    // distance — deterministic across runs and platforms.
     PeId next = cur;
-    for (PeId nb : adjacency_[cur]) {
-      if (dist_(nb, to) + 1 == dist_(cur, to)) {
-        next = nb;
-        break;
+    if (have_next) {
+      next = tables_->next(cur, to);
+    } else {
+      for (PeId nb : adjacency_[cur]) {
+        if (tables_->dist(nb, to) + 1 == tables_->dist(cur, to)) {
+          next = nb;
+          break;
+        }
       }
     }
     CCS_ASSERT(next != cur);
     path.push_back(next);
     cur = next;
   }
-  CCS_ENSURES(path.size() == dist_(from, to) + 1);
+  CCS_ENSURES(path.size() == tables_->dist(from, to) + 1);
   return path;
 }
 

@@ -8,10 +8,11 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <string>
 #include <vector>
 
-#include "util/matrix.hpp"
+#include "arch/route_cache.hpp"
 
 namespace ccs {
 
@@ -20,8 +21,11 @@ using PeId = std::size_t;
 
 /// A point-to-point interconnect between processing elements.
 ///
-/// A Topology owns its link structure and a precomputed all-pairs minimum
-/// hop-count matrix (breadth-first search from every PE).  Construction
+/// A Topology owns its link structure and shares the all-pairs minimum
+/// hop-count and first-hop tables for that structure through the
+/// process-wide RouteCache (arch/route_cache.hpp) — structurally equal
+/// machines built anywhere in the process, including concurrently on
+/// portfolio workers, read the same immutable tables.  Construction
 /// verifies that the network is connected: a disconnected machine cannot
 /// execute an arbitrary task graph under store-and-forward routing.
 class Topology {
@@ -63,7 +67,9 @@ public:
   [[nodiscard]] std::size_t distance(PeId from, PeId to) const;
 
   /// Maximum over all PE pairs of distance(), i.e. the network diameter.
-  [[nodiscard]] std::size_t diameter() const noexcept { return diameter_; }
+  [[nodiscard]] std::size_t diameter() const noexcept {
+    return tables_->diameter;
+  }
 
   /// Degree of `pe` (out-degree for directed topologies).
   [[nodiscard]] std::size_t degree(PeId pe) const;
@@ -79,10 +85,9 @@ private:
   std::string name_;
   std::vector<std::pair<PeId, PeId>> links_;
   std::vector<std::vector<PeId>> adjacency_;
-  Matrix<std::size_t> dist_;
-  std::size_t diameter_ = 0;
-
-  void compute_distances();
+  /// Immutable, shared with every structurally equal Topology in the
+  /// process (arch/route_cache.hpp); copies of this Topology share it too.
+  std::shared_ptr<const RouteTables> tables_;
 };
 
 /// Factory: N processors in a line (Figure 5a); PE i links to PE i+1.

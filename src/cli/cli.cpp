@@ -15,6 +15,7 @@
 #include "core/modulo_scheduler.hpp"
 #include "core/retiming.hpp"
 #include "core/validator.hpp"
+#include "engine/portfolio.hpp"
 #include "io/dot.hpp"
 #include "io/schedule_format.hpp"
 #include "io/table_printer.hpp"
@@ -108,7 +109,8 @@ private:
     for (const char* k :
          {"arch", "passes", "speeds", "iterations", "warmup", "gantt",
           "policy", "trace", "stats", "format", "graph", "unfold", "replay",
-          "faults", "budget-passes", "budget-ms", "patience"})
+          "faults", "budget-passes", "budget-ms", "patience", "jobs",
+          "seed", "attempts"})
       if (key == k) return true;
     return false;
   }
@@ -403,6 +405,9 @@ int cmd_certify(Args& args, std::istream& in, std::ostream& out) {
     }
     const int passes = args.int_value("passes", 0);
     if (passes > 0) opt.passes = passes;
+    // Budget flags mirror `schedule`: a trace recorded from a budgeted run
+    // only replays cleanly when the replay stops at the same pass.
+    opt.budget = parse_budget(args);
     opt.startup.pipelined_pes = args.flag("pipelined");
     if (const auto speeds = args.value("speeds")) {
       opt.startup.pe_speeds = parse_speeds(*speeds);
@@ -462,6 +467,24 @@ int cmd_schedule(Args& args, std::istream& in, std::ostream& out,
     if (opt.startup.pe_speeds.size() != topo.size())
       throw UsageError{"--speeds must list one factor per processor"};
   }
+  const bool portfolio = args.flag("portfolio");
+  const int jobs = args.int_value("jobs", 1);
+  const int attempt_count = args.int_value("attempts", 0);
+  std::uint64_t seed = 0;
+  if (const auto seed_str = args.value("seed")) {
+    try {
+      seed = std::stoull(*seed_str);
+    } catch (const std::exception&) {
+      throw UsageError{"--seed expects a non-negative integer"};
+    }
+    if (!portfolio) throw UsageError{"--seed needs --portfolio"};
+  }
+  if (!portfolio && (jobs != 1 || attempt_count != 0))
+    throw UsageError{"--jobs/--attempts need --portfolio"};
+  if (jobs < 0 || attempt_count < 0)
+    throw UsageError{"--jobs/--attempts must be >= 0"};
+  if (portfolio && (policy == "startup" || policy == "modulo"))
+    throw UsageError{"--portfolio applies to --policy relax/strict only"};
   const bool emit_schedule = args.flag("emit-schedule");
   const bool emit_graph = args.flag("emit-graph");
   const bool quiet = args.flag("quiet");
@@ -476,7 +499,25 @@ int cmd_schedule(Args& args, std::istream& in, std::ostream& out,
   ScheduleTable table(g, 1);
   int startup_length = 0;
   std::optional<CycloCompactionResult> run;
-  if (policy == "modulo") {
+  std::optional<PortfolioResult> folio;
+  if (portfolio) {
+    PortfolioOptions popt;
+    popt.jobs = jobs;
+    popt.attempts = attempt_count;
+    popt.seed = seed;
+    popt.base = opt;
+    popt.certify_winner = false;  // certification happens below, once.
+    folio.emplace(portfolio_compact(g, topo, comm, popt, obs));
+    run.emplace(folio->winner);
+    table = run->best;
+    final_graph = run->retimed_graph;
+    startup_length = run->startup_length();
+    if (obs.metrics != nullptr) {
+      obs.metrics->set("schedule.startup_length", startup_length);
+      obs.metrics->set("schedule.best_length", run->best_length());
+      obs.metrics->set("schedule.best_pass", run->best_pass);
+    }
+  } else if (policy == "modulo") {
     if (!opt.startup.pe_speeds.empty())
       throw UsageError{"--policy modulo does not support --speeds"};
     // The modulo baseline is not instrumented; --trace yields no events.
@@ -505,7 +546,11 @@ int cmd_schedule(Args& args, std::istream& in, std::ostream& out,
   if (certify) {
     DiagnosticBag bag;
     const std::string label = span_label(graph_path) + ":schedule";
-    certified = run ? certify_compaction_run(g, *run, comm, opt.policy, label,
+    // A portfolio winner may come from any grid configuration, so the
+    // policy-dependent run-level audit (Theorem 4.4 monotonicity) is only
+    // applied to serial runs whose policy the command line actually names.
+    certified = run && !folio
+                    ? certify_compaction_run(g, *run, comm, opt.policy, label,
                                              {}, bag)
                     : certify_table(final_graph, table, comm, label, bag);
     bag.finalize();
@@ -520,6 +565,27 @@ int cmd_schedule(Args& args, std::istream& in, std::ostream& out,
   if (run && !run->stop_reason.empty())
     out << "budget: stopped by " << run->stop_reason << " after "
         << run->length_trace.size() << " pass(es)\n";
+  if (folio) {
+    out << "portfolio: " << folio->attempts.size() << " attempt(s), jobs ";
+    if (jobs == 0)
+      out << "auto";
+    else
+      out << jobs;
+    out << ", winner #" << folio->winner_attempt << " ("
+        << folio->winner_label << "), serial " << folio->serial_length
+        << ", lower bound " << folio->lower_bound << '\n';
+    if (!quiet) {
+      for (std::size_t i = 0; i < folio->attempts.size(); ++i) {
+        const AttemptOutcome& row = folio->attempts[i];
+        out << "  #" << i << ' ' << row.label << ": " << row.length
+            << " (startup " << row.startup_length << ", pass "
+            << row.best_pass << ')';
+        if (!row.stop_reason.empty()) out << " [" << row.stop_reason << ']';
+        if (row.winner) out << " *";
+        out << '\n';
+      }
+    }
+  }
   obs_setup.finish(out);
   if (emit_graph) out << serialize_csdfg(final_graph);
   if (emit_schedule)

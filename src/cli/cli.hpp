@@ -18,8 +18,10 @@
 //       --unfold N                           unfold cross-check factor (default 3, <2 off)
 //   ccsched certify --replay <trace> --graph <csdfg> --arch "<spec>" [options]
 //       --policy relax|strict --passes N --pipelined --speeds a,b,...
+//       --budget-passes/--budget-ms/--patience
 //                                            the configuration of the recorded
-//                                            run, replayed deterministically
+//                                            run (budget included), replayed
+//                                            deterministically
 //   ccsched schedule <graph> --arch "<spec>" [options]
 //       --policy relax|strict|startup|modulo compaction policy (default relax)
 //       --passes N                           rotate-remap passes (default 3|V|)
@@ -30,6 +32,16 @@
 //       --certify                            independent CCS-S certification
 //       --trace FILE                         JSONL pipeline events (docs/OBSERVABILITY.md)
 //       --stats FILE                         metrics JSON ('-' = stdout) + stats section
+//       --portfolio                          parallel portfolio search over the
+//                                            configuration grid (src/engine/);
+//                                            the winner is never worse than the
+//                                            serial driver and is bit-identical
+//                                            for a fixed --jobs/--seed
+//       --jobs N                             portfolio worker threads
+//                                            (default 1; 0 = hardware)
+//       --attempts K                         portfolio size (default: the grid;
+//                                            beyond it, seed-perturbed variants)
+//       --seed S                             seed for the perturbed tail
 //   ccsched schedule also takes the run-budget flags (core/budget.hpp):
 //       --budget-passes N                    stop after N rotate-remap passes
 //       --budget-ms N                        wall-clock deadline in milliseconds

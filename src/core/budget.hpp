@@ -61,6 +61,21 @@ private:
   long long now_ = 0;
 };
 
+/// Cooperative external stop signal, checked at the same pass boundaries as
+/// the budget conditions.  This is how work *outside* the run preempts it:
+/// the portfolio engine's shared incumbent tells a worker its attempt can no
+/// longer win, a serving layer signals shutdown.  Implementations receive
+/// the caller's current best schedule length so they can decide with full
+/// information, and must tolerate being called from the running thread while
+/// other threads update the underlying state (the portfolio token locks).
+class BudgetStopToken {
+public:
+  virtual ~BudgetStopToken() = default;
+  /// True when the run should stop now and return its best-so-far result.
+  /// `current_best` is the length of the caller's best schedule so far.
+  [[nodiscard]] virtual bool stop_requested(int current_best) const = 0;
+};
+
 /// Stop conditions for cyclo_compact.  Zero values disable a condition;
 /// the default budget is fully open (today's behavior).
 struct RunBudget {
@@ -77,10 +92,14 @@ struct RunBudget {
   /// Non-owning deadline clock; must outlive the run.  Null selects the
   /// real steady clock.
   const BudgetClock* clock = nullptr;
+  /// Non-owning external stop signal; must outlive the run.  Null means no
+  /// external preemption.  Fires the "preempted" stop reason.
+  const BudgetStopToken* stop = nullptr;
 
   /// True when any stop condition is configured.
   [[nodiscard]] bool active() const noexcept {
-    return max_passes > 0 || deadline_ms > 0 || patience > 0;
+    return max_passes > 0 || deadline_ms > 0 || patience > 0 ||
+           stop != nullptr;
   }
 };
 

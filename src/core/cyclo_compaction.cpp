@@ -49,6 +49,9 @@ CycloCompactionResult cyclo_compact(const Csdfg& g, const Topology& topo,
       return "deadline";
     if (budget.patience > 0 && stale_passes >= budget.patience)
       return "patience";
+    if (budget.stop != nullptr &&
+        budget.stop->stop_requested(result.best.length()))
+      return "preempted";
     return nullptr;
   };
 

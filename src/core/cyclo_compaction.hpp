@@ -70,7 +70,8 @@ struct CycloCompactionResult {
   /// start-up schedule was never improved.
   int best_pass = 0;
   /// Why the run stopped before its configured pass count: "max-passes",
-  /// "deadline", or "patience" when a budget fired (a budget_exhausted
+  /// "deadline", or "patience" when a budget fired, or "preempted" when an
+  /// external BudgetStopToken asked the run to yield (a budget_exhausted
   /// event carries the same reason); empty when every pass ran or a
   /// without-relaxation rollback ended the loop.
   std::string stop_reason;

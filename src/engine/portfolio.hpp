@@ -1,0 +1,146 @@
+// ccsched — the parallel portfolio scheduling engine.
+//
+// Cyclo-compaction's configuration space (remap policy × slot selection ×
+// start-up priority × pass budget) is small, cheap per point, and has no
+// reliable a-priori winner: the paper's own experiments flip between
+// configurations per workload and per architecture.  The portfolio engine
+// embraces that: it runs N independently-configured attempts on a worker
+// pool and returns the best schedule found, with per-attempt provenance.
+//
+// Attempt roster (portfolio_attempts):
+//   * attempt 0 is exactly the caller's base configuration — the serial
+//     driver.  The portfolio winner is therefore never worse than what
+//     `cyclo_compact(g, topo, comm, base)` would have returned;
+//   * attempts 1..k walk the systematic grid over {policy} × {selection} ×
+//     {startup priority} × {default passes, |V| passes}, skipping the cell
+//     the base configuration already occupies;
+//   * attempts beyond the grid are seed-perturbed variants drawn from a
+//     per-attempt deterministic Rng(seed, index) — more attempts never
+//     reshuffle earlier ones.
+//
+// Determinism contract: for a fixed (graph, machine, options, seed), the
+// winning schedule is bit-identical across runs and across --jobs values.
+// The winner is the attempt with the smallest best length, ties broken by
+// the smallest attempt index — never by completion order.  Incumbent
+// pruning preserves this because a worker is only preempted (via the
+// RunBudget's BudgetStopToken hook) when the shared incumbent has already
+// reached the schedule-length lower bound *and* belongs to a smaller
+// attempt index: such an attempt provably cannot win the tie-break, so
+// cutting it short cannot change the winner.  Provenance rows of pruned
+// losers (their stop_reason / pass counts) are the one thing the contract
+// does not cover across different --jobs values.
+//
+// Observability: each worker runs with its own Tracer (tagged with the
+// attempt index) and MetricsRegistry; after the join the engine merges
+// metrics and splices trace lines into the caller's ObsContext in attempt
+// order, then adds the portfolio.* counters (docs/OBSERVABILITY.md).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/diagnostics.hpp"
+#include "arch/comm_model.hpp"
+#include "arch/topology.hpp"
+#include "core/cyclo_compaction.hpp"
+#include "obs/obs.hpp"
+
+namespace ccs {
+
+/// Configuration of the portfolio engine.
+struct PortfolioOptions {
+  /// Worker threads; 1 runs every attempt inline on the caller's thread
+  /// (still the same winner, by the determinism contract), 0 asks the
+  /// hardware (std::thread::hardware_concurrency).
+  int jobs = 1;
+  /// Total attempts to run; 0 selects the full systematic grid (attempt 0
+  /// plus every non-base grid cell).  Values beyond the grid add
+  /// seed-perturbed attempts; values below it truncate (minimum 1).
+  int attempts = 0;
+  /// Seed for the perturbed tail.  Attempt i beyond the grid derives its
+  /// configuration from Rng(seed, i) only — independent of every other
+  /// attempt.
+  std::uint64_t seed = 0;
+  /// The serial driver's configuration; runs verbatim as attempt 0, and
+  /// every grid attempt inherits its startup/budget fields (grid cells
+  /// override policy, selection, priority, and passes).
+  CycloCompactionOptions base;
+  /// Certify the winning schedule from first principles
+  /// (analysis/certify.hpp) before returning; findings land in
+  /// PortfolioResult::certification.
+  bool certify_winner = true;
+};
+
+/// One fully-specified portfolio attempt.
+struct AttemptConfig {
+  CycloCompactionOptions options;
+  /// Stable human-readable tag, e.g. "base" or "strict/an-only/fifo/z=v"
+  /// or "seed#25/relax/bidir/mobility/z=17".
+  std::string label;
+};
+
+/// Provenance of one attempt, in attempt order.
+struct AttemptOutcome {
+  std::string label;
+  /// Best schedule length the attempt reached before finishing or being
+  /// preempted.
+  int length = 0;
+  int startup_length = 0;
+  /// Pass that first reached `length` (0 = the start-up schedule).
+  int best_pass = 0;
+  /// CycloCompactionResult::stop_reason ("" when the attempt ran out its
+  /// pass count).
+  std::string stop_reason;
+  /// True when the incumbent preempted this attempt ("preempted").
+  bool pruned = false;
+  /// True for the winning attempt.
+  bool winner = false;
+};
+
+/// The portfolio's answer.
+struct PortfolioResult {
+  /// The winning run, in full (schedule, retimed graph, retiming, trace).
+  CycloCompactionResult winner;
+  std::size_t winner_attempt = 0;
+  std::string winner_label;
+  /// Attempt 0's best length — what the serial driver would have returned.
+  /// winner.best.length() <= serial_length always.
+  int serial_length = 0;
+  /// The architecture-independent schedule-length lower bound the pruning
+  /// logic used (max of ceil(iteration bound), the longest task, and the
+  /// non-pipelined work/processor bound).
+  int lower_bound = 0;
+  /// Result of certifying the winner (true when certify_winner is off —
+  /// nothing failed).
+  bool certified = true;
+  /// Certifier findings for the winner (empty when certify_winner is off).
+  DiagnosticBag certification;
+  /// One row per attempt, index-aligned with the roster.
+  std::vector<AttemptOutcome> attempts;
+};
+
+/// Expands `opt` into the deterministic attempt roster described above.
+/// Pure: depends only on |V| (for the pass-count variants) and `opt`.
+[[nodiscard]] std::vector<AttemptConfig> portfolio_attempts(
+    const Csdfg& g, const PortfolioOptions& opt);
+
+/// The schedule-length lower bound used for winner-preserving pruning:
+/// max of ceil(iteration_bound(g)), the longest task time, and — on
+/// homogeneous non-pipelined machines — ceil(total computation / #PEs).
+/// No valid schedule for (g, topo, base.startup) can be shorter.
+[[nodiscard]] int schedule_lower_bound(const Csdfg& g, const Topology& topo,
+                                       const CycloCompactionOptions& base);
+
+/// Runs the portfolio on `opt.jobs` workers and returns the best attempt.
+/// Deterministic winner (see the contract above); throws GraphError if `g`
+/// is illegal, and rethrows the first (by attempt index) exception any
+/// attempt raised.  `obs` receives merged metrics, attempt-tagged trace
+/// lines in attempt order, the portfolio.* counters/gauges, and the
+/// time.portfolio timer.
+[[nodiscard]] PortfolioResult portfolio_compact(
+    const Csdfg& g, const Topology& topo, const CommModel& comm,
+    const PortfolioOptions& opt = {}, const ObsContext& obs = {});
+
+}  // namespace ccs

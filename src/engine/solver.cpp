@@ -1,0 +1,242 @@
+#include "engine/solver.hpp"
+
+#include <exception>
+#include <utility>
+
+#include "arch/comm_model.hpp"
+#include "core/list_scheduler.hpp"
+#include "core/modulo_scheduler.hpp"
+#include "core/validator.hpp"
+#include "io/text_format.hpp"
+#include "robust/fault_plan.hpp"
+#include "robust/repair.hpp"
+#include "util/error.hpp"
+
+namespace ccs {
+
+namespace {
+
+constexpr const char* kRequestSpan = "<request>";
+
+void add_invalid(DiagnosticBag& bag, const std::string& message) {
+  bag.add("CCS-E001", SourceSpan{kRequestSpan, 0}, message);
+}
+
+void add_infeasible(DiagnosticBag& bag, const std::string& message) {
+  bag.add("CCS-E002", SourceSpan{kRequestSpan, 0}, message);
+}
+
+/// Runs certification when the request asks for it; downgrades kOk to
+/// kUncertified (never upgrades).  The certifier's findings land in the
+/// response bag either way.
+void certify_response(const SolveRequest& request, const CommModel& comm,
+                      SolveResponse& res, const std::string& label) {
+  if (!request.certify) {
+    res.certified = true;
+    return;
+  }
+  res.certified = certify_table(res.graph, *res.schedule, comm, label,
+                                res.diagnostics, request.certify_options);
+  if (!res.certified && res.status == SolveStatus::kOk)
+    res.status = SolveStatus::kUncertified;
+}
+
+void solve_startup(const SolveRequest& request, const Topology& topo,
+                   const CommModel& comm, const ObsContext& obs,
+                   SolveResponse& res) {
+  res.schedule.emplace(
+      start_up_schedule(request.graph, topo, comm, request.options.startup,
+                        obs));
+  res.startup_length = res.schedule->length();
+  res.best_length = res.schedule->length();
+  res.status = SolveStatus::kOk;
+  certify_response(request, comm, res, "solver/startup");
+}
+
+void solve_schedule(const SolveRequest& request, const Topology& topo,
+                    const CommModel& comm, const ObsContext& obs,
+                    SolveResponse& res) {
+  CycloCompactionResult run =
+      cyclo_compact(request.graph, topo, comm, request.options, obs);
+  res.graph = run.retimed_graph;
+  res.retiming = run.retiming;
+  res.startup_length = run.startup_length();
+  res.best_length = run.best_length();
+  res.stop_reason = run.stop_reason;
+  res.schedule.emplace(std::move(run.best));
+  res.status = SolveStatus::kOk;
+  certify_response(request, comm, res, "solver/schedule");
+}
+
+void solve_modulo(const SolveRequest& request, const Topology& topo,
+                  const CommModel& comm, SolveResponse& res) {
+  if (!request.options.startup.pe_speeds.empty()) {
+    add_invalid(res.diagnostics,
+                "mode kModulo does not support per-PE speeds");
+    return;
+  }
+  ModuloScheduleResult mod = modulo_schedule(request.graph, topo, comm);
+  res.graph = std::move(mod.retimed_graph);
+  res.retiming = mod.retiming;
+  res.startup_length = mod.initiation_interval;
+  res.best_length = mod.table.length();
+  res.schedule.emplace(std::move(mod.table));
+  res.status = SolveStatus::kOk;
+  certify_response(request, comm, res, "solver/modulo");
+}
+
+void solve_portfolio(const SolveRequest& request, const Topology& topo,
+                     const CommModel& comm, const ObsContext& obs,
+                     SolveResponse& res) {
+  PortfolioOptions popt = request.portfolio;
+  popt.base = request.options;
+  popt.certify_winner = request.certify;
+  PortfolioResult portfolio =
+      portfolio_compact(request.graph, topo, comm, popt, obs);
+  res.graph = portfolio.winner.retimed_graph;
+  res.retiming = portfolio.winner.retiming;
+  res.startup_length = portfolio.winner.startup_length();
+  res.best_length = portfolio.winner.best_length();
+  res.stop_reason = portfolio.winner.stop_reason;
+  res.schedule.emplace(std::move(portfolio.winner.best));
+  res.attempts = std::move(portfolio.attempts);
+  res.winner_attempt = static_cast<int>(portfolio.winner_attempt);
+  res.winner_label = portfolio.winner_label;
+  res.certified = !request.certify || portfolio.certified;
+  for (const Diagnostic& d : portfolio.certification.diagnostics())
+    res.diagnostics.add(d);
+  res.status =
+      res.certified ? SolveStatus::kOk : SolveStatus::kUncertified;
+}
+
+void solve_certify(const SolveRequest& request, const CommModel& comm,
+                   SolveResponse& res) {
+  if (!request.schedule.has_value()) {
+    add_invalid(res.diagnostics, "mode kCertify needs request.schedule");
+    return;
+  }
+  res.schedule = request.schedule;
+  res.best_length = res.schedule->length();
+  res.certified =
+      certify_table(request.graph, *request.schedule, comm,
+                    "solver/certify", res.diagnostics,
+                    request.certify_options);
+  res.status =
+      res.certified ? SolveStatus::kOk : SolveStatus::kUncertified;
+}
+
+void solve_repair(const SolveRequest& request, const Topology& topo,
+                  const CommModel& comm, const ObsContext& obs,
+                  SolveResponse& res) {
+  const FaultSpec spec =
+      parse_fault_spec(request.faults, kRequestSpan, res.diagnostics);
+  const FaultPlan plan =
+      bind_fault_spec(spec, request.graph, topo, res.diagnostics);
+  if (res.diagnostics.fails(/*werror=*/false)) {
+    // Syntax / binding problems are already coded CCS-F001/F002; tag the
+    // request itself so the caller sees one consistent failure mode.
+    add_invalid(res.diagnostics, "the fault spec did not parse cleanly");
+    return;
+  }
+  const CycloCompactionResult baseline =
+      cyclo_compact(request.graph, topo, comm, request.options, obs);
+  RepairOptions ropt;
+  ropt.pe_speeds = request.options.startup.pe_speeds;
+  ropt.pipelined_pes = request.options.startup.pipelined_pes;
+  ropt.compaction = request.options;
+  ropt.certify = request.certify_options;
+  RepairOutcome outcome =
+      repair_schedule(request.graph, baseline, topo, plan, ropt, obs);
+  res.repair_rung = std::string(repair_rung_name(outcome.rung));
+  if (!outcome.success) {
+    add_infeasible(res.diagnostics,
+                   "repair found no certified schedule: " + outcome.detail);
+    res.status = SolveStatus::kInfeasible;
+    return;
+  }
+  res.graph = std::move(outcome.graph);
+  res.retiming = outcome.retiming;
+  res.schedule = std::move(outcome.schedule);
+  res.machine = std::move(outcome.machine);
+  res.pe_map = std::move(outcome.to_original);
+  res.best_length = res.schedule->length();
+  res.certified = true;  // Every accepted rung is certified by the ladder.
+  res.status = SolveStatus::kOk;
+}
+
+}  // namespace
+
+std::string_view solve_status_name(SolveStatus status) {
+  switch (status) {
+    case SolveStatus::kOk:
+      return "ok";
+    case SolveStatus::kInvalidRequest:
+      return "invalid-request";
+    case SolveStatus::kInfeasible:
+      return "infeasible";
+    case SolveStatus::kUncertified:
+      return "uncertified";
+  }
+  return "?";
+}
+
+SolveResponse Solver::solve(const SolveRequest& request) const {
+  SolveResponse res;
+  res.graph = request.graph;
+  try {
+    request.graph.require_legal();
+    std::optional<Topology> parsed;
+    if (!request.topology.has_value()) {
+      if (request.arch.empty()) {
+        add_invalid(res.diagnostics,
+                    "no machine: set request.arch or request.topology");
+        res.diagnostics.finalize();
+        return res;
+      }
+      parsed.emplace(parse_topology(request.arch));
+    }
+    const Topology& topo =
+        request.topology.has_value() ? *request.topology : *parsed;
+    const StoreAndForwardModel comm(topo);
+    if (!request.options.startup.pe_speeds.empty() &&
+        request.options.startup.pe_speeds.size() != topo.size()) {
+      add_invalid(res.diagnostics,
+                  "pe_speeds must list one factor per processor");
+      res.diagnostics.finalize();
+      return res;
+    }
+    if (!res.machine.has_value()) res.machine = topo;
+
+    switch (request.mode) {
+      case SolveMode::kStartup:
+        solve_startup(request, topo, comm, obs_, res);
+        break;
+      case SolveMode::kSchedule:
+        solve_schedule(request, topo, comm, obs_, res);
+        break;
+      case SolveMode::kModulo:
+        solve_modulo(request, topo, comm, res);
+        break;
+      case SolveMode::kPortfolio:
+        solve_portfolio(request, topo, comm, obs_, res);
+        break;
+      case SolveMode::kCertify:
+        solve_certify(request, comm, res);
+        break;
+      case SolveMode::kRepair:
+        solve_repair(request, topo, comm, obs_, res);
+        // The repair's own (reduced) machine replaces the request machine.
+        break;
+    }
+  } catch (const Error& e) {
+    add_invalid(res.diagnostics, e.what());
+    res.status = SolveStatus::kInvalidRequest;
+  } catch (const std::exception& e) {
+    add_invalid(res.diagnostics, e.what());
+    res.status = SolveStatus::kInvalidRequest;
+  }
+  res.diagnostics.finalize();
+  return res;
+}
+
+}  // namespace ccs

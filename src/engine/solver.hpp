@@ -1,0 +1,153 @@
+// ccsched — the stable library facade.
+//
+// PRs 1–4 each grew their own entry points (cyclo_compact, certify_*,
+// repair_schedule, and now portfolio_compact), every one with its own
+// options struct and its own failure convention — some throw, some return
+// report objects, some write diagnostics.  The Solver collapses all of
+// them behind one request/response pair:
+//
+//     ccs::Solver solver;
+//     ccs::SolveRequest req;
+//     req.graph = ccs::parse_csdfg(text);
+//     req.arch = "mesh 2 2";
+//     ccs::SolveResponse res = solver.solve(req);
+//     if (res.ok()) use(*res.schedule);
+//
+// Error contract (docs/API.md): solve() does not throw.  Anything that
+// would have surfaced as a GraphError / ArchitectureError / ParseError /
+// ScheduleError becomes a CCS-E001 diagnostic in SolveResponse::
+// diagnostics and status kInvalidRequest; a request that is well-formed
+// but has no certified answer (an all-dead machine under kRepair) is
+// CCS-E002 / kInfeasible; a schedule that was produced but failed
+// certification is kUncertified with the certifier's CCS-S findings in
+// the same bag.  The bag is always finalized and renderable.
+//
+// Include via the umbrella header src/ccsched.hpp, which also defines
+// CCSCHED_API_VERSION.  The request/response field set may grow within a
+// version; it only shrinks or changes meaning when the version bumps.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/certify.hpp"
+#include "analysis/diagnostics.hpp"
+#include "arch/topology.hpp"
+#include "core/csdfg.hpp"
+#include "core/cyclo_compaction.hpp"
+#include "core/retiming.hpp"
+#include "core/schedule.hpp"
+#include "engine/portfolio.hpp"
+#include "obs/obs.hpp"
+
+namespace ccs {
+
+/// What the solver should do with the request.
+enum class SolveMode {
+  /// Start-up list schedule only (Section 3.1), no compaction.
+  kStartup,
+  /// The serial cyclo-compaction driver (Section 4) — the default.
+  kSchedule,
+  /// Iterative modulo scheduling baseline (no --speeds support).
+  kModulo,
+  /// The parallel portfolio engine (engine/portfolio.hpp).
+  kPortfolio,
+  /// Certify a caller-supplied schedule instead of producing one.
+  kCertify,
+  /// Repair the schedule against a fault spec (robust/repair.hpp).
+  kRepair,
+};
+
+/// How the solve ended.
+enum class SolveStatus {
+  /// A schedule was produced (and certified, when requested).
+  kOk,
+  /// The request itself is unusable: illegal graph, malformed architecture
+  /// spec or fault spec, unsupported option combination (CCS-E001).
+  kInvalidRequest,
+  /// The request is well-formed but provably has no answer, e.g. a fault
+  /// plan that kills every processor (CCS-E002).
+  kInfeasible,
+  /// A schedule was produced but failed certification; the certifier's
+  /// findings are in the diagnostics bag.
+  kUncertified,
+};
+
+[[nodiscard]] std::string_view solve_status_name(SolveStatus status);
+
+/// Everything the solver needs, in one struct.  Fields irrelevant to the
+/// selected mode are ignored.
+struct SolveRequest {
+  /// The task graph.  Required.
+  Csdfg graph{"g"};
+  /// Architecture spec in the CLI grammar ("mesh 2 2", "hypercube 3",
+  /// "custom 4 0-1 1-2 ..."), used when `topology` is not set.
+  std::string arch;
+  /// Explicit machine; wins over `arch` when set.
+  std::optional<Topology> topology;
+  SolveMode mode = SolveMode::kSchedule;
+  /// Driver configuration (policy, selection, passes, startup, budget) for
+  /// kStartup / kSchedule / kRepair, and the portfolio's base config.
+  CycloCompactionOptions options;
+  /// Portfolio knobs for kPortfolio; `portfolio.base` is ignored — the
+  /// request's `options` field is the base configuration.
+  PortfolioOptions portfolio;
+  /// kCertify: the schedule to check.
+  std::optional<ScheduleTable> schedule;
+  /// kRepair: fault-spec text (docs/ROBUSTNESS.md grammar).
+  std::string faults;
+  /// Certify whatever schedule the solve produces (kCertify always does).
+  bool certify = true;
+  CertifyOptions certify_options;
+};
+
+/// The solver's answer.  `diagnostics` is always finalized; on kOk it may
+/// still carry notes/warnings (e.g. lenient fault-spec parse notes).
+struct SolveResponse {
+  SolveStatus status = SolveStatus::kInvalidRequest;
+  DiagnosticBag diagnostics;
+  /// The graph the schedule satisfies (retimed by compaction / repair).
+  Csdfg graph{"g"};
+  /// Total retiming from the request's graph to `graph`.
+  Retiming retiming{0};
+  /// The produced (or, for kCertify, echoed) schedule.
+  std::optional<ScheduleTable> schedule;
+  /// The machine the schedule runs on (the reduced machine for kRepair).
+  std::optional<Topology> machine;
+  int startup_length = 0;
+  int best_length = 0;
+  /// CycloCompactionResult::stop_reason for budgeted runs.
+  std::string stop_reason;
+  /// True when the schedule was certified (vacuously true when
+  /// certification was not requested).
+  bool certified = false;
+  /// kPortfolio: per-attempt provenance and the winner's identity.
+  std::vector<AttemptOutcome> attempts;
+  int winner_attempt = -1;
+  std::string winner_label;
+  /// kRepair: the ladder rung that produced the schedule, and the machine
+  /// PE -> original PE mapping.
+  std::string repair_rung;
+  std::vector<PeId> pe_map;
+
+  [[nodiscard]] bool ok() const noexcept { return status == SolveStatus::kOk; }
+};
+
+/// The facade.  Stateless apart from an optional observability context;
+/// one Solver may serve many solve() calls, including concurrently (the
+/// obs context is the caller's problem in that case — give each thread its
+/// own, or none).
+class Solver {
+public:
+  Solver() = default;
+  explicit Solver(ObsContext obs) : obs_(obs) {}
+
+  /// Executes the request.  Never throws (see the error contract above).
+  [[nodiscard]] SolveResponse solve(const SolveRequest& request) const;
+
+private:
+  ObsContext obs_{};
+};
+
+}  // namespace ccs

@@ -11,18 +11,26 @@ void StreamSink::write(std::string_view line) { os_ << line << '\n'; }
 namespace {
 
 /// Every event line starts with the sequence number and its kind so stream
-/// consumers can dispatch without a schema.
-JsonWriter header(std::uint64_t seq, std::string_view kind) {
+/// consumers can dispatch without a schema.  A non-negative attempt index
+/// (portfolio workers) rides along right after the kind.
+JsonWriter header(std::uint64_t seq, int attempt, std::string_view kind) {
   JsonWriter w;
   w.field("seq", static_cast<unsigned long long>(seq)).field("kind", kind);
+  if (attempt >= 0) w.field("attempt", attempt);
   return w;
 }
 
 }  // namespace
 
+void Tracer::emit_raw(std::string_view line) {
+  if (!sink_) return;
+  ++seq_;
+  sink_->write(line);
+}
+
 void Tracer::emit(const PassStartEvent& e) {
   if (!sink_) return;
-  sink_->write(header(seq_++, "pass_start")
+  sink_->write(header(seq_++, attempt_, "pass_start")
                    .field("pass", e.pass)
                    .field("length", e.length)
                    .close());
@@ -30,7 +38,7 @@ void Tracer::emit(const PassStartEvent& e) {
 
 void Tracer::emit(const RotationEvent& e) {
   if (!sink_) return;
-  sink_->write(header(seq_++, "rotation")
+  sink_->write(header(seq_++, attempt_, "rotation")
                    .field("pass", e.pass)
                    .field("rotated", e.rotated)
                    .close());
@@ -38,7 +46,7 @@ void Tracer::emit(const RotationEvent& e) {
 
 void Tracer::emit(const RemapTargetEvent& e) {
   if (!sink_) return;
-  sink_->write(header(seq_++, "remap_target")
+  sink_->write(header(seq_++, attempt_, "remap_target")
                    .field("target", e.target)
                    .field("relaxed", e.relaxed)
                    .close());
@@ -46,7 +54,7 @@ void Tracer::emit(const RemapTargetEvent& e) {
 
 void Tracer::emit(const RemapDecisionEvent& e) {
   if (!sink_) return;
-  JsonWriter w = header(seq_++, "remap_decision");
+  JsonWriter w = header(seq_++, attempt_, "remap_decision");
   w.field("node", e.node).field("accepted", e.accepted);
   if (e.accepted) w.field("pe", e.pe).field("cb", e.cb);
   w.field("an", e.an)
@@ -59,7 +67,7 @@ void Tracer::emit(const RemapDecisionEvent& e) {
 
 void Tracer::emit(const PslPadEvent& e) {
   if (!sink_) return;
-  sink_->write(header(seq_++, "psl_pad")
+  sink_->write(header(seq_++, attempt_, "psl_pad")
                    .field("needed", e.needed)
                    .field("length", e.length)
                    .close());
@@ -67,7 +75,7 @@ void Tracer::emit(const PslPadEvent& e) {
 
 void Tracer::emit(const RollbackEvent& e) {
   if (!sink_) return;
-  sink_->write(header(seq_++, "rollback")
+  sink_->write(header(seq_++, attempt_, "rollback")
                    .field("pass", e.pass)
                    .field("length", e.length)
                    .field("reason", e.reason)
@@ -76,7 +84,7 @@ void Tracer::emit(const RollbackEvent& e) {
 
 void Tracer::emit(const PassEndEvent& e) {
   if (!sink_) return;
-  sink_->write(header(seq_++, "pass_end")
+  sink_->write(header(seq_++, attempt_, "pass_end")
                    .field("pass", e.pass)
                    .field("length", e.length)
                    .field("improved", e.improved)
@@ -86,7 +94,7 @@ void Tracer::emit(const PassEndEvent& e) {
 
 void Tracer::emit(const StartupEvent& e) {
   if (!sink_) return;
-  sink_->write(header(seq_++, "startup_done")
+  sink_->write(header(seq_++, attempt_, "startup_done")
                    .field("length", e.length)
                    .field("control_steps", e.control_steps)
                    .close());
@@ -94,7 +102,7 @@ void Tracer::emit(const StartupEvent& e) {
 
 void Tracer::emit(const SimRunEvent& e) {
   if (!sink_) return;
-  sink_->write(header(seq_++, "sim_run")
+  sink_->write(header(seq_++, attempt_, "sim_run")
                    .field("mode", e.mode)
                    .field("iterations", e.iterations)
                    .field("makespan", e.makespan)
@@ -107,7 +115,7 @@ void Tracer::emit(const SimRunEvent& e) {
 
 void Tracer::emit(const FaultEvent& e) {
   if (!sink_) return;
-  JsonWriter w = header(seq_++, "fault");
+  JsonWriter w = header(seq_++, attempt_, "fault");
   w.field("fault", e.fault);
   if (e.fault == "link_down") {
     w.field("pe", e.pe).field("pe2", e.pe2);
@@ -122,7 +130,7 @@ void Tracer::emit(const FaultEvent& e) {
 
 void Tracer::emit(const RepairEvent& e) {
   if (!sink_) return;
-  sink_->write(header(seq_++, "repair_attempt")
+  sink_->write(header(seq_++, attempt_, "repair_attempt")
                    .field("rung", e.rung)
                    .field("success", e.success)
                    .field("length", e.length)
@@ -132,7 +140,7 @@ void Tracer::emit(const RepairEvent& e) {
 
 void Tracer::emit(const BudgetEvent& e) {
   if (!sink_) return;
-  sink_->write(header(seq_++, "budget_exhausted")
+  sink_->write(header(seq_++, attempt_, "budget_exhausted")
                    .field("reason", e.reason)
                    .field("pass", e.pass)
                    .field("best_length", e.best_length)

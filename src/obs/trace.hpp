@@ -180,6 +180,19 @@ public:
   /// Events written so far (0 for a disabled tracer).
   [[nodiscard]] std::uint64_t events_emitted() const noexcept { return seq_; }
 
+  /// Tags every subsequent event line with an "attempt" field — the
+  /// portfolio engine gives each worker its own tracer tagged with the
+  /// attempt index, so merged streams stay attributable.  Negative clears
+  /// the tag (the default; serial traces stay byte-identical to before).
+  void set_attempt(int attempt) noexcept { attempt_ = attempt; }
+  [[nodiscard]] int attempt() const noexcept { return attempt_; }
+
+  /// Forwards an already-serialized event line to the sink unchanged.  The
+  /// portfolio engine uses this to splice per-attempt sub-traces into the
+  /// parent stream in deterministic attempt order; each spliced line keeps
+  /// its own per-attempt seq.  Counts toward events_emitted().
+  void emit_raw(std::string_view line);
+
   void emit(const PassStartEvent& e);
   void emit(const RotationEvent& e);
   void emit(const RemapTargetEvent& e);
@@ -196,6 +209,7 @@ public:
 private:
   TraceSink* sink_ = nullptr;
   std::uint64_t seq_ = 0;
+  int attempt_ = -1;
 };
 
 }  // namespace ccs

@@ -135,6 +135,59 @@ TEST(Budget, ExhaustionEmitsATraceEventWithTheReason) {
   }
 }
 
+TEST(Budget, StopTokenAloneMakesTheBudgetActive) {
+  RunBudget b;
+  class Never final : public BudgetStopToken {
+  public:
+    [[nodiscard]] bool stop_requested(int) const override { return false; }
+  };
+  const Never token;
+  EXPECT_FALSE(b.active());
+  b.stop = &token;
+  EXPECT_TRUE(b.active());
+}
+
+TEST(Budget, StopTokenPreemptsAtTheFirstPassBoundary) {
+  // The portfolio engine's preemption hook: a token that always asks to
+  // stop must yield the start-up schedule with stop_reason "preempted"
+  // before a single pass runs.
+  class AlwaysStop final : public BudgetStopToken {
+  public:
+    [[nodiscard]] bool stop_requested(int) const override { return true; }
+  };
+  Bench bench;
+  const AlwaysStop token;
+  CycloCompactionOptions opt;
+  opt.budget.stop = &token;
+  const auto res = cyclo_compact(bench.g, bench.mesh, bench.comm, opt);
+  EXPECT_EQ(res.stop_reason, "preempted");
+  EXPECT_TRUE(res.length_trace.empty());
+  EXPECT_EQ(res.best_length(), res.startup_length());
+}
+
+TEST(Budget, StopTokenSeesTheCurrentBest) {
+  // A threshold token stops the run as soon as the incumbent is good
+  // enough — the current best length is what the hook receives.
+  class Threshold final : public BudgetStopToken {
+  public:
+    explicit Threshold(int limit) : limit_(limit) {}
+    [[nodiscard]] bool stop_requested(int current_best) const override {
+      return current_best <= limit_;
+    }
+
+  private:
+    int limit_;
+  };
+  Bench bench;
+  const auto serial = cyclo_compact(bench.g, bench.mesh, bench.comm, {});
+  const Threshold token(serial.best_length());
+  CycloCompactionOptions opt;
+  opt.budget.stop = &token;
+  const auto res = cyclo_compact(bench.g, bench.mesh, bench.comm, opt);
+  EXPECT_EQ(res.stop_reason, "preempted");
+  EXPECT_EQ(res.best_length(), serial.best_length());
+}
+
 TEST(Budget, DeadlineEventCarriesItsReasonToo) {
   Bench bench;
   TickingClock clock(50);

@@ -341,6 +341,108 @@ TEST(Cli, StressRepairProducesACertifiedSchedule) {
   EXPECT_NE(r.out.find("schedule "), std::string::npos);
 }
 
+// ---------------------------------------------------------------- portfolio
+
+TEST(Cli, SchedulePortfolioReportsWinnerAndRoster) {
+  const CliResult r = cli({"schedule", "-", "--arch", "mesh 2 2",
+                           "--portfolio", "--jobs", "2", "--certify"},
+                          paper6_text());
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("portfolio: 24 attempt(s), jobs 2, winner #"),
+            std::string::npos)
+      << r.out;
+  EXPECT_NE(r.out.find("lower bound"), std::string::npos);
+  EXPECT_NE(r.out.find("#0 base:"), std::string::npos);  // per-attempt rows
+  EXPECT_NE(r.out.find("[certified]"), std::string::npos);
+}
+
+TEST(Cli, SchedulePortfolioIsByteDeterministic) {
+  // --quiet: the per-attempt rows print each loser's stop reason, and when
+  // a loser gets preempted at jobs>1 depends on thread timing.  The quiet
+  // summary (winner identity, serial length, lower bound) and the emitted
+  // schedule are covered by the determinism contract.
+  const std::vector<std::string> args = {
+      "schedule", "-",      "--arch",     "mesh 2 2", "--portfolio",
+      "--jobs",   "4",      "--seed",     "11",       "--attempts",
+      "30",       "--quiet", "--emit-schedule"};
+  const CliResult a = cli(args, paper6_text());
+  const CliResult b = cli(args, paper6_text());
+  EXPECT_EQ(a.code, 0) << a.err;
+  EXPECT_EQ(a.out, b.out);
+}
+
+TEST(Cli, SchedulePortfolioWinnerIsIndependentOfJobs) {
+  // Full stdout differs across --jobs only in the literal "jobs N" echo;
+  // the emitted schedule (and the winner's identity) must not.
+  const auto run = [&](const std::string& jobs) {
+    return cli({"schedule", "-", "--arch", "mesh 2 2", "--portfolio",
+                "--jobs", jobs, "--quiet", "--emit-schedule"},
+               paper6_text());
+  };
+  const CliResult serial = run("1");
+  const CliResult wide = run("8");
+  EXPECT_EQ(serial.code, 0) << serial.err;
+  const std::size_t a = serial.out.find("schedule ");
+  const std::size_t b = wide.out.find("schedule ");
+  ASSERT_NE(a, std::string::npos);
+  ASSERT_NE(b, std::string::npos);
+  EXPECT_EQ(serial.out.substr(a), wide.out.substr(b));
+}
+
+TEST(Cli, PortfolioFlagsRequireThePortfolioFlag) {
+  EXPECT_EQ(cli({"schedule", "-", "--arch", "mesh 2 2", "--jobs", "2"},
+                kDemo).code, 2);
+  EXPECT_EQ(cli({"schedule", "-", "--arch", "mesh 2 2", "--seed", "1"},
+                kDemo).code, 2);
+  EXPECT_EQ(cli({"schedule", "-", "--arch", "mesh 2 2", "--attempts", "4"},
+                kDemo).code, 2);
+  EXPECT_EQ(cli({"schedule", "-", "--arch", "mesh 2 2", "--portfolio",
+                 "--jobs", "-3"}, kDemo).code, 2);
+}
+
+TEST(Cli, PortfolioRejectsNonCompactionPolicies) {
+  for (const char* policy : {"startup", "modulo"}) {
+    const CliResult r = cli({"schedule", "-", "--arch", "mesh 2 2",
+                             "--portfolio", "--policy", policy},
+                            kDemo);
+    EXPECT_EQ(r.code, 2) << policy;
+  }
+}
+
+// ------------------------------------------------- budget flags everywhere
+
+TEST(Cli, StressRepairAcceptsTheBudgetFlags) {
+  // The budget grammar is uniform: everywhere a compaction runs, the three
+  // budget flags parse.  stress --repair compacts on the reduced machine.
+  const std::string faults = temp_file("bfail0.faults", "fail p0\n");
+  const CliResult r = cli(
+      {"stress", "-", "--arch", "mesh 2 2", "--faults", faults, "--repair",
+       "--budget-passes", "40", "--budget-ms", "60000", "--patience", "20",
+       "--quiet"},
+      paper6_text());
+  EXPECT_EQ(r.code, 0) << r.out << r.err;
+  EXPECT_NE(r.out.find("repair ladder:"), std::string::npos);
+}
+
+TEST(Cli, CertifyReplayAcceptsTheBudgetFlags) {
+  // A trace recorded under a budget only replays cleanly when the replay
+  // is given the same budget — the flags must round-trip.
+  const std::string trace = ::testing::TempDir() + "/budgeted.trace";
+  const std::string graph = temp_file("budgeted.csdfg", paper6_text());
+  const CliResult rec = cli({"schedule", graph, "--arch", "mesh 2 2",
+                             "--budget-passes", "2", "--trace", trace,
+                             "--quiet"});
+  ASSERT_EQ(rec.code, 0) << rec.err;
+  const CliResult ok = cli({"certify", "--replay", trace, "--graph", graph,
+                            "--arch", "mesh 2 2", "--budget-passes", "2"});
+  EXPECT_EQ(ok.code, 0) << ok.out << ok.err;
+  // Without the budget the replay runs past the recorded stop and the
+  // divergence is a finding, not a crash.
+  const CliResult divergent = cli({"certify", "--replay", trace, "--graph",
+                                   graph, "--arch", "mesh 2 2"});
+  EXPECT_EQ(divergent.code, 1) << divergent.out;
+}
+
 TEST(Cli, StressRepairOnAnAllDeadMachineIsInfeasible) {
   const std::string faults = temp_file(
       "all.faults", "fail p0\nfail p1\nfail p2\nfail p3\n");

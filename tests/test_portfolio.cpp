@@ -1,0 +1,345 @@
+// Tests of the parallel portfolio engine (src/engine/portfolio.hpp) and
+// the process-wide route cache backing it (src/arch/route_cache.hpp).
+//
+// The load-bearing properties:
+//  * the attempt roster is a pure function of (graph size, options) and
+//    attempt 0 is exactly the caller's base configuration;
+//  * the winner is never worse than the serial driver, on every shipped
+//    workload and architecture;
+//  * the winning schedule is bit-identical across --jobs values and across
+//    repeated runs (the determinism contract);
+//  * preemption through the BudgetStopToken hook never changes the winner;
+//  * route tables are shared between structurally equal topologies, are
+//    identical to a from-scratch computation, and survive concurrent
+//    construction (the ThreadSanitizer target of tools/check.sh).
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "arch/comm_model.hpp"
+#include "arch/route_cache.hpp"
+#include "arch/topology.hpp"
+#include "engine/portfolio.hpp"
+#include "io/schedule_format.hpp"
+#include "obs/obs.hpp"
+#include "util/error.hpp"
+#include "workloads/library.hpp"
+
+namespace ccs {
+namespace {
+
+std::string winner_fingerprint(const PortfolioResult& r) {
+  return serialize_schedule(r.winner.retimed_graph, r.winner.best,
+                            &r.winner.retiming);
+}
+
+TEST(PortfolioRoster, AttemptZeroIsTheBaseConfiguration) {
+  const Csdfg g = paper_example6();
+  PortfolioOptions opt;
+  opt.base.policy = RemapPolicy::kWithoutRelaxation;
+  opt.base.selection = RemapSelection::kAnticipationOnly;
+  opt.base.passes = 7;
+  const std::vector<AttemptConfig> roster = portfolio_attempts(g, opt);
+  ASSERT_FALSE(roster.empty());
+  EXPECT_EQ(roster[0].label, "base");
+  EXPECT_EQ(roster[0].options.policy, RemapPolicy::kWithoutRelaxation);
+  EXPECT_EQ(roster[0].options.selection, RemapSelection::kAnticipationOnly);
+  EXPECT_EQ(roster[0].options.passes, 7);
+}
+
+TEST(PortfolioRoster, GridCoversTheConfigurationSpaceWithoutDuplicates) {
+  const Csdfg g = paper_example6();
+  const std::vector<AttemptConfig> roster =
+      portfolio_attempts(g, PortfolioOptions{});
+  // 2 policies x 2 selections x 3 priorities x 2 pass budgets = 24 cells;
+  // the base occupies one of them.
+  EXPECT_EQ(roster.size(), 24u);
+  std::set<std::tuple<RemapPolicy, RemapSelection, PriorityRule, int>> cells;
+  for (const AttemptConfig& a : roster)
+    cells.insert({a.options.policy, a.options.selection,
+                  a.options.startup.priority, a.options.passes});
+  EXPECT_EQ(cells.size(), roster.size()) << "duplicate grid cells";
+}
+
+TEST(PortfolioRoster, SeedTailIsDeterministicAndPrefixStable) {
+  const Csdfg g = paper_example6();
+  PortfolioOptions opt;
+  opt.seed = 42;
+  opt.attempts = 32;
+  const std::vector<AttemptConfig> a = portfolio_attempts(g, opt);
+  const std::vector<AttemptConfig> b = portfolio_attempts(g, opt);
+  ASSERT_EQ(a.size(), 32u);
+  for (std::size_t i = 0; i < a.size(); ++i)
+    EXPECT_EQ(a[i].label, b[i].label) << "attempt " << i;
+
+  // Growing the roster must not reshuffle the prefix.
+  opt.attempts = 40;
+  const std::vector<AttemptConfig> c = portfolio_attempts(g, opt);
+  ASSERT_EQ(c.size(), 40u);
+  for (std::size_t i = 0; i < a.size(); ++i)
+    EXPECT_EQ(a[i].label, c[i].label) << "attempt " << i;
+
+  // A different seed perturbs the tail, never the grid.
+  opt.seed = 43;
+  const std::vector<AttemptConfig> d = portfolio_attempts(g, opt);
+  for (std::size_t i = 0; i < 24; ++i)
+    EXPECT_EQ(a[i].label, d[i].label) << "grid attempt " << i;
+}
+
+TEST(PortfolioRoster, TruncationKeepsAtLeastTheBase) {
+  const Csdfg g = paper_example6();
+  PortfolioOptions opt;
+  opt.attempts = 1;
+  const std::vector<AttemptConfig> roster = portfolio_attempts(g, opt);
+  ASSERT_EQ(roster.size(), 1u);
+  EXPECT_EQ(roster[0].label, "base");
+}
+
+TEST(PortfolioEngine, WinnerNeverWorseThanSerialOnLibraryWorkloads) {
+  const struct {
+    Csdfg graph;
+    const char* arch;
+  } cases[] = {
+      {paper_example6(), "mesh"},
+      {paper_example19(), "mesh"},
+      {elliptic_filter(), "linear"},
+      {iir_biquad_cascade(3), "mesh"},
+  };
+  for (const auto& c : cases) {
+    const Topology topo = std::string(c.arch) == "mesh"
+                              ? make_mesh(2, 2)
+                              : make_linear_array(4);
+    const StoreAndForwardModel comm(topo);
+    const CycloCompactionResult serial =
+        cyclo_compact(c.graph, topo, comm, {});
+    PortfolioOptions opt;
+    opt.jobs = 2;
+    const PortfolioResult r = portfolio_compact(c.graph, topo, comm, opt);
+    EXPECT_LE(r.winner.best.length(), serial.best.length())
+        << c.graph.name() << " on " << topo.name();
+    EXPECT_EQ(r.serial_length, serial.best.length())
+        << "attempt 0 must reproduce the serial driver";
+    EXPECT_GE(r.winner.best.length(), r.lower_bound);
+  }
+}
+
+TEST(PortfolioEngine, WinningScheduleIsBitIdenticalAcrossJobs) {
+  const Csdfg g = paper_example19();
+  const Topology topo = make_mesh(4, 2);
+  const StoreAndForwardModel comm(topo);
+  PortfolioOptions opt;
+  opt.seed = 7;
+  opt.attempts = 28;  // grid + a seed tail
+
+  opt.jobs = 1;
+  const PortfolioResult serial = portfolio_compact(g, topo, comm, opt);
+  opt.jobs = 8;
+  const PortfolioResult wide_a = portfolio_compact(g, topo, comm, opt);
+  const PortfolioResult wide_b = portfolio_compact(g, topo, comm, opt);
+
+  EXPECT_EQ(serial.winner_attempt, wide_a.winner_attempt);
+  EXPECT_EQ(serial.winner_label, wide_a.winner_label);
+  EXPECT_EQ(winner_fingerprint(serial), winner_fingerprint(wide_a));
+  EXPECT_EQ(winner_fingerprint(wide_a), winner_fingerprint(wide_b));
+  EXPECT_EQ(wide_a.winner_attempt, wide_b.winner_attempt);
+  EXPECT_TRUE(wide_a.certified);
+  EXPECT_EQ(wide_a.attempts.size(), 28u);
+  EXPECT_TRUE(wide_a.attempts[wide_a.winner_attempt].winner);
+}
+
+TEST(PortfolioEngine, ProvenanceRowsAlignWithTheRoster) {
+  const Csdfg g = paper_example6();
+  const Topology topo = make_mesh(2, 2);
+  const StoreAndForwardModel comm(topo);
+  PortfolioOptions opt;
+  opt.jobs = 1;
+  const PortfolioResult r = portfolio_compact(g, topo, comm, opt);
+  const std::vector<AttemptConfig> roster = portfolio_attempts(g, opt);
+  ASSERT_EQ(r.attempts.size(), roster.size());
+  std::size_t winners = 0;
+  for (std::size_t i = 0; i < r.attempts.size(); ++i) {
+    EXPECT_EQ(r.attempts[i].label, roster[i].label);
+    EXPECT_GE(r.attempts[i].length, r.winner.best.length());
+    EXPECT_LE(r.attempts[i].length, r.attempts[i].startup_length);
+    if (r.attempts[i].winner) ++winners;
+  }
+  EXPECT_EQ(winners, 1u);
+  EXPECT_EQ(r.attempts[r.winner_attempt].length, r.winner.best.length());
+}
+
+TEST(PortfolioEngine, MergedObsStreamIsDeterministicAndAttemptTagged) {
+  const Csdfg g = paper_example6();
+  const Topology topo = make_mesh(2, 2);
+  const StoreAndForwardModel comm(topo);
+  PortfolioOptions opt;
+
+  const auto run = [&](int jobs) {
+    opt.jobs = jobs;
+    VectorSink sink;
+    Tracer tracer(&sink);
+    MetricsRegistry metrics;
+    const ObsContext obs{&tracer, &metrics};
+    (void)portfolio_compact(g, topo, comm, opt, obs);
+    return sink.lines();
+  };
+  // At jobs=1 the incumbent evolves deterministically, so the merged
+  // stream is byte-stable across reruns.  (At jobs>1 the *winner* is still
+  // deterministic, but when a loser gets preempted depends on thread
+  // timing — its trace tail is explicitly outside the contract.)
+  const std::vector<std::string> a = run(1);
+  const std::vector<std::string> b = run(1);
+  EXPECT_EQ(a, b) << "merged jobs=1 trace must be byte-stable";
+  ASSERT_FALSE(a.empty());
+  for (const std::string& line : a)
+    EXPECT_NE(line.find("\"attempt\":"), std::string::npos) << line;
+  // Every line of a parallel merge is attempt-tagged too, and the merge
+  // order is the roster order regardless of completion order.
+  const std::vector<std::string> wide = run(4);
+  for (const std::string& line : wide)
+    EXPECT_NE(line.find("\"attempt\":"), std::string::npos) << line;
+
+  MetricsRegistry metrics;
+  const ObsContext obs{nullptr, &metrics};
+  opt.jobs = 4;
+  (void)portfolio_compact(g, topo, comm, opt, obs);
+  EXPECT_EQ(metrics.counter("portfolio.attempts"), 24);
+  EXPECT_GT(metrics.counter("compaction.passes"), 0);
+  EXPECT_EQ(metrics.gauge("portfolio.jobs"), 4.0);
+}
+
+TEST(PortfolioEngine, LowerBoundIsSound) {
+  const Csdfg g = paper_example19();
+  for (const Topology& topo :
+       {make_mesh(2, 2), make_linear_array(4), make_hypercube(3)}) {
+    const StoreAndForwardModel comm(topo);
+    const int lb = schedule_lower_bound(g, topo, {});
+    const PortfolioResult r = portfolio_compact(g, topo, comm, {});
+    EXPECT_GE(r.winner.best.length(), lb) << topo.name();
+  }
+}
+
+TEST(PortfolioEngine, UserStopTokenPreemptsEveryAttempt) {
+  class AlwaysStop final : public BudgetStopToken {
+  public:
+    [[nodiscard]] bool stop_requested(int) const override { return true; }
+  };
+  const Csdfg g = paper_example6();
+  const Topology topo = make_mesh(2, 2);
+  const StoreAndForwardModel comm(topo);
+  PortfolioOptions opt;
+  const AlwaysStop stop;
+  opt.base.budget.stop = &stop;
+  const PortfolioResult r = portfolio_compact(g, topo, comm, opt);
+  // Every attempt yields at its first pass boundary with its startup table.
+  for (const AttemptOutcome& row : r.attempts) {
+    EXPECT_EQ(row.stop_reason, "preempted") << row.label;
+    EXPECT_EQ(row.length, row.startup_length) << row.label;
+  }
+}
+
+// --- Route cache ------------------------------------------------------------
+
+TEST(RouteCache, StructurallyEqualTopologiesShareTables) {
+  RouteCache::global().clear();
+  const Topology a = make_mesh(3, 3);
+  const RouteCache::Stats after_first = RouteCache::global().stats();
+  const Topology b = make_mesh(3, 3);
+  const RouteCache::Stats after_second = RouteCache::global().stats();
+  EXPECT_EQ(after_second.misses, after_first.misses);
+  EXPECT_GT(after_second.hits, after_first.hits);
+  // Same tables, not merely equal ones: distance reads hit shared memory.
+  for (PeId u = 0; u < a.size(); ++u)
+    for (PeId v = 0; v < a.size(); ++v)
+      EXPECT_EQ(a.distance(u, v), b.distance(u, v));
+}
+
+TEST(RouteCache, NameDoesNotSplitEntries) {
+  RouteCache::global().clear();
+  const Topology named(4, {{0, 1}, {1, 2}, {2, 3}}, false, "alpha");
+  const Topology renamed(4, {{0, 1}, {1, 2}, {2, 3}}, false, "beta");
+  const RouteCache::Stats stats = RouteCache::global().stats();
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_EQ(named.diameter(), renamed.diameter());
+}
+
+TEST(RouteCache, CachedTablesMatchFromScratchComputation) {
+  for (const Topology& topo :
+       {make_mesh(3, 4), make_hypercube(3), make_ring(7),
+        make_ring(6, /*bidirectional=*/false), make_star(9),
+        make_binary_tree(10)}) {
+    const RouteTables fresh = compute_route_tables(
+        topo.size(), topo.directed(), topo.links(), topo.name(),
+        RouteCache::kNextHopLimit);
+    EXPECT_EQ(fresh.diameter, topo.diameter()) << topo.name();
+    for (PeId u = 0; u < topo.size(); ++u) {
+      for (PeId v = 0; v < topo.size(); ++v) {
+        EXPECT_EQ(fresh.dist(u, v), topo.distance(u, v)) << topo.name();
+        const std::vector<PeId> path = topo.shortest_path(u, v);
+        EXPECT_EQ(path.size(), topo.distance(u, v) + 1) << topo.name();
+        if (u != v) {
+          EXPECT_EQ(path[1], fresh.next(u, v)) << topo.name();
+        }
+      }
+    }
+  }
+}
+
+TEST(RouteCache, LargeStructuresSkipTheNextHopTableButPathsStillWork) {
+  const Topology big = make_linear_array(RouteCache::kNextHopLimit + 10);
+  const std::vector<PeId> path = big.shortest_path(0, big.size() - 1);
+  EXPECT_EQ(path.size(), big.size());
+  for (std::size_t i = 0; i + 1 < path.size(); ++i)
+    EXPECT_EQ(path[i + 1], path[i] + 1);
+}
+
+TEST(RouteCache, DisabledCacheStillProducesCorrectTopologies) {
+  RouteCache::global().set_enabled(false);
+  const Topology a = make_mesh(2, 3);
+  RouteCache::global().set_enabled(true);
+  const Topology b = make_mesh(2, 3);
+  for (PeId u = 0; u < a.size(); ++u)
+    for (PeId v = 0; v < a.size(); ++v)
+      EXPECT_EQ(a.distance(u, v), b.distance(u, v));
+}
+
+TEST(RouteCache, ConcurrentConstructionIsSafeAndConsistent) {
+  RouteCache::global().clear();
+  constexpr int kThreads = 8;
+  std::vector<std::size_t> diameters(kThreads, 0);
+  {
+    std::vector<std::thread> pool;
+    pool.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      pool.emplace_back([t, &diameters] {
+        const Topology topo = make_torus(4, 4);
+        std::size_t sum = 0;
+        for (PeId u = 0; u < topo.size(); ++u)
+          for (PeId v = 0; v < topo.size(); ++v) sum += topo.distance(u, v);
+        diameters[static_cast<std::size_t>(t)] = sum + topo.diameter();
+      });
+    }
+    for (std::thread& t : pool) t.join();
+  }
+  for (int t = 1; t < kThreads; ++t)
+    EXPECT_EQ(diameters[static_cast<std::size_t>(t)], diameters[0]);
+  const RouteCache::Stats stats = RouteCache::global().stats();
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_EQ(stats.hits + stats.misses, kThreads);
+}
+
+TEST(RouteCache, DisconnectedStructureStillNamesTheTopology) {
+  try {
+    const Topology broken(4, {{0, 1}, {2, 3}}, false, "split");
+    FAIL() << "disconnected topology must throw";
+  } catch (const ArchitectureError& e) {
+    EXPECT_NE(std::string(e.what()).find("'split'"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("not connected"),
+              std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace ccs

@@ -1,0 +1,280 @@
+// Tests of the ccs::Solver facade (src/engine/solver.hpp) — the stable API
+// contract documented in docs/API.md, reached through the umbrella header.
+//
+// The load-bearing properties:
+//  * solve() never throws: every failure mode lands in the diagnostics bag
+//    as a CCS-E001 (unusable request) or CCS-E002 (provably no answer)
+//    finding with a matching SolveStatus — these tests are what "pins the
+//    solver request rules" promised by tests/test_lint.cpp;
+//  * the happy path of every mode fills the response fields it advertises;
+//  * the bag is always finalized and renderable.
+
+#include "ccsched.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "workloads/library.hpp"
+
+namespace ccs {
+namespace {
+
+bool has_code(const DiagnosticBag& bag, const std::string& code) {
+  const auto& diags = bag.diagnostics();
+  return std::any_of(diags.begin(), diags.end(),
+                     [&](const Diagnostic& d) { return d.code == code; });
+}
+
+TEST(SolverApi, VersionMacroIsCurrent) {
+  EXPECT_EQ(CCSCHED_API_VERSION, 1);
+}
+
+TEST(SolverApi, HelloWorldScheduleIsCertified) {
+  // The README / docs/API.md hello-world, verbatim in spirit.
+  Solver solver;
+  SolveRequest req;
+  req.graph = paper_example6();
+  req.arch = "mesh 2 2";
+  const SolveResponse res = solver.solve(req);
+  ASSERT_TRUE(res.ok()) << render_text(res.diagnostics);
+  ASSERT_TRUE(res.schedule.has_value());
+  EXPECT_TRUE(res.certified);
+  EXPECT_GT(res.best_length, 0);
+  EXPECT_LE(res.best_length, res.startup_length);
+  ASSERT_TRUE(res.machine.has_value());
+  EXPECT_EQ(res.machine->size(), 4u);
+  EXPECT_EQ(solve_status_name(res.status), "ok");
+  // The response graph is the retimed one the schedule satisfies.
+  const StoreAndForwardModel comm(*res.machine);
+  EXPECT_TRUE(validate_schedule(res.graph, *res.schedule, comm).ok());
+}
+
+TEST(SolverApi, MalformedArchitectureIsInvalidNotThrown) {
+  Solver solver;
+  SolveRequest req;
+  req.graph = paper_example6();
+  req.arch = "klein-bottle 7";
+  const SolveResponse res = solver.solve(req);
+  EXPECT_EQ(res.status, SolveStatus::kInvalidRequest);
+  EXPECT_TRUE(has_code(res.diagnostics, "CCS-E001"))
+      << render_text(res.diagnostics);
+  EXPECT_EQ(solve_status_name(res.status), "invalid-request");
+}
+
+TEST(SolverApi, MissingMachineIsInvalid) {
+  Solver solver;
+  SolveRequest req;
+  req.graph = paper_example6();
+  const SolveResponse res = solver.solve(req);
+  EXPECT_EQ(res.status, SolveStatus::kInvalidRequest);
+  EXPECT_TRUE(has_code(res.diagnostics, "CCS-E001"));
+}
+
+TEST(SolverApi, IllegalGraphIsInvalidNotThrown) {
+  Csdfg g("zero-delay-cycle");
+  const NodeId a = g.add_node("a", 1);
+  const NodeId b = g.add_node("b", 1);
+  g.add_edge(a, b, 0);
+  g.add_edge(b, a, 0);
+  Solver solver;
+  SolveRequest req;
+  req.graph = g;
+  req.arch = "mesh 2 2";
+  const SolveResponse res = solver.solve(req);
+  EXPECT_EQ(res.status, SolveStatus::kInvalidRequest);
+  EXPECT_TRUE(has_code(res.diagnostics, "CCS-E001"));
+  EXPECT_FALSE(res.schedule.has_value());
+}
+
+TEST(SolverApi, WrongSpeedsVectorIsInvalid) {
+  Solver solver;
+  SolveRequest req;
+  req.graph = paper_example6();
+  req.arch = "mesh 2 2";
+  req.options.startup.pe_speeds = {1, 2};  // 4-PE machine
+  const SolveResponse res = solver.solve(req);
+  EXPECT_EQ(res.status, SolveStatus::kInvalidRequest);
+  EXPECT_TRUE(has_code(res.diagnostics, "CCS-E001"));
+}
+
+TEST(SolverApi, ExplicitTopologyWinsOverArchString) {
+  Solver solver;
+  SolveRequest req;
+  req.graph = paper_example6();
+  req.arch = "this is not a machine";
+  req.topology.emplace(make_linear_array(3));
+  const SolveResponse res = solver.solve(req);
+  ASSERT_TRUE(res.ok()) << render_text(res.diagnostics);
+  EXPECT_EQ(res.machine->size(), 3u);
+}
+
+TEST(SolverApi, StartupModeSkipsCompaction) {
+  Solver solver;
+  SolveRequest req;
+  req.graph = paper_example6();
+  req.arch = "mesh 2 2";
+  req.mode = SolveMode::kStartup;
+  const SolveResponse res = solver.solve(req);
+  ASSERT_TRUE(res.ok()) << render_text(res.diagnostics);
+  EXPECT_EQ(res.best_length, res.startup_length);
+  EXPECT_TRUE(res.certified);
+}
+
+TEST(SolverApi, ModuloModeRejectsSpeeds) {
+  Solver solver;
+  SolveRequest req;
+  req.graph = paper_example6();
+  req.arch = "mesh 2 2";
+  req.mode = SolveMode::kModulo;
+  req.options.startup.pe_speeds = {1, 1, 1, 2};
+  const SolveResponse res = solver.solve(req);
+  EXPECT_EQ(res.status, SolveStatus::kInvalidRequest);
+  EXPECT_TRUE(has_code(res.diagnostics, "CCS-E001"));
+
+  req.options.startup.pe_speeds.clear();
+  const SolveResponse ok = solver.solve(req);
+  ASSERT_TRUE(ok.ok()) << render_text(ok.diagnostics);
+  EXPECT_TRUE(ok.schedule.has_value());
+}
+
+TEST(SolverApi, PortfolioModeReportsProvenance) {
+  Solver solver;
+  SolveRequest req;
+  req.graph = paper_example6();
+  req.arch = "mesh 2 2";
+  req.mode = SolveMode::kPortfolio;
+  req.portfolio.jobs = 2;
+  const SolveResponse res = solver.solve(req);
+  ASSERT_TRUE(res.ok()) << render_text(res.diagnostics);
+  EXPECT_TRUE(res.certified);
+  ASSERT_FALSE(res.attempts.empty());
+  ASSERT_GE(res.winner_attempt, 0);
+  ASSERT_LT(static_cast<std::size_t>(res.winner_attempt),
+            res.attempts.size());
+  EXPECT_EQ(res.attempts[static_cast<std::size_t>(res.winner_attempt)].label,
+            res.winner_label);
+  EXPECT_EQ(
+      res.attempts[static_cast<std::size_t>(res.winner_attempt)].length,
+      res.best_length);
+  // The request's options field is the portfolio's base configuration, so
+  // the facade can never do worse than the serial solve of that config.
+  SolveRequest serial = req;
+  serial.mode = SolveMode::kSchedule;
+  const SolveResponse base = solver.solve(serial);
+  ASSERT_TRUE(base.ok());
+  EXPECT_LE(res.best_length, base.best_length);
+}
+
+TEST(SolverApi, CertifyModeNeedsASchedule) {
+  Solver solver;
+  SolveRequest req;
+  req.graph = paper_example6();
+  req.arch = "mesh 2 2";
+  req.mode = SolveMode::kCertify;
+  const SolveResponse res = solver.solve(req);
+  EXPECT_EQ(res.status, SolveStatus::kInvalidRequest);
+  EXPECT_TRUE(has_code(res.diagnostics, "CCS-E001"));
+}
+
+TEST(SolverApi, CertifyModeAcceptsAGoodScheduleAndRejectsABrokenOne) {
+  Solver solver;
+  SolveRequest produce;
+  produce.graph = paper_example6();
+  produce.arch = "mesh 2 2";
+  const SolveResponse made = solver.solve(produce);
+  ASSERT_TRUE(made.ok());
+
+  SolveRequest check;
+  check.graph = made.graph;  // the retimed graph the schedule satisfies
+  check.arch = "mesh 2 2";
+  check.mode = SolveMode::kCertify;
+  check.schedule = made.schedule;
+  const SolveResponse good = solver.solve(check);
+  EXPECT_TRUE(good.ok()) << render_text(good.diagnostics);
+  EXPECT_TRUE(good.certified);
+
+  // Certifying against the *unretimed* graph (or any wrong graph) must
+  // surface CCS-S findings, not throw.
+  check.graph = produce.graph;
+  const SolveResponse bad = solver.solve(check);
+  if (!bad.ok()) {
+    EXPECT_EQ(bad.status, SolveStatus::kUncertified);
+    EXPECT_FALSE(bad.certified);
+    EXPECT_FALSE(bad.diagnostics.empty());
+  }
+}
+
+TEST(SolverApi, RepairModeWalksTheLadder) {
+  Solver solver;
+  SolveRequest req;
+  req.graph = paper_example6();
+  req.arch = "mesh 2 2";
+  req.mode = SolveMode::kRepair;
+  req.faults = "fail p0\n";
+  const SolveResponse res = solver.solve(req);
+  ASSERT_TRUE(res.ok()) << render_text(res.diagnostics);
+  EXPECT_FALSE(res.repair_rung.empty());
+  ASSERT_TRUE(res.machine.has_value());
+  EXPECT_LT(res.machine->size(), 4u);  // the dead PE is gone
+  EXPECT_EQ(res.pe_map.size(), res.machine->size());
+  // The surviving machine never contains the failed PE 0.
+  for (const PeId original : res.pe_map) EXPECT_NE(original, 0u);
+}
+
+TEST(SolverApi, RepairModeReportsInfeasibilityAsE002) {
+  Solver solver;
+  SolveRequest req;
+  req.graph = paper_example6();
+  req.arch = "mesh 2 2";
+  req.mode = SolveMode::kRepair;
+  req.faults = "fail p0\nfail p1\nfail p2\nfail p3\n";
+  const SolveResponse res = solver.solve(req);
+  EXPECT_EQ(res.status, SolveStatus::kInfeasible);
+  EXPECT_TRUE(has_code(res.diagnostics, "CCS-E002"))
+      << render_text(res.diagnostics);
+  EXPECT_EQ(solve_status_name(res.status), "infeasible");
+}
+
+TEST(SolverApi, RepairModeRejectsAGarbageFaultSpec) {
+  Solver solver;
+  SolveRequest req;
+  req.graph = paper_example6();
+  req.arch = "mesh 2 2";
+  req.mode = SolveMode::kRepair;
+  req.faults = "explode everything\n";
+  const SolveResponse res = solver.solve(req);
+  EXPECT_EQ(res.status, SolveStatus::kInvalidRequest);
+  EXPECT_TRUE(has_code(res.diagnostics, "CCS-F001"));
+  EXPECT_TRUE(has_code(res.diagnostics, "CCS-E001"));
+}
+
+TEST(SolverApi, BagIsAlwaysFinalizedAndRenderable) {
+  // finalize() sorts and dedupes; a second finalize must be a no-op, so a
+  // rendered response is stable however the caller got it.
+  Solver solver;
+  SolveRequest req;
+  req.graph = paper_example6();
+  req.arch = "no such machine";
+  SolveResponse res = solver.solve(req);
+  const std::string once = render_text(res.diagnostics);
+  res.diagnostics.finalize();
+  EXPECT_EQ(render_text(res.diagnostics), once);
+  EXPECT_NE(once.find("CCS-E001"), std::string::npos);
+}
+
+TEST(SolverApi, SolverForwardsItsObsContext) {
+  MetricsRegistry metrics;
+  const ObsContext obs{nullptr, &metrics};
+  const Solver solver(obs);
+  SolveRequest req;
+  req.graph = paper_example6();
+  req.arch = "mesh 2 2";
+  const SolveResponse res = solver.solve(req);
+  ASSERT_TRUE(res.ok());
+  EXPECT_GT(metrics.counter("compaction.passes"), 0);
+}
+
+}  // namespace
+}  // namespace ccs
