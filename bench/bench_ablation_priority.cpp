@@ -90,7 +90,5 @@ BENCHMARK(BM_Priority)->Arg(0)->Arg(1)->Arg(2)->Unit(benchmark::kMicrosecond);
 
 int main(int argc, char** argv) {
   print_ablation();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return ccs::bench::run_benchmarks(argc, argv);
 }

@@ -84,7 +84,5 @@ BENCHMARK(BM_ArchSweepCell)->DenseRange(0, 5)->Unit(benchmark::kMillisecond);
 
 int main(int argc, char** argv) {
   print_sweep();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return ccs::bench::run_benchmarks(argc, argv);
 }

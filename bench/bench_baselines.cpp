@@ -106,7 +106,5 @@ BENCHMARK(BM_SelfTimedSimulation)->Arg(64)->Arg(256)->Unit(benchmark::kMicroseco
 
 int main(int argc, char** argv) {
   print_comparison();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return ccs::bench::run_benchmarks(argc, argv);
 }

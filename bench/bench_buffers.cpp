@@ -80,7 +80,5 @@ BENCHMARK(BM_BufferAnalysis)->Unit(benchmark::kMicrosecond);
 
 int main(int argc, char** argv) {
   print_tradeoff();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return ccs::bench::run_benchmarks(argc, argv);
 }

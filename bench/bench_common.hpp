@@ -8,7 +8,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -18,7 +20,87 @@
 #include "core/validator.hpp"
 #include "obs/obs.hpp"
 
+// Injected per-binary by bench/CMakeLists.txt (ccs_bench); the fallbacks
+// keep the header compilable in isolation.
+#ifndef CCS_BENCH_NAME
+#define CCS_BENCH_NAME "unnamed"
+#endif
+#ifndef CCS_BENCH_OUT_DIR
+#define CCS_BENCH_OUT_DIR "."
+#endif
+
 namespace ccs::bench {
+
+/// Version of the BENCH_*.json document layout this harness emits.  The
+/// regression tooling (`ccsched report --diff`) keys on it; bump when the
+/// counter names or the context surgery below change shape.
+inline constexpr const char* kBenchSchemaVersion = "1";
+
+/// Inserts `"ccsched_schema_version"` into the google-benchmark "context"
+/// object of an already-written JSON report.  google-benchmark offers no
+/// hook for custom context fields, so the stamp is string surgery on the
+/// serialized document; a file that does not look like a benchmark report
+/// is left untouched.
+inline void stamp_schema_version(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  std::string text = buffer.str();
+  in.close();
+  const std::size_t key = text.find("\"context\":");
+  if (key == std::string::npos) return;
+  const std::size_t brace = text.find('{', key);
+  if (brace == std::string::npos) return;
+  const std::string field = std::string("\n    \"ccsched_schema_version\": \"") +
+                            kBenchSchemaVersion + "\",";
+  text.insert(brace + 1, field);
+  std::ofstream out(path);
+  if (!out) return;
+  out << text;
+}
+
+/// Shared benchmark entry point: forwards to google-benchmark, defaulting
+/// the JSON report to <repo-root>/BENCH_<binary>.json (`--out PATH`
+/// overrides the destination; a raw --benchmark_out flag is honored
+/// verbatim and skips the schema stamp).  Returns the process exit code.
+inline int run_benchmarks(int argc, char** argv) {
+  std::vector<std::string> args(argv, argv + argc);
+  std::string out_path;
+  bool user_out = false;
+  std::vector<std::string> forwarded;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    if (a.rfind("--out=", 0) == 0) {
+      out_path = a.substr(6);
+      continue;
+    }
+    if (a == "--out" && i + 1 < args.size()) {
+      out_path = args[++i];
+      continue;
+    }
+    if (a.rfind("--benchmark_out=", 0) == 0) user_out = true;
+    forwarded.push_back(a);
+  }
+  if (!user_out) {
+    if (out_path.empty())
+      out_path = std::string(CCS_BENCH_OUT_DIR) + "/BENCH_" +
+                 CCS_BENCH_NAME + ".json";
+    forwarded.push_back("--benchmark_out=" + out_path);
+    forwarded.push_back("--benchmark_out_format=json");
+  }
+  std::vector<char*> cargv;
+  cargv.reserve(forwarded.size() + 1);
+  for (std::string& s : forwarded) cargv.push_back(s.data());
+  cargv.push_back(nullptr);
+  int cargc = static_cast<int>(forwarded.size());
+  ::benchmark::Initialize(&cargc, cargv.data());
+  if (::benchmark::ReportUnrecognizedArguments(cargc, cargv.data())) return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  if (!user_out) stamp_schema_version(out_path);
+  return 0;
+}
 
 /// The paper's five experiment architectures at 8 PEs (Figure 8).
 inline std::vector<Topology> paper_architectures() {

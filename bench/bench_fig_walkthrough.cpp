@@ -89,7 +89,5 @@ BENCHMARK(BM_CycloCompactRelax)->Unit(benchmark::kMicrosecond);
 
 int main(int argc, char** argv) {
   print_walkthrough();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return ccs::bench::run_benchmarks(argc, argv);
 }

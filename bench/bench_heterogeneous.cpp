@@ -98,7 +98,5 @@ BENCHMARK(BM_HeterogeneousCompaction)->DenseRange(0, 3)
 
 int main(int argc, char** argv) {
   print_profiles();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return ccs::bench::run_benchmarks(argc, argv);
 }

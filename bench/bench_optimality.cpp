@@ -86,7 +86,5 @@ BENCHMARK(BM_ExhaustiveMicro)->Unit(benchmark::kMillisecond);
 
 int main(int argc, char** argv) {
   print_gaps();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return ccs::bench::run_benchmarks(argc, argv);
 }

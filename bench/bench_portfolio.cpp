@@ -123,13 +123,36 @@ BENCHMARK(BM_TopologyConstruction)
     ->Arg(0)->Arg(1)
     ->Unit(benchmark::kMicrosecond);
 
+/// A/B overhead of the span profiler on the serial driver: arg 0 runs with
+/// a fully disabled ObsContext (the default-constructed context — every
+/// span site is one null-pointer test), arg 1 attaches a live SpanProfiler.
+/// Comparing the two rows against BM_SerialCompaction pins the acceptance
+/// claim that observability-off costs nothing measurable.
+void BM_CompactObsOverhead(benchmark::State& state) {
+  const bool profiled = state.range(0) != 0;
+  const Csdfg g = paper_example19();
+  const Topology topo = make_mesh(4, 2);
+  const StoreAndForwardModel comm(topo);
+  SpanProfiler profiler;
+  ObsContext obs;
+  if (profiled) obs.profiler = &profiler;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(cyclo_compact(g, topo, comm, {}, obs));
+  if (profiled) {
+    double spans = 0;
+    for (const auto& [name, stat] : profiler.stats())
+      spans += static_cast<double>(stat.durations.count());
+    state.counters["spans.recorded"] = ::benchmark::Counter(spans);
+  }
+  state.SetLabel(profiled ? "profiled" : "obs-off");
+}
+BENCHMARK(BM_CompactObsOverhead)
+    ->Arg(0)->Arg(1)
+    ->Unit(benchmark::kMicrosecond);
+
 }  // namespace
 
 int main(int argc, char** argv) {
   print_quality_gate();
-  ::benchmark::Initialize(&argc, argv);
-  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
-  ::benchmark::RunSpecifiedBenchmarks();
-  ::benchmark::Shutdown();
-  return 0;
+  return ccs::bench::run_benchmarks(argc, argv);
 }

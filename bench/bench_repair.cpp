@@ -118,7 +118,5 @@ BENCHMARK(BM_RebuildFromScratch)->DenseRange(0, 4)->Unit(benchmark::kMillisecond
 
 int main(int argc, char** argv) {
   print_summary();
-  ::benchmark::Initialize(&argc, argv);
-  ::benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return ccs::bench::run_benchmarks(argc, argv);
 }

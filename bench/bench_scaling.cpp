@@ -91,4 +91,6 @@ BENCHMARK(BM_IterationBound)->Arg(16)->Arg(32)->Arg(64)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return ccs::bench::run_benchmarks(argc, argv);
+}

@@ -94,7 +94,5 @@ BENCHMARK(BM_Table11Cell)
 
 int main(int argc, char** argv) {
   print_table11();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return ccs::bench::run_benchmarks(argc, argv);
 }

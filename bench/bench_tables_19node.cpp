@@ -69,7 +69,5 @@ BENCHMARK(BM_Compact19)->DenseRange(0, 4)->Unit(benchmark::kMillisecond);
 
 int main(int argc, char** argv) {
   print_tables();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return ccs::bench::run_benchmarks(argc, argv);
 }

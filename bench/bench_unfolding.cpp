@@ -95,7 +95,5 @@ BENCHMARK(BM_UnfoldAndCompact)->Arg(1)->Arg(2)->Arg(3)
 
 int main(int argc, char** argv) {
   print_rates();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return ccs::bench::run_benchmarks(argc, argv);
 }

@@ -11,6 +11,7 @@
 #include "core/unfold_schedule.hpp"
 #include "core/unfolding.hpp"
 #include "obs/obs.hpp"
+#include "obs/span.hpp"
 #include "obs/trace.hpp"
 #include "obs/trace_reader.hpp"
 #include "util/error.hpp"
@@ -165,6 +166,9 @@ void unfold_cross_check(const Csdfg& g, const NormSchedule& s, int factor,
 bool certify_schedule(const Csdfg& g, const RawSchedule& raw,
                       const Topology& topo, const CommModel& comm,
                       const CertifyOptions& options, DiagnosticBag& bag) {
+  // Certifier entry points take no ObsContext (they predate it), so phase
+  // spans come from the process-global profiler hook.
+  const ObsSpan phase(SpanProfiler::process(), "certify.schedule");
   const ErrorWatch watch(bag);
   const SourceSpan whole{raw.file, 0};
   if (!raw.has_directive) return watch.clean();  // S001 from the parser
@@ -260,6 +264,7 @@ bool certify_schedule(const Csdfg& g, const RawSchedule& raw,
 bool certify_table(const Csdfg& g, const ScheduleTable& table,
                    const CommModel& comm, const std::string& label,
                    DiagnosticBag& bag, const CertifyOptions& options) {
+  const ObsSpan phase(SpanProfiler::process(), "certify.table");
   const ErrorWatch watch(bag);
   NormSchedule s;
   s.length = table.length();
@@ -299,6 +304,7 @@ bool certify_compaction_run(const Csdfg& original,
                             const std::string& label,
                             const CertifyOptions& options,
                             DiagnosticBag& bag) {
+  const ObsSpan phase(SpanProfiler::process(), "certify.run");
   const ErrorWatch watch(bag);
   const SourceSpan span{label, 0};
 
@@ -383,8 +389,13 @@ bool known_trace_kind(std::string_view kind) {
   static const std::set<std::string, std::less<>> kinds = {
       "pass_start", "rotation",    "remap_target", "remap_decision",
       "psl_pad",    "rollback",    "pass_end",     "startup_done",
-      "sim_run",    "fault",       "repair_attempt", "budget_exhausted"};
+      "sim_run",    "fault",       "repair_attempt", "budget_exhausted",
+      "span_begin", "span_end"};
   return kinds.find(kind) != kinds.end();
+}
+
+bool is_span_kind(std::string_view kind) {
+  return kind == "span_begin" || kind == "span_end";
 }
 
 bool bool_field(const TraceEvent& e, std::string_view key, bool& out) {
@@ -396,8 +407,20 @@ bool bool_field(const TraceEvent& e, std::string_view key, bool& out) {
 
 }  // namespace
 
+namespace {
+
+/// One open profiler scope on a trace thread, remembered until its
+/// span_end arrives (or the stream ends — CCS-S014).
+struct OpenSpan {
+  std::string name;
+  std::size_t line = 0;
+};
+
+}  // namespace
+
 bool audit_trace(const std::string& trace_text, const std::string& file,
                  bool strict_monotone, DiagnosticBag& bag) {
+  const ObsSpan phase(SpanProfiler::process(), "certify.audit");
   const ErrorWatch watch(bag);
   const ParsedTrace trace = parse_trace_jsonl(trace_text);
   for (const TraceParseIssue& issue : trace.issues)
@@ -407,6 +430,9 @@ bool audit_trace(const std::string& trace_text, const std::string& file,
   bool have_best = false;
   long long best = 0;
   long long prev_pass_len = -1;
+  // Span structure per thread tag: open-scope stack and last timestamp.
+  std::map<long long, std::vector<OpenSpan>> open_spans;
+  std::map<long long, long long> last_ts;
   for (const TraceEvent& e : trace.events) {
     const SourceSpan span{file, e.line};
     long long seq = 0;
@@ -428,6 +454,56 @@ bool audit_trace(const std::string& trace_text, const std::string& file,
     }
     if (!known_trace_kind(kind)) {
       bag.add("CCS-S013", span, "unknown event kind '" + kind + "'");
+      continue;
+    }
+
+    if (is_span_kind(kind)) {
+      std::string name;
+      long long tid = 0;
+      long long ts = 0;
+      if (!e.string("name", name) || !e.number("tid", tid) ||
+          !e.number("ts_ns", ts)) {
+        bag.add("CCS-S014", span,
+                kind + " event lacks name/tid/ts_ns fields");
+        continue;
+      }
+      if (tid < 0) {
+        std::ostringstream os;
+        os << kind << " '" << name << "' carries negative thread tag " << tid;
+        bag.add("CCS-S014", span, os.str());
+        continue;
+      }
+      const auto ts_it = last_ts.find(tid);
+      if (ts_it != last_ts.end() && ts < ts_it->second) {
+        std::ostringstream os;
+        os << kind << " '" << name << "' on thread " << tid
+           << " has timestamp " << ts << " before the preceding "
+           << ts_it->second << " (out of order)";
+        bag.add("CCS-S014", span, os.str());
+      }
+      last_ts[tid] = std::max(ts_it != last_ts.end() ? ts_it->second : ts, ts);
+      if (kind == "span_begin") {
+        open_spans[tid].push_back(OpenSpan{name, e.line});
+      } else {
+        const auto open_it = open_spans.find(tid);
+        if (open_it == open_spans.end() || open_it->second.empty()) {
+          std::ostringstream os;
+          os << "span_end '" << name << "' on thread " << tid
+             << " has no matching span_begin"
+             << (open_it == open_spans.end() ? " (unknown thread tag)" : "");
+          bag.add("CCS-S014", span, os.str());
+          continue;
+        }
+        const OpenSpan top = open_it->second.back();
+        open_it->second.pop_back();
+        if (top.name != name) {
+          std::ostringstream os;
+          os << "span_end '" << name << "' on thread " << tid
+             << " closes scope '" << top.name << "' opened on line "
+             << top.line << " (misnested)";
+          bag.add("CCS-S014", span, os.str());
+        }
+      }
       continue;
     }
 
@@ -475,6 +551,13 @@ bool audit_trace(const std::string& trace_text, const std::string& file,
       }
     }
   }
+  for (const auto& [tid, stack] : open_spans) {
+    if (stack.empty()) continue;
+    std::ostringstream os;
+    os << stack.size() << " span scope(s) on thread " << tid
+       << " never terminated; innermost is '" << stack.back().name << "'";
+    bag.add("CCS-S014", SourceSpan{file, stack.back().line}, os.str());
+  }
   return watch.clean();
 }
 
@@ -482,6 +565,7 @@ bool replay_trace(const Csdfg& g, const Topology& topo, const CommModel& comm,
                   const CycloCompactionOptions& options,
                   const std::string& trace_text, const std::string& file,
                   DiagnosticBag& bag) {
+  const ObsSpan phase(SpanProfiler::process(), "certify.replay");
   const ErrorWatch watch(bag);
   const ParsedTrace recorded = parse_trace_jsonl(trace_text);
   for (const TraceParseIssue& issue : recorded.issues)
@@ -493,8 +577,11 @@ bool replay_trace(const Csdfg& g, const Topology& topo, const CommModel& comm,
     std::string kind;
     // Events appended to the same file by other stages — simulator runs,
     // fault injection, repair — are outside the scheduling-pipeline replay.
+    // Span events carry wall-clock timestamps and can never replay
+    // deterministically; audit_trace checks their structure instead.
     if (e.string("kind", kind) &&
-        (kind == "sim_run" || kind == "fault" || kind == "repair_attempt"))
+        (kind == "sim_run" || kind == "fault" || kind == "repair_attempt" ||
+         is_span_kind(kind)))
       continue;
     events.push_back(&e);
   }

@@ -6,7 +6,7 @@ namespace ccs {
 
 namespace {
 
-constexpr std::array<LintRule, 31> kRules{{
+constexpr std::array<LintRule, 32> kRules{{
     {"CCS-P001", "syntax-error", Severity::kError,
      "A line of the graph file does not match any directive grammar.",
      "Use `graph <name>`, `node <name> <time>`, or `edge <from> <to> "
@@ -144,6 +144,13 @@ constexpr std::array<LintRule, 31> kRules{{
      "seq/kind field, or broken sequence numbering.",
      "Regenerate the trace with --trace; traces are JSON Lines with "
      "contiguous seq numbers starting at 0."},
+    {"CCS-S014", "malformed-span", Severity::kError,
+     "A profiler span event breaks the stream's structure: a scope that "
+     "never terminates, a span_end with no matching span_begin or a "
+     "mismatched name, an out-of-order timestamp on one thread, or a "
+     "missing/negative thread tag.",
+     "Regenerate the trace with --trace --profile; span_begin/span_end "
+     "pairs must nest per thread with monotone ts_ns values."},
     {"CCS-F001", "fault-spec-syntax", Severity::kError,
      "A line of the fault spec does not match any directive grammar.",
      "Use `fail <pe> [@iter <n>]`, `link <peA> <peB> [@iter <n>]`, or "

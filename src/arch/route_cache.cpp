@@ -5,6 +5,7 @@
 #include <limits>
 #include <sstream>
 
+#include "obs/span.hpp"
 #include "util/error.hpp"
 
 namespace ccs {
@@ -103,6 +104,10 @@ std::shared_ptr<const RouteTables> RouteCache::tables_for(
     std::size_t num_pes, bool directed,
     const std::vector<std::pair<std::size_t, std::size_t>>& links,
     const std::string& name) {
+  // The cache predates ObsContext threading (Topology constructors have no
+  // obs parameter), so spans come from the process-global profiler hook —
+  // one relaxed atomic load when profiling is off.
+  const ObsSpan lookup_span(SpanProfiler::process(), "route.lookup");
   {
     const std::scoped_lock lock(mu_);
     if (enabled_) {
@@ -116,8 +121,12 @@ std::shared_ptr<const RouteTables> RouteCache::tables_for(
 
   // Compute outside the lock: BFS over a large fabric must not serialize
   // unrelated constructions, and compute_route_tables may throw.
-  auto tables = std::make_shared<const RouteTables>(
-      compute_route_tables(num_pes, directed, links, name, kNextHopLimit));
+  std::shared_ptr<const RouteTables> tables;
+  {
+    const ObsSpan build_span(SpanProfiler::process(), "route.build");
+    tables = std::make_shared<const RouteTables>(
+        compute_route_tables(num_pes, directed, links, name, kNextHopLimit));
+  }
 
   const std::scoped_lock lock(mu_);
   if (!enabled_) return tables;

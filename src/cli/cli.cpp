@@ -23,6 +23,8 @@
 #include "sdf/sdf.hpp"
 #include "sdf/sdf_format.hpp"
 #include "obs/obs.hpp"
+#include "obs/profile.hpp"
+#include "obs/report.hpp"
 #include "robust/fault_plan.hpp"
 #include "robust/repair.hpp"
 #include "sim/executor.hpp"
@@ -110,7 +112,7 @@ private:
          {"arch", "passes", "speeds", "iterations", "warmup", "gantt",
           "policy", "trace", "stats", "format", "graph", "unfold", "replay",
           "faults", "budget-passes", "budget-ms", "patience", "jobs",
-          "seed", "attempts"})
+          "seed", "attempts", "profile", "threshold", "gate"})
       if (key == k) return true;
     return false;
   }
@@ -197,13 +199,21 @@ void preflight_lint(const std::string& text, const std::string& path,
 
 /// Observability wiring shared by `schedule` and `simulate`: --trace FILE
 /// streams JSONL pipeline events, --stats FILE captures a metrics JSON
-/// document ('-' = stdout) plus a human-readable `stats` section.  With
-/// neither flag the context stays disabled and the pipeline runs untraced.
+/// document ('-' = stdout) plus a human-readable `stats` section, and
+/// --profile FILE records hierarchical spans and writes a Chrome/Perfetto
+/// trace_event timeline.  --stats alone also enables the profiler so the
+/// stats document carries span histograms.  With no flag the context stays
+/// disabled and the pipeline runs unobserved.
 class ObsSetup {
 public:
+  ~ObsSetup() {
+    if (installed_) SpanProfiler::set_process(previous_);
+  }
+
   void init(Args& args) {
     trace_path_ = args.value("trace");
     stats_path_ = args.value("stats");
+    profile_path_ = args.value("profile");
     if (trace_path_) {
       trace_file_.open(*trace_path_);
       if (!trace_file_)
@@ -213,15 +223,41 @@ public:
       obs_.tracer = &tracer_;
     }
     if (stats_path_) obs_.metrics = &metrics_;
+    if (profile_path_ || stats_path_) {
+      obs_.profiler = &profiler_;
+      // Stages with no ObsContext parameter (topology construction, the
+      // certifier) record through the process-global hook for the duration
+      // of this command; the destructor restores the previous hook even on
+      // the throwing paths.
+      previous_ = SpanProfiler::process();
+      SpanProfiler::set_process(&profiler_);
+      installed_ = true;
+    }
   }
 
   [[nodiscard]] const ObsContext& obs() const noexcept { return obs_; }
   [[nodiscard]] MetricsRegistry& metrics() noexcept { return metrics_; }
 
-  /// Emits the stats artifacts (call once, before the persistable
+  /// Emits the stats/profile artifacts (call once, before the persistable
   /// emit-graph/emit-schedule sections so those stay a clean suffix).
   void finish(std::ostream& out) {
+    if (installed_) {
+      SpanProfiler::set_process(previous_);
+      installed_ = false;
+    }
+    if (profile_path_) {
+      const std::string doc = chrome_trace_json(profiler_);
+      if (*profile_path_ == "-") {
+        out << doc << '\n';
+      } else {
+        std::ofstream f(*profile_path_);
+        if (!f) throw Error("cannot open '" + *profile_path_ +
+                            "' for writing");
+        f << doc << '\n';
+      }
+    }
     if (!stats_path_) return;
+    if (!profiler_.empty()) export_span_stats(profiler_, metrics_);
     if (*stats_path_ == "-") {
       out << metrics_.to_json() << '\n';
       return;
@@ -235,10 +271,14 @@ public:
 private:
   std::optional<std::string> trace_path_;
   std::optional<std::string> stats_path_;
+  std::optional<std::string> profile_path_;
   std::ofstream trace_file_;
   std::optional<StreamSink> sink_;
   Tracer tracer_;
   MetricsRegistry metrics_;
+  SpanProfiler profiler_;
+  SpanProfiler* previous_ = nullptr;
+  bool installed_ = false;
   ObsContext obs_;
 };
 
@@ -444,6 +484,10 @@ int cmd_schedule(Args& args, std::istream& in, std::ostream& out,
   const std::string graph_path = args.positional()[0];
   const std::string graph_text = slurp(graph_path, in, used_stdin);
   const Csdfg g = parse_csdfg(graph_text);
+  // Observability comes up before the topology so the route-table build the
+  // architecture triggers lands inside the profiled window.
+  ObsSetup obs_setup;
+  obs_setup.init(args);
   const Topology topo = require_arch(args);
   const StoreAndForwardModel comm(topo);
 
@@ -489,8 +533,6 @@ int cmd_schedule(Args& args, std::istream& in, std::ostream& out,
   const bool emit_graph = args.flag("emit-graph");
   const bool quiet = args.flag("quiet");
   const bool certify = args.flag("certify");
-  ObsSetup obs_setup;
-  obs_setup.init(args);
   args.reject_unknown();
   const ObsContext& obs = obs_setup.obs();
   preflight_lint(graph_text, graph_path, topo, opt.startup.pe_speeds, err);
@@ -795,10 +837,54 @@ int cmd_stress(Args& args, std::istream& in, std::ostream& out,
   return kOk;
 }
 
+int cmd_report(Args& args, std::istream& in, std::ostream& out) {
+  const bool diff = args.flag("diff");
+  const auto threshold = args.value("threshold");
+  const auto gate = args.value("gate");
+  if (!diff && (threshold || gate))
+    throw UsageError{"--threshold/--gate need --diff"};
+  DiffOptions dopt;
+  if (threshold) {
+    try {
+      dopt.threshold_pct = std::stod(*threshold);
+    } catch (const std::exception&) {
+      throw UsageError{"--threshold expects a number (percent), got '" +
+                       *threshold + "'"};
+    }
+    if (dopt.threshold_pct < 0)
+      throw UsageError{"--threshold must be >= 0"};
+  }
+  if (gate) dopt.gate = *gate;
+  args.reject_unknown();
+
+  bool used_stdin = false;
+  const auto load = [&](const std::string& path) {
+    FlatMetrics flat;
+    std::string error;
+    if (!flatten_metrics_json(slurp(path, in, used_stdin), flat, error))
+      throw Error("'" + span_label(path) + "': " + error);
+    return flat;
+  };
+
+  if (diff) {
+    if (args.positional().size() != 2)
+      throw UsageError{"report --diff: expected <before.json> <after.json>"};
+    const FlatMetrics before = load(args.positional()[0]);
+    const FlatMetrics after = load(args.positional()[1]);
+    const DiffResult result = diff_metrics(before, after, dopt);
+    out << render_diff(result, dopt);
+    return result.regressed ? kFailure : kOk;
+  }
+  if (args.positional().size() != 1)
+    throw UsageError{"report: expected <metrics.json> (or --diff <a> <b>)"};
+  out << render_hot_path_report(load(args.positional()[0]));
+  return kOk;
+}
+
 void print_usage(std::ostream& err) {
   err << "usage: ccsched <command> [arguments]\n"
          "commands: info, bound, retime, dot, lint, certify, expand, "
-         "schedule, validate, simulate, stress\n"
+         "schedule, validate, simulate, stress, report\n"
          "see src/cli/cli.hpp for the full grammar\n";
 }
 
@@ -824,6 +910,7 @@ int run_cli(const std::vector<std::string>& args, std::istream& in,
     if (command == "validate") return cmd_validate(parsed, in, out);
     if (command == "simulate") return cmd_simulate(parsed, in, out, err);
     if (command == "stress") return cmd_stress(parsed, in, out, err);
+    if (command == "report") return cmd_report(parsed, in, out);
     err << "unknown command '" << command << "'\n";
     print_usage(err);
     return kUsage;

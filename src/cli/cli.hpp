@@ -32,6 +32,11 @@
 //       --certify                            independent CCS-S certification
 //       --trace FILE                         JSONL pipeline events (docs/OBSERVABILITY.md)
 //       --stats FILE                         metrics JSON ('-' = stdout) + stats section
+//                                            (also enables span histograms)
+//       --profile FILE                       Chrome/Perfetto trace_event JSON
+//                                            ('-' = stdout) of hierarchical
+//                                            profiler spans, one track per
+//                                            worker thread
 //       --portfolio                          parallel portfolio search over the
 //                                            configuration grid (src/engine/);
 //                                            the winner is never worse than the
@@ -58,6 +63,18 @@
 //       --iterations N --warmup N            fault-injected static execution
 //       --budget-passes/--budget-ms/--patience   as for schedule
 //       --emit-schedule --quiet --werror --trace FILE --stats FILE
+//   ccsched report <metrics.json>            self-time-sorted hot-path table
+//                                            from a --stats/--profile/BENCH
+//                                            JSON document
+//   ccsched report --diff <before> <after> [options]
+//       --threshold PCT                      regression threshold in percent
+//                                            (default 5)
+//       --gate LIST                          comma-separated gated categories
+//                                            (default counters,timers,spans,
+//                                            benchmarks,profile; "all" gates
+//                                            every path); a gated metric that
+//                                            grows by >= the threshold fails
+//                                            the exit code
 //
 // `<graph>`, `<schedule>`, and `<faults>` are file paths, or `-` for stdin
 // (at most one stdin argument per invocation).  Architecture specs use the
@@ -71,7 +88,7 @@
 //   1  operational failure — unreadable/unwritable files, malformed inputs
 //      rejected by the strict parsers, invalid or uncertified schedules,
 //      error-bearing diagnostic reports, --werror promotions, infeasible
-//      repairs.
+//      repairs, and `report --diff` detecting a regression.
 //   2  usage error — unknown command/option, missing required argument, or
 //      a malformed option value; nothing was executed.
 #pragma once

@@ -13,6 +13,7 @@ CycloCompactionResult cyclo_compact(const Csdfg& g, const Topology& topo,
                                     const ObsContext& obs) {
   g.require_legal();
   const ScopedTimer timer(obs.metrics, "time.compaction");
+  const ObsSpan run_span = obs.span("compact");
 
   ScheduleTable startup =
       start_up_schedule(g, topo, comm, options.startup, obs);
@@ -64,6 +65,7 @@ CycloCompactionResult cyclo_compact(const Csdfg& g, const Topology& topo,
     }
     const int previous_length = current.length();
     if (previous_length <= 0) break;
+    const ObsSpan pass_span = obs.span("compact.pass");
     obs.count("compaction.passes");
     obs.emit(PassStartEvent{pass, previous_length});
 

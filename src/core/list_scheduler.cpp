@@ -29,6 +29,7 @@ ScheduleTable start_up_schedule(const Csdfg& g, const Topology& topo,
                                 const ObsContext& obs) {
   g.require_legal();
   const ScopedTimer timer(obs.metrics, "time.startup");
+  const ObsSpan list_span = obs.span("startup.list");
   CCS_EXPECTS(options.pe_speeds.empty() ||
               options.pe_speeds.size() == topo.size());
   ScheduleTable table =

@@ -136,9 +136,18 @@ RemapResult try_remap(const Csdfg& g, ScheduleTable& table,
   });
 
   // Hot-loop tallies are accumulated locally and flushed once per call so
-  // the per-slot cost with metrics enabled stays a register increment.
+  // the per-slot cost with metrics enabled stays a register increment.  The
+  // per-evaluation AN histogram follows the same rule: a local fixed-bucket
+  // accumulator, folded into the profiler once per call, so profiling never
+  // takes a lock inside the slot scan.
   long long an_evaluations = 0;
   long long slots_scanned = 0;
+  const bool profiled = obs.profiling();
+  const ObsSpan an_span = obs.span("remap.an");
+  SpanHistogram an_hist;
+  const auto flush_profile = [&] {
+    if (profiled) obs.profiler->fold("an.eval", an_hist);
+  };
 
   for (NodeId v : order) {
     CCS_ASSERT(!table.is_placed(v));
@@ -151,7 +160,14 @@ RemapResult try_remap(const Csdfg& g, ScheduleTable& table,
 
     for (PeId pe = 0; pe < table.num_pes(); ++pe) {
       ++slots_scanned;
-      const int lo = anticipation(g, table, comm, v, pe, target_length);
+      int lo;
+      if (profiled) {
+        const std::uint64_t t0 = span_now_ns();
+        lo = anticipation(g, table, comm, v, pe, target_length);
+        an_hist.add(span_now_ns() - t0);
+      } else {
+        lo = anticipation(g, table, comm, v, pe, target_length);
+      }
       ++an_evaluations;
       const int hi = selection == RemapSelection::kBidirectional
                          ? latest_start(g, table, comm, v, pe, target_length)
@@ -170,6 +186,7 @@ RemapResult try_remap(const Csdfg& g, ScheduleTable& table,
       }
     }
     if (!found) {
+      flush_profile();
       if (obs.metrics != nullptr) {
         obs.metrics->add("an.evaluations", an_evaluations);
         obs.metrics->add("remap.slots_scanned", slots_scanned);
@@ -201,6 +218,7 @@ RemapResult try_remap(const Csdfg& g, ScheduleTable& table,
     table.place(v, best_pe, best_cb);
     obs.count("remap.placements");
   }
+  flush_profile();
   if (obs.metrics != nullptr) {
     obs.metrics->add("an.evaluations", an_evaluations);
     obs.metrics->add("remap.slots_scanned", slots_scanned);
@@ -238,6 +256,7 @@ std::optional<ScheduleTable> remap_rotated(const Csdfg& g,
                                            const ObsContext& obs) {
   CCS_EXPECTS(previous_length >= 1);
   const ScopedTimer timer(obs.metrics, "time.remap");
+  const ObsSpan remap_span = obs.span("remap");
 
   const int first_target = std::max(1, previous_length - 1);
   int last_target = previous_length;
@@ -258,6 +277,7 @@ std::optional<ScheduleTable> remap_rotated(const Csdfg& g,
   for (int target = first_target; target <= last_target; ++target) {
     ScheduleTable attempt = table;
     if (attempt.length() > target) continue;
+    const ObsSpan target_span = obs.span("remap.target");
     obs.count("remap.target_attempts");
     obs.emit(RemapTargetEvent{target, target > previous_length});
     RemapResult r = try_remap(g, attempt, comm, rotated, target, selection,

@@ -197,6 +197,7 @@ PortfolioResult portfolio_compact(const Csdfg& g, const Topology& topo,
                                   const ObsContext& obs) {
   g.require_legal();
   const ScopedTimer timer(obs.metrics, "time.portfolio");
+  const ObsSpan portfolio_span = obs.span("portfolio");
 
   const std::vector<AttemptConfig> roster = portfolio_attempts(g, opt);
   const int lower_bound = schedule_lower_bound(g, topo, opt.base);
@@ -205,6 +206,7 @@ PortfolioResult portfolio_compact(const Csdfg& g, const Topology& topo,
     std::optional<CycloCompactionResult> result;
     std::vector<std::string> trace_lines;
     MetricsRegistry metrics;
+    SpanProfiler profiler;
     std::exception_ptr error;
   };
   std::vector<Slot> slots(roster.size());
@@ -213,6 +215,7 @@ PortfolioResult portfolio_compact(const Csdfg& g, const Topology& topo,
   std::atomic<std::size_t> next{0};
   const bool want_traces = obs.tracing();
   const bool want_metrics = obs.metrics != nullptr;
+  const bool want_profile = obs.profiling();
 
   const auto run_attempt = [&](std::size_t i) {
     Slot& slot = slots[i];
@@ -230,9 +233,20 @@ PortfolioResult portfolio_compact(const Csdfg& g, const Topology& topo,
         tracer.set_attempt(static_cast<int>(i));
         attempt_obs.tracer = &tracer;
       }
-
-      CycloCompactionResult result =
-          cyclo_compact(g, topo, comm, options, attempt_obs);
+      if (want_profile) {
+        // Each attempt records into its own profiler so the hot path never
+        // contends on the caller's; absorbed in attempt order after join.
+        slot.profiler.set_attempt(static_cast<int>(i));
+        attempt_obs.profiler = &slot.profiler;
+      }
+      // The attempt span must close before sink.lines() is harvested, or
+      // its span_end line would miss the attempt's trace stream.
+      std::optional<CycloCompactionResult> run;
+      {
+        const ObsSpan attempt_span = attempt_obs.span("portfolio.attempt");
+        run.emplace(cyclo_compact(g, topo, comm, options, attempt_obs));
+      }
+      CycloCompactionResult& result = *run;
 
       {
         const std::scoped_lock lock(shared.mu);
@@ -287,6 +301,7 @@ PortfolioResult portfolio_compact(const Csdfg& g, const Topology& topo,
     if (want_traces)
       for (const std::string& line : slots[i].trace_lines)
         obs.tracer->emit_raw(line);
+    if (want_profile) obs.profiler->absorb(slots[i].profiler);
   }
 
   // The winner: smallest best length, ties to the smallest attempt index.

@@ -52,6 +52,22 @@ MetricsRegistry::TimerStat MetricsRegistry::timer(
   return it != timers_.end() ? it->second : TimerStat{};
 }
 
+void MetricsRegistry::set_span(std::string_view name,
+                               const SpanSummary& summary) {
+  const auto it = spans_.find(name);
+  if (it != spans_.end()) {
+    it->second = summary;
+  } else {
+    spans_.emplace(std::string(name), summary);
+  }
+}
+
+MetricsRegistry::SpanSummary MetricsRegistry::span(
+    std::string_view name) const {
+  const auto it = spans_.find(name);
+  return it != spans_.end() ? it->second : SpanSummary{};
+}
+
 void MetricsRegistry::merge(const MetricsRegistry& other) {
   for (const auto& [name, value] : other.counters_) add(name, value);
   for (const auto& [name, value] : other.gauges_) set(name, value);
@@ -60,12 +76,14 @@ void MetricsRegistry::merge(const MetricsRegistry& other) {
     mine.count += stat.count;
     mine.total_ns += stat.total_ns;
   }
+  for (const auto& [name, summary] : other.spans_) set_span(name, summary);
 }
 
 void MetricsRegistry::clear() {
   counters_.clear();
   gauges_.clear();
   timers_.clear();
+  spans_.clear();
 }
 
 std::string MetricsRegistry::to_json() const {
@@ -102,6 +120,23 @@ std::string MetricsRegistry::to_json() const {
   w.raw_field("counters", counters.str())
       .raw_field("gauges", gauges.str())
       .raw_field("timers", timers.str());
+  if (!spans_.empty()) {
+    std::ostringstream spans;
+    spans << '{';
+    first = true;
+    for (const auto& [name, s] : spans_) {
+      spans << (first ? "" : ",") << '"' << json_escape(name)
+            << "\":{\"count\":" << s.count
+            << ",\"total_ms\":" << json_number(s.total_ms)
+            << ",\"self_ms\":" << json_number(s.self_ms)
+            << ",\"p50_ms\":" << json_number(s.p50_ms)
+            << ",\"p95_ms\":" << json_number(s.p95_ms)
+            << ",\"max_ms\":" << json_number(s.max_ms) << '}';
+      first = false;
+    }
+    spans << '}';
+    w.raw_field("spans", spans.str());
+  }
   return w.close();
 }
 
@@ -117,6 +152,14 @@ std::string MetricsRegistry::to_text() const {
     cell << json_number(static_cast<double>(stat.total_ns) / 1e6) << " ms / "
          << stat.count << " calls";
     t.add_row({name, "timer", cell.str()});
+  }
+  for (const auto& [name, s] : spans_) {
+    std::ostringstream cell;
+    cell << "self " << json_number(s.self_ms) << " ms / total "
+         << json_number(s.total_ms) << " ms / " << s.count << " spans (p50 "
+         << json_number(s.p50_ms) << " ms, p95 " << json_number(s.p95_ms)
+         << " ms)";
+    t.add_row({name, "span", cell.str()});
   }
   return t.to_string();
 }

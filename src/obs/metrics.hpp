@@ -30,9 +30,22 @@ public:
     long long total_ns = 0;
   };
 
+  /// Exported summary of one profiler span name (obs/span.hpp): counts and
+  /// millisecond totals plus the approximate histogram quantiles.  Written
+  /// by export_span_stats (obs/profile.hpp) after the run.
+  struct SpanSummary {
+    long long count = 0;
+    double total_ms = 0.0;
+    double self_ms = 0.0;
+    double p50_ms = 0.0;
+    double p95_ms = 0.0;
+    double max_ms = 0.0;
+  };
+
   using CounterMap = std::map<std::string, long long, std::less<>>;
   using GaugeMap = std::map<std::string, double, std::less<>>;
   using TimerMap = std::map<std::string, TimerStat, std::less<>>;
+  using SpanMap = std::map<std::string, SpanSummary, std::less<>>;
 
   /// Adds `delta` to counter `name` (created at 0 on first use).
   void add(std::string_view name, long long delta = 1);
@@ -52,25 +65,40 @@ public:
   /// Accumulated timer state; zeroes when never used.
   [[nodiscard]] TimerStat timer(std::string_view name) const;
 
+  /// Sets the exported summary for span `name` (last write wins — span
+  /// summaries come from one profiler snapshot, already aggregated; merge
+  /// profilers with SpanProfiler::absorb *before* exporting).
+  void set_span(std::string_view name, const SpanSummary& summary);
+
+  /// Exported span summary; zeroes when never set.
+  [[nodiscard]] SpanSummary span(std::string_view name) const;
+
   [[nodiscard]] const CounterMap& counters() const noexcept {
     return counters_;
   }
   [[nodiscard]] const GaugeMap& gauges() const noexcept { return gauges_; }
   [[nodiscard]] const TimerMap& timers() const noexcept { return timers_; }
+  [[nodiscard]] const SpanMap& spans() const noexcept { return spans_; }
 
   [[nodiscard]] bool empty() const noexcept {
-    return counters_.empty() && gauges_.empty() && timers_.empty();
+    return counters_.empty() && gauges_.empty() && timers_.empty() &&
+           spans_.empty();
   }
 
-  /// Adds every counter/timer of `other` into this registry; gauges are
-  /// overwritten.  Aggregates per-run registries into one report.
+  /// Adds every counter/timer of `other` into this registry; gauges and
+  /// span summaries are overwritten.  Aggregates per-run registries into
+  /// one report.
   void merge(const MetricsRegistry& other);
 
   void clear();
 
   /// One JSON document:
   ///   {"counters":{...},"gauges":{...},
-  ///    "timers":{"name":{"count":N,"total_ms":X}}}
+  ///    "timers":{"name":{"count":N,"total_ms":X}},
+  ///    "spans":{"name":{"count":N,"total_ms":X,"self_ms":X,
+  ///                     "p50_ms":X,"p95_ms":X,"max_ms":X}}}
+  /// The "spans" member appears only when at least one summary was set, so
+  /// profile-free stats documents keep their historical shape.
   [[nodiscard]] std::string to_json() const;
 
   /// Aligned text table (metric | type | value), one row per metric.
@@ -80,6 +108,7 @@ private:
   CounterMap counters_;
   GaugeMap gauges_;
   TimerMap timers_;
+  SpanMap spans_;
 };
 
 /// Measures a scope on the monotonic clock and folds the elapsed time into a

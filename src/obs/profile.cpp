@@ -1,0 +1,69 @@
+#include "obs/profile.hpp"
+
+#include <set>
+#include <sstream>
+
+#include "obs/json.hpp"
+
+namespace ccs {
+
+std::string chrome_trace_json(const SpanProfiler& profiler) {
+  const std::vector<SpanRecord> records = profiler.records();
+
+  std::ostringstream os;
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  const auto sep = [&] {
+    if (!first) os << ',';
+    first = false;
+  };
+
+  // Metadata rows: a process name plus one thread name per track, so the
+  // Perfetto/chrome://tracing UI labels each worker's lane.
+  std::set<int> tids;
+  for (const SpanRecord& r : records) tids.insert(r.tid);
+  sep();
+  os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+        "\"args\":{\"name\":\"ccsched\"}}";
+  for (const int tid : tids) {
+    sep();
+    os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" << tid
+       << ",\"args\":{\"name\":\"thread-" << tid << "\"}}";
+  }
+
+  for (const SpanRecord& r : records) {
+    sep();
+    os << "{\"name\":\"" << json_escape(r.name) << "\",\"ph\":\"X\",\"ts\":"
+       << json_number(static_cast<double>(r.start_ns) / 1e3)
+       << ",\"dur\":" << json_number(static_cast<double>(r.dur_ns) / 1e3)
+       << ",\"pid\":1,\"tid\":" << r.tid << ",\"args\":{\"depth\":" << r.depth
+       << ",\"self_us\":"
+       << json_number(static_cast<double>(r.self_ns) / 1e3);
+    if (r.attempt >= 0) os << ",\"attempt\":" << r.attempt;
+    os << "}}";
+  }
+  os << "]";
+  if (profiler.dropped() > 0)
+    os << ",\"ccsched_dropped_spans\":" << profiler.dropped();
+  os << "}";
+  return os.str();
+}
+
+void export_span_stats(const SpanProfiler& profiler,
+                       MetricsRegistry& registry) {
+  const auto to_ms = [](std::uint64_t ns) {
+    return static_cast<double>(ns) / 1e6;
+  };
+  for (const auto& [name, stat] : profiler.stats()) {
+    MetricsRegistry::SpanSummary s;
+    s.count = static_cast<long long>(stat.durations.count());
+    s.total_ms = to_ms(stat.durations.total_ns());
+    s.self_ms = to_ms(stat.self_ns);
+    s.p50_ms = to_ms(stat.durations.quantile_ns(0.50));
+    s.p95_ms = to_ms(stat.durations.quantile_ns(0.95));
+    s.max_ms = to_ms(stat.durations.max_ns());
+    registry.set_span(name, s);
+  }
+}
+
+}  // namespace ccs

@@ -1,0 +1,490 @@
+#include "obs/report.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <cstdlib>
+#include <limits>
+#include <sstream>
+#include <string_view>
+
+#include "obs/json.hpp"
+#include "util/text_table.hpp"
+
+namespace ccs {
+
+namespace {
+
+// ---------------------------------------------------------------- parser
+//
+// A tiny recursive-descent JSON reader, just strict enough for the
+// documents this layer itself writes.  No exceptions: errors set a message
+// and unwind via the `ok` flag.  Depth-limited so hostile input cannot
+// blow the stack.
+
+constexpr int kMaxDepth = 64;
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  double number = 0.0;
+  bool boolean = false;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  [[nodiscard]] const JsonValue* find(const std::string& key) const {
+    for (const auto& [k, v] : object)
+      if (k == key) return &v;
+    return nullptr;
+  }
+};
+
+class JsonReader {
+public:
+  explicit JsonReader(const std::string& text) : text_(text) {}
+
+  bool parse(JsonValue& out, std::string& error) {
+    const bool ok = value(out, 0);
+    if (!ok) {
+      error = error_.empty() ? "malformed JSON" : error_;
+      return false;
+    }
+    skip_ws();
+    if (pos_ != text_.size()) {
+      error = at("trailing data after the JSON document");
+      return false;
+    }
+    return true;
+  }
+
+private:
+  std::string at(const std::string& what) {
+    std::ostringstream os;
+    os << what << " (byte " << pos_ << ")";
+    return os.str();
+  }
+
+  bool fail(const std::string& what) {
+    if (error_.empty()) error_ = at(what);
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool literal(std::string_view word) {
+    if (text_.compare(pos_, word.size(), word) != 0)
+      return fail("unrecognized token");
+    pos_ += word.size();
+    return true;
+  }
+
+  bool string_token(std::string& out) {
+    if (pos_ >= text_.size() || text_[pos_] != '"')
+      return fail("expected a string");
+    ++pos_;
+    out.clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u':
+          // Code points beyond ASCII are not needed for metric names;
+          // decode the escape length and substitute.
+          if (pos_ + 4 > text_.size()) return fail("truncated \\u escape");
+          pos_ += 4;
+          out += '?';
+          break;
+        default: return fail("invalid escape sequence");
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  bool value(JsonValue& out, int depth) {
+    if (depth > kMaxDepth) return fail("nesting too deep");
+    skip_ws();
+    if (pos_ >= text_.size()) return fail("unexpected end of document");
+    const char c = text_[pos_];
+    if (c == '{') return object(out, depth);
+    if (c == '[') return array(out, depth);
+    if (c == '"') {
+      out.kind = JsonValue::Kind::kString;
+      return string_token(out.string);
+    }
+    if (c == 't') {
+      out.kind = JsonValue::Kind::kBool;
+      out.boolean = true;
+      return literal("true");
+    }
+    if (c == 'f') {
+      out.kind = JsonValue::Kind::kBool;
+      out.boolean = false;
+      return literal("false");
+    }
+    if (c == 'n') return literal("null");
+    return number(out);
+  }
+
+  bool number(JsonValue& out) {
+    const char* begin = text_.c_str() + pos_;
+    char* end = nullptr;
+    const double v = std::strtod(begin, &end);
+    if (end == begin) return fail("expected a value");
+    out.kind = JsonValue::Kind::kNumber;
+    out.number = v;
+    pos_ += static_cast<std::size_t>(end - begin);
+    return true;
+  }
+
+  bool object(JsonValue& out, int depth) {
+    out.kind = JsonValue::Kind::kObject;
+    ++pos_;  // '{'
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      std::string key;
+      if (!string_token(key)) return false;
+      skip_ws();
+      if (pos_ >= text_.size() || text_[pos_] != ':')
+        return fail("expected ':' after object key");
+      ++pos_;
+      JsonValue member;
+      if (!value(member, depth + 1)) return false;
+      out.object.emplace_back(std::move(key), std::move(member));
+      skip_ws();
+      if (pos_ >= text_.size()) return fail("unterminated object");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      return fail("expected ',' or '}' in object");
+    }
+  }
+
+  bool array(JsonValue& out, int depth) {
+    out.kind = JsonValue::Kind::kArray;
+    ++pos_;  // '['
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      JsonValue element;
+      if (!value(element, depth + 1)) return false;
+      out.array.push_back(std::move(element));
+      skip_ws();
+      if (pos_ >= text_.size()) return fail("unterminated array");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      return fail("expected ',' or ']' in array");
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+  std::string error_;
+};
+
+// --------------------------------------------------------------- flatten
+
+void flatten(const JsonValue& v, const std::string& prefix,
+             FlatMetrics& out) {
+  switch (v.kind) {
+    case JsonValue::Kind::kNumber:
+      if (!prefix.empty()) out.values[prefix] = v.number;
+      return;
+    case JsonValue::Kind::kBool:
+      if (!prefix.empty()) out.values[prefix] = v.boolean ? 1.0 : 0.0;
+      return;
+    case JsonValue::Kind::kObject:
+      for (const auto& [key, member] : v.object)
+        flatten(member, prefix.empty() ? key : prefix + "." + key, out);
+      return;
+    case JsonValue::Kind::kArray:
+      for (std::size_t i = 0; i < v.array.size(); ++i) {
+        const JsonValue& element = v.array[i];
+        std::string segment = std::to_string(i);
+        // Arrays of named objects (google-benchmark "benchmarks") key by
+        // name, so runs with reordered entries still line up in a diff.
+        if (element.kind == JsonValue::Kind::kObject) {
+          const JsonValue* name = element.find("name");
+          if (name != nullptr && name->kind == JsonValue::Kind::kString &&
+              !name->string.empty())
+            segment = name->string;
+        }
+        flatten(element, prefix.empty() ? segment : prefix + "." + segment,
+                out);
+      }
+      return;
+    default:
+      return;  // strings/null carry no numeric signal
+  }
+}
+
+/// Chrome-trace profiles aggregate per span name instead of flattening
+/// events positionally (a timeline diff per event index is meaningless).
+void flatten_trace_events(const JsonValue& events, FlatMetrics& out) {
+  struct Agg {
+    double count = 0, total_us = 0, self_us = 0;
+  };
+  std::map<std::string, Agg> by_name;
+  for (const JsonValue& e : events.array) {
+    if (e.kind != JsonValue::Kind::kObject) continue;
+    const JsonValue* ph = e.find("ph");
+    if (ph == nullptr || ph->string != "X") continue;  // skip metadata rows
+    const JsonValue* name = e.find("name");
+    if (name == nullptr || name->kind != JsonValue::Kind::kString) continue;
+    Agg& agg = by_name[name->string];
+    agg.count += 1;
+    const JsonValue* dur = e.find("dur");
+    if (dur != nullptr && dur->kind == JsonValue::Kind::kNumber)
+      agg.total_us += dur->number;
+    const JsonValue* args = e.find("args");
+    if (args != nullptr && args->kind == JsonValue::Kind::kObject) {
+      const JsonValue* self = args->find("self_us");
+      if (self != nullptr && self->kind == JsonValue::Kind::kNumber)
+        agg.self_us += self->number;
+    }
+  }
+  for (const auto& [name, agg] : by_name) {
+    out.values["profile." + name + ".count"] = agg.count;
+    out.values["profile." + name + ".total_ms"] = agg.total_us / 1e3;
+    out.values["profile." + name + ".self_ms"] = agg.self_us / 1e3;
+  }
+}
+
+/// "timers.time.remap.total_ms" -> category "timers", rest
+/// "time.remap.total_ms".
+std::string_view category_of(std::string_view path) {
+  const std::size_t dot = path.find('.');
+  return dot == std::string_view::npos ? path : path.substr(0, dot);
+}
+
+std::string format_value(double v) {
+  // Integers print bare; everything else like the JSON exporters.
+  if (std::abs(v) < 1e15 && v == std::floor(v)) {
+    std::ostringstream os;
+    os << static_cast<long long>(v);
+    return os.str();
+  }
+  return json_number(v);
+}
+
+std::string format_pct(double pct) {
+  // Percentages are read by humans scanning a table: one decimal place.
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(1) << pct;
+  return os.str();
+}
+
+}  // namespace
+
+bool flatten_metrics_json(const std::string& text, FlatMetrics& out,
+                          std::string& error) {
+  JsonValue root;
+  JsonReader reader(text);
+  if (!reader.parse(root, error)) return false;
+  if (root.kind != JsonValue::Kind::kObject) {
+    error = "expected a top-level JSON object";
+    return false;
+  }
+  const JsonValue* events = root.find("traceEvents");
+  if (events != nullptr && events->kind == JsonValue::Kind::kArray) {
+    flatten_trace_events(*events, out);
+    return true;
+  }
+  flatten(root, "", out);
+  return true;
+}
+
+std::string render_hot_path_report(const FlatMetrics& m) {
+  struct Row {
+    std::string name;
+    double self_ms = 0, total_ms = 0, count = 0, p95_ms = -1;
+  };
+  std::vector<Row> rows;
+
+  const auto lookup = [&m](const std::string& key, double fallback) {
+    const auto it = m.values.find(key);
+    return it != m.values.end() ? it->second : fallback;
+  };
+
+  for (const char* source : {"profile.", "spans."}) {
+    if (!rows.empty()) break;
+    const std::string prefix(source);
+    const std::string suffix = ".self_ms";
+    for (const auto& [key, value] : m.values) {
+      if (key.rfind(prefix, 0) != 0 || key.size() <= suffix.size() ||
+          key.compare(key.size() - suffix.size(), suffix.size(), suffix) != 0)
+        continue;
+      const std::string base =
+          key.substr(0, key.size() - suffix.size());  // prefix + span name
+      Row row;
+      row.name = base.substr(prefix.size());
+      row.self_ms = value;
+      row.total_ms = lookup(base + ".total_ms", 0.0);
+      row.count = lookup(base + ".count", 0.0);
+      row.p95_ms = lookup(base + ".p95_ms", -1.0);
+      rows.push_back(std::move(row));
+    }
+  }
+  if (rows.empty()) {
+    // No span attribution: fall back to the coarse stage timers.
+    const std::string prefix = "timers.";
+    const std::string suffix = ".total_ms";
+    for (const auto& [key, value] : m.values) {
+      if (key.rfind(prefix, 0) != 0 || key.size() <= suffix.size() ||
+          key.compare(key.size() - suffix.size(), suffix.size(), suffix) != 0)
+        continue;
+      const std::string base = key.substr(0, key.size() - suffix.size());
+      Row row;
+      row.name = base.substr(prefix.size());
+      row.self_ms = value;  // timers have no nesting: self == total
+      row.total_ms = value;
+      row.count = lookup(base + ".count", 0.0);
+      rows.push_back(std::move(row));
+    }
+  }
+  if (rows.empty())
+    return "no span or timer data in this document; record one with "
+           "--profile or --stats\n";
+
+  std::stable_sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
+    return a.self_ms > b.self_ms;
+  });
+
+  double grand_self = 0;
+  for (const Row& r : rows) grand_self += r.self_ms;
+
+  TextTable t;
+  t.set_header({"span", "self ms", "self %", "total ms", "count", "p95 ms"});
+  for (const Row& r : rows) {
+    const double share =
+        grand_self > 0 ? 100.0 * r.self_ms / grand_self : 0.0;
+    t.add_row({r.name, json_number(r.self_ms), format_pct(share),
+               json_number(r.total_ms), format_value(r.count),
+               r.p95_ms < 0 ? std::string("-") : json_number(r.p95_ms)});
+  }
+  std::ostringstream os;
+  os << "hot path (by self time):\n" << t.to_string();
+  return os.str();
+}
+
+DiffResult diff_metrics(const FlatMetrics& before, const FlatMetrics& after,
+                        const DiffOptions& options) {
+  std::vector<std::string> gated_categories;
+  {
+    std::istringstream ls(options.gate);
+    std::string tok;
+    while (std::getline(ls, tok, ','))
+      if (!tok.empty()) gated_categories.push_back(tok);
+  }
+  const auto gated = [&](std::string_view path) {
+    for (const std::string& cat : gated_categories)
+      if (cat == "all" || category_of(path) == cat) return true;
+    return false;
+  };
+
+  DiffResult result;
+  auto bi = before.values.begin();
+  auto ai = after.values.begin();
+  const auto push = [&](const std::string& name, double b, double a) {
+    if (b == a) return;
+    MetricDelta d;
+    d.name = name;
+    d.before = b;
+    d.after = a;
+    d.pct = b != 0.0 ? 100.0 * (a - b) / std::abs(b)
+                     : (a > 0.0 ? std::numeric_limits<double>::infinity()
+                                : -std::numeric_limits<double>::infinity());
+    d.gated = gated(name);
+    d.regression = d.gated && a > b && d.pct >= options.threshold_pct;
+    result.regressed |= d.regression;
+    result.deltas.push_back(std::move(d));
+  };
+  while (bi != before.values.end() || ai != after.values.end()) {
+    if (ai == after.values.end() ||
+        (bi != before.values.end() && bi->first < ai->first)) {
+      push(bi->first, bi->second, 0.0);  // removed
+      ++bi;
+    } else if (bi == before.values.end() || ai->first < bi->first) {
+      push(ai->first, 0.0, ai->second);  // added
+      ++ai;
+    } else {
+      push(bi->first, bi->second, ai->second);
+      ++bi;
+      ++ai;
+    }
+  }
+  return result;
+}
+
+std::string render_diff(const DiffResult& diff, const DiffOptions& options) {
+  std::ostringstream os;
+  if (diff.deltas.empty()) {
+    os << "no metric changes\n";
+    return os.str();
+  }
+  TextTable t;
+  t.set_header({"metric", "before", "after", "delta %", ""});
+  for (const MetricDelta& d : diff.deltas) {
+    std::string pct;
+    if (std::isinf(d.pct)) {
+      pct = d.pct > 0 ? "new" : "gone";
+    } else {
+      pct = format_pct(d.pct);
+    }
+    t.add_row({d.name, format_value(d.before), format_value(d.after), pct,
+               d.regression ? "REGRESSION" : (d.gated ? "" : "ungated")});
+  }
+  os << t.to_string();
+  std::size_t regressions = 0;
+  for (const MetricDelta& d : diff.deltas)
+    if (d.regression) ++regressions;
+  if (regressions > 0) {
+    os << "verdict: " << regressions << " regression(s) at threshold "
+       << json_number(options.threshold_pct) << "%\n";
+  } else {
+    os << "verdict: no regressions at threshold "
+       << json_number(options.threshold_pct) << "%\n";
+  }
+  return os.str();
+}
+
+}  // namespace ccs

@@ -1,0 +1,189 @@
+// ccsched — hierarchical span profiling for the scheduling pipeline.
+//
+// A span is one timed scope of pipeline work ("compact.pass", "remap.target",
+// "portfolio.attempt") opened and closed by the RAII ObsSpan guard.  Spans
+// nest: each thread keeps an implicit stack, so a closed span knows its depth
+// and how much of its wall time was spent in child spans — the exporter can
+// therefore attribute *self* time, which is what a hot-path breakdown needs.
+//
+// Design rules (the same contract as obs/trace.hpp):
+//  * Zero overhead when disabled.  A null SpanProfiler makes ObsSpan a
+//    no-op: one pointer test in the constructor, one in the destructor, no
+//    clock reads, no allocation.
+//  * Closed spans fold into fixed log2-bucket histograms (SpanHistogram):
+//    recording is lock-protected but allocation-free in steady state, and
+//    per-evaluation hot loops (AN bounds) accumulate into a *local*
+//    histogram and fold it into the profiler once per call.
+//  * Thread identity is a dense process-wide index (span_thread_index), not
+//    the opaque std::thread::id, so exporters get small stable track ids.
+//  * All timestamps share one process-wide monotonic epoch, so records from
+//    per-worker profilers merged via absorb() stay on one timeline.
+//
+// The export formats (Chrome trace_event JSON, per-span stats) live in
+// obs/profile.hpp; the model is documented in docs/OBSERVABILITY.md.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ccs {
+
+class Tracer;
+
+/// Dense 0-based index of the calling thread, assigned on first use and
+/// stable for the thread's lifetime.  Process-wide, so profiler merges never
+/// collide two threads onto one track.
+[[nodiscard]] int span_thread_index() noexcept;
+
+/// Nanoseconds since the process-wide profiling epoch (the first call in
+/// the process), read from the monotonic clock.
+[[nodiscard]] std::uint64_t span_now_ns() noexcept;
+
+/// One closed span, ready for export.
+struct SpanRecord {
+  std::string name;
+  std::uint64_t start_ns = 0;  ///< Offset from the process profiling epoch.
+  std::uint64_t dur_ns = 0;    ///< Wall time of the whole scope.
+  std::uint64_t self_ns = 0;   ///< dur_ns minus time spent in child spans.
+  int tid = 0;                 ///< span_thread_index() of the opening thread.
+  int attempt = -1;            ///< Portfolio attempt tag; -1 outside one.
+  int depth = 0;               ///< Nesting depth on the opening thread.
+};
+
+/// Fixed-size power-of-two duration histogram: 64 log2 buckets, so add()
+/// never allocates and merge() is a vector sum.  Quantiles are approximate
+/// (resolved to the bucket's upper bound), which is exactly good enough for
+/// a p50/p95 hot-path summary.
+class SpanHistogram {
+public:
+  static constexpr int kBuckets = 64;
+
+  void add(std::uint64_t ns) noexcept {
+    int b = 0;
+    for (std::uint64_t v = ns; v != 0; v >>= 1) ++b;
+    if (b >= kBuckets) b = kBuckets - 1;
+    ++bins_[static_cast<std::size_t>(b)];
+    ++count_;
+    total_ns_ += ns;
+    if (ns > max_ns_) max_ns_ = ns;
+  }
+
+  void merge(const SpanHistogram& other) noexcept {
+    for (std::size_t b = 0; b < kBuckets; ++b) bins_[b] += other.bins_[b];
+    count_ += other.count_;
+    total_ns_ += other.total_ns_;
+    if (other.max_ns_ > max_ns_) max_ns_ = other.max_ns_;
+  }
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] std::uint64_t total_ns() const noexcept { return total_ns_; }
+  [[nodiscard]] std::uint64_t max_ns() const noexcept { return max_ns_; }
+
+  /// Approximate q-quantile (q in [0, 1]) as the upper bound of the bucket
+  /// holding the q-th sample; 0 when empty.  Never exceeds max_ns().
+  [[nodiscard]] std::uint64_t quantile_ns(double q) const noexcept;
+
+private:
+  std::array<std::uint64_t, kBuckets> bins_{};
+  std::uint64_t count_ = 0;
+  std::uint64_t total_ns_ = 0;
+  std::uint64_t max_ns_ = 0;
+};
+
+/// Aggregated per-name statistics: the duration histogram plus accumulated
+/// self time.
+struct SpanStat {
+  SpanHistogram durations;
+  std::uint64_t self_ns = 0;
+};
+
+/// Collects closed spans and per-name aggregates.  Thread-safe: workers and
+/// the process-global hook may record concurrently; every mutation takes the
+/// internal mutex (spans are scope-grained, not per-iteration-grained, so
+/// the lock is cold).  Not copyable or movable — pass pointers.
+class SpanProfiler {
+public:
+  /// Full record streams are capped so a pathological run cannot exhaust
+  /// memory; aggregates keep counting past the cap and dropped() reports
+  /// how many timeline entries were discarded.
+  static constexpr std::size_t kMaxRecords = 1u << 20;
+
+  SpanProfiler() = default;
+  SpanProfiler(const SpanProfiler&) = delete;
+  SpanProfiler& operator=(const SpanProfiler&) = delete;
+
+  /// Tags every span closed against this profiler with a portfolio attempt
+  /// index; negative (the default) clears the tag.
+  void set_attempt(int attempt) noexcept {
+    attempt_.store(attempt, std::memory_order_relaxed);
+  }
+  [[nodiscard]] int attempt() const noexcept {
+    return attempt_.load(std::memory_order_relaxed);
+  }
+
+  /// Folds one closed span into the timeline and the per-name aggregate.
+  void record(SpanRecord&& r);
+
+  /// Folds a locally-accumulated histogram (hot loops: one fold per call,
+  /// not per evaluation).  Leaf work: self time equals total time.
+  void fold(std::string_view name, const SpanHistogram& hist);
+
+  /// Appends `other`'s records and aggregates.  The portfolio engine calls
+  /// this in attempt order after the workers join, so the merged timeline
+  /// and stats are independent of completion order.
+  void absorb(const SpanProfiler& other);
+
+  /// Snapshots for the exporters (obs/profile.hpp) and tests.
+  [[nodiscard]] std::vector<SpanRecord> records() const;
+  [[nodiscard]] std::map<std::string, SpanStat, std::less<>> stats() const;
+  [[nodiscard]] std::size_t dropped() const;
+  [[nodiscard]] bool empty() const;
+
+  /// Process-global profiler hook for layers that predate ObsContext
+  /// threading (RouteCache, the certifier): set_process() installs a
+  /// profiler (returning the previous one, for RAII restore), process()
+  /// reads it.  Null by default, so uninstrumented processes pay one
+  /// relaxed atomic load per site.
+  static SpanProfiler* process() noexcept;
+  static SpanProfiler* set_process(SpanProfiler* profiler) noexcept;
+
+private:
+  mutable std::mutex mu_;
+  std::vector<SpanRecord> records_;
+  std::map<std::string, SpanStat, std::less<>> stats_;
+  std::size_t dropped_ = 0;
+  std::atomic<int> attempt_{-1};
+};
+
+/// RAII span scope.  Construction with a null profiler is fully inert; with
+/// a live profiler the guard reads the monotonic clock, pushes itself on the
+/// calling thread's span stack, and on destruction records a SpanRecord
+/// (and, when a tracer was supplied, emits span_begin/span_end trace
+/// events).  Spans must be closed on the thread that opened them.
+class ObsSpan {
+public:
+  ObsSpan(SpanProfiler* profiler, std::string_view name,
+          Tracer* tracer = nullptr);
+  ~ObsSpan();
+
+  ObsSpan(const ObsSpan&) = delete;
+  ObsSpan& operator=(const ObsSpan&) = delete;
+
+private:
+  SpanProfiler* profiler_;
+  Tracer* tracer_;
+  ObsSpan* parent_ = nullptr;
+  std::string name_;
+  std::uint64_t start_ns_ = 0;
+  std::uint64_t child_ns_ = 0;
+  int tid_ = 0;
+  int depth_ = 0;
+};
+
+}  // namespace ccs

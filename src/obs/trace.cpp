@@ -147,4 +147,25 @@ void Tracer::emit(const BudgetEvent& e) {
                    .close());
 }
 
+void Tracer::emit(const SpanBeginEvent& e) {
+  if (!sink_) return;
+  sink_->write(header(seq_++, attempt_, "span_begin")
+                   .field("name", e.name)
+                   .field("tid", e.tid)
+                   .field("depth", e.depth)
+                   .field("ts_ns", static_cast<unsigned long long>(e.ts_ns))
+                   .close());
+}
+
+void Tracer::emit(const SpanEndEvent& e) {
+  if (!sink_) return;
+  sink_->write(header(seq_++, attempt_, "span_end")
+                   .field("name", e.name)
+                   .field("tid", e.tid)
+                   .field("depth", e.depth)
+                   .field("ts_ns", static_cast<unsigned long long>(e.ts_ns))
+                   .field("dur_ns", static_cast<unsigned long long>(e.dur_ns))
+                   .close());
+}
+
 }  // namespace ccs

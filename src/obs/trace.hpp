@@ -164,6 +164,27 @@ struct BudgetEvent {
   int best_length = 0;  ///< Best length at the stop.
 };
 
+/// A profiler span opened (obs/span.hpp).  Emitted only when a span
+/// profiler is active alongside the tracer; timestamps are monotonic
+/// nanoseconds from the process profiling epoch, so these events are
+/// excluded from deterministic replay (analysis/certify.cpp).
+struct SpanBeginEvent {
+  std::string name;
+  int tid = 0;    ///< span_thread_index() of the opening thread.
+  int depth = 0;  ///< Nesting depth on that thread.
+  std::uint64_t ts_ns = 0;
+};
+
+/// The matching span closed.  `ts_ns` is the close timestamp; `dur_ns` the
+/// wall time of the whole scope.
+struct SpanEndEvent {
+  std::string name;
+  int tid = 0;
+  int depth = 0;
+  std::uint64_t ts_ns = 0;
+  std::uint64_t dur_ns = 0;
+};
+
 // --- Tracer -----------------------------------------------------------------
 
 /// Serializes typed events to a sink as JSON Lines.  Default-constructed
@@ -205,6 +226,8 @@ public:
   void emit(const FaultEvent& e);
   void emit(const RepairEvent& e);
   void emit(const BudgetEvent& e);
+  void emit(const SpanBeginEvent& e);
+  void emit(const SpanEndEvent& e);
 
 private:
   TraceSink* sink_ = nullptr;

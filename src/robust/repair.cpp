@@ -97,6 +97,7 @@ RepairOutcome repair_schedule(const Csdfg& g,
                               const ObsContext& obs) {
   g.require_legal();
   const ScopedTimer timer(obs.metrics, "time.repair");
+  const ObsSpan repair_span = obs.span("repair");
 
   RepairOutcome out;
   out.graph = g;
@@ -156,6 +157,7 @@ RepairOutcome repair_schedule(const Csdfg& g,
 
     // --- rung 0: keep the survivors, remap only the orphans ---------------
     {
+      const ObsSpan rung_span = obs.span("repair.remap");
       ScheduleTable base = empty_table(baseline.retimed_graph,
                                        rm.topo->size(), speeds,
                                        options.pipelined_pes);
@@ -215,6 +217,9 @@ RepairOutcome repair_schedule(const Csdfg& g,
     };
     for (const auto& [rung, policy] : recompact) {
       if (out.success) break;
+      const ObsSpan rung_span =
+          obs.span(std::string("repair.") +
+                   std::string(repair_rung_name(rung)));
       CycloCompactionOptions copts = options.compaction;
       copts.policy = policy;
       copts.startup.pipelined_pes = options.pipelined_pes;
@@ -241,6 +246,7 @@ RepairOutcome repair_schedule(const Csdfg& g,
 
     // --- rung 3: plain start-up schedule, no compaction -------------------
     if (!out.success) {
+      const ObsSpan rung_span = obs.span("repair.list-schedule");
       StartUpOptions sopts = options.compaction.startup;
       sopts.pipelined_pes = options.pipelined_pes;
       sopts.pe_speeds = speeds;
@@ -269,6 +275,7 @@ RepairOutcome repair_schedule(const Csdfg& g,
 
   // --- rung 4: serialize everything on one surviving processor ------------
   if (!out.success && rm.survivors() > 0) {
+    const ObsSpan rung_span = obs.span("repair.serial");
     const PeId host = rm.to_original.front();
     const Topology serial(1, {}, false,
                           "serial(p" + std::to_string(host) + ")");

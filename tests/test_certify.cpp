@@ -108,7 +108,7 @@ TEST(CertifyCorpus, CorpusAndUnitTestsCoverEveryScheduleRule) {
   for (const std::string file : kCorpus) covered.insert(expected_code(file));
   // Run-level and trace-level codes are pinned by the unit tests below.
   for (const char* code : {"CCS-S009", "CCS-S010", "CCS-S011", "CCS-S012",
-                           "CCS-S013"})
+                           "CCS-S013", "CCS-S014"})
     covered.insert(code);
   for (const LintRule& r : all_rules()) {
     if (r.code.rfind("CCS-S", 0) != 0) continue;
@@ -330,6 +330,89 @@ TEST(CertifyTrace, StrictPolicyRejectsGrowth) {
   DiagnosticBag relaxed;
   EXPECT_TRUE(audit_trace(trace, "<trace>", false, relaxed))
       << render_text(relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Span structure audits (CCS-S014).  Span events ride the same stream as
+// pipeline events; the audit checks per-thread begin/end nesting and
+// timestamp monotonicity without replaying the wall-clock values.
+
+std::size_t count_code(const DiagnosticBag& bag, const std::string& code) {
+  std::size_t n = 0;
+  for (const Diagnostic& d : bag.diagnostics()) n += d.code == code;
+  return n;
+}
+
+TEST(CertifyTrace, WellFormedSpansAuditClean) {
+  const std::string trace =
+      "{\"seq\":0,\"kind\":\"span_begin\",\"name\":\"compact\",\"tid\":0,"
+      "\"depth\":0,\"ts_ns\":10}\n"
+      "{\"seq\":1,\"kind\":\"span_begin\",\"name\":\"compact.pass\","
+      "\"tid\":0,\"depth\":1,\"ts_ns\":20}\n"
+      "{\"seq\":2,\"kind\":\"span_end\",\"name\":\"compact.pass\",\"tid\":0,"
+      "\"depth\":1,\"ts_ns\":30,\"dur_ns\":10}\n"
+      "{\"seq\":3,\"kind\":\"span_end\",\"name\":\"compact\",\"tid\":0,"
+      "\"depth\":0,\"ts_ns\":40,\"dur_ns\":30}\n";
+  DiagnosticBag bag;
+  EXPECT_TRUE(audit_trace(trace, "<trace>", false, bag)) << render_text(bag);
+}
+
+TEST(CertifyTrace, UnterminatedSpanScopeIsFlagged) {
+  const std::string trace =
+      "{\"seq\":0,\"kind\":\"span_begin\",\"name\":\"compact\",\"tid\":0,"
+      "\"depth\":0,\"ts_ns\":10}\n";
+  DiagnosticBag bag;
+  EXPECT_FALSE(audit_trace(trace, "<trace>", false, bag));
+  bag.finalize();
+  EXPECT_EQ(count_code(bag, "CCS-S014"), 1u) << render_text(bag);
+}
+
+TEST(CertifyTrace, OutOfOrderSpanTimestampIsFlagged) {
+  const std::string trace =
+      "{\"seq\":0,\"kind\":\"span_begin\",\"name\":\"remap\",\"tid\":2,"
+      "\"depth\":0,\"ts_ns\":100}\n"
+      "{\"seq\":1,\"kind\":\"span_end\",\"name\":\"remap\",\"tid\":2,"
+      "\"depth\":0,\"ts_ns\":50,\"dur_ns\":5}\n";
+  DiagnosticBag bag;
+  EXPECT_FALSE(audit_trace(trace, "<trace>", false, bag));
+  bag.finalize();
+  EXPECT_GE(count_code(bag, "CCS-S014"), 1u) << render_text(bag);
+}
+
+TEST(CertifyTrace, SpanEndOnUnknownThreadTagIsFlagged) {
+  const std::string trace =
+      "{\"seq\":0,\"kind\":\"span_end\",\"name\":\"remap\",\"tid\":7,"
+      "\"depth\":0,\"ts_ns\":50,\"dur_ns\":5}\n";
+  DiagnosticBag bag;
+  EXPECT_FALSE(audit_trace(trace, "<trace>", false, bag));
+  bag.finalize();
+  EXPECT_EQ(count_code(bag, "CCS-S014"), 1u) << render_text(bag);
+}
+
+TEST(CertifyTrace, MisnestedSpanNameIsFlagged) {
+  const std::string trace =
+      "{\"seq\":0,\"kind\":\"span_begin\",\"name\":\"compact\",\"tid\":0,"
+      "\"depth\":0,\"ts_ns\":10}\n"
+      "{\"seq\":1,\"kind\":\"span_begin\",\"name\":\"remap\",\"tid\":0,"
+      "\"depth\":1,\"ts_ns\":20}\n"
+      "{\"seq\":2,\"kind\":\"span_end\",\"name\":\"compact\",\"tid\":0,"
+      "\"depth\":1,\"ts_ns\":30,\"dur_ns\":10}\n";
+  DiagnosticBag bag;
+  EXPECT_FALSE(audit_trace(trace, "<trace>", false, bag));
+  bag.finalize();
+  EXPECT_GE(count_code(bag, "CCS-S014"), 1u) << render_text(bag);
+}
+
+TEST(CertifyTrace, SpanEventMissingFieldsIsFlagged) {
+  // No tid / ts_ns, and a negative thread tag: both malformed.
+  const std::string trace =
+      "{\"seq\":0,\"kind\":\"span_begin\",\"name\":\"compact\"}\n"
+      "{\"seq\":1,\"kind\":\"span_begin\",\"name\":\"remap\",\"tid\":-1,"
+      "\"ts_ns\":10}\n";
+  DiagnosticBag bag;
+  EXPECT_FALSE(audit_trace(trace, "<trace>", false, bag));
+  bag.finalize();
+  EXPECT_EQ(count_code(bag, "CCS-S014"), 2u) << render_text(bag);
 }
 
 // ---------------------------------------------------------------------------

@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/certify.hpp"
 #include "analysis/diagnostics.hpp"
 #include "io/schedule_format.hpp"
 #include "io/text_format.hpp"
@@ -41,6 +42,13 @@ void expect_survives(const std::string& text, const std::string& label) {
   } catch (const Error&) {
     // ParseError/ArchitectureError with a structured message: acceptable.
   }
+  {
+    // The trace auditor (including the span-structure checks) must report
+    // CCS-S013/S014 findings on hostile JSONL, never crash.
+    DiagnosticBag bag;
+    (void)audit_trace(text, label, false, bag);
+    bag.finalize();
+  }
 }
 
 TEST(GarbageCorpus, TruncatedFiles) {
@@ -57,6 +65,39 @@ TEST(GarbageCorpus, TruncatedFiles) {
       "jitter C",
   };
   for (const std::string& text : corpus) expect_survives(text, "<trunc>");
+}
+
+TEST(GarbageCorpus, HostileSpanEventStreams) {
+  // Structurally absurd span JSONL must produce findings, not crashes:
+  // huge depths/timestamps, duplicate ends, interleaved threads, and a
+  // span_begin flood with no ends.
+  const std::vector<std::string> corpus = {
+      "{\"seq\":0,\"kind\":\"span_begin\",\"name\":\"x\",\"tid\":"
+      "99999999999999999999,\"ts_ns\":1}\n",
+      "{\"seq\":0,\"kind\":\"span_end\",\"name\":\"\",\"tid\":0,"
+      "\"ts_ns\":-99999999999999999999}\n",
+      "{\"seq\":0,\"kind\":\"span_begin\",\"name\":\"a\",\"tid\":0,"
+      "\"ts_ns\":5}\n"
+      "{\"seq\":1,\"kind\":\"span_end\",\"name\":\"a\",\"tid\":0,"
+      "\"ts_ns\":6}\n"
+      "{\"seq\":2,\"kind\":\"span_end\",\"name\":\"a\",\"tid\":0,"
+      "\"ts_ns\":7}\n",
+  };
+  for (const std::string& text : corpus) {
+    DiagnosticBag bag;
+    (void)audit_trace(text, "<span-garbage>", false, bag);
+    bag.finalize();
+  }
+  std::string flood;
+  for (int i = 0; i < 1000; ++i)
+    flood += "{\"seq\":" + std::to_string(i) +
+             ",\"kind\":\"span_begin\",\"name\":\"s\",\"tid\":" +
+             std::to_string(i % 7) + ",\"ts_ns\":" + std::to_string(i) +
+             "}\n";
+  DiagnosticBag bag;
+  EXPECT_FALSE(audit_trace(flood, "<span-flood>", false, bag));
+  bag.finalize();
+  EXPECT_GE(bag.count(Severity::kError), 7u);  // one per thread tag
 }
 
 TEST(GarbageCorpus, CrlfAndBomInputsParseLikePlainLf) {

@@ -3,8 +3,10 @@
 // pipeline, and the CLI --trace/--stats round trip.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <chrono>
 #include <fstream>
+#include <map>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -14,9 +16,12 @@
 #include "arch/topology.hpp"
 #include "cli/cli.hpp"
 #include "core/cyclo_compaction.hpp"
+#include "engine/portfolio.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
 #include "obs/obs.hpp"
+#include "obs/profile.hpp"
+#include "obs/span.hpp"
 #include "obs/trace.hpp"
 #include "obs/trace_reader.hpp"
 #include "workloads/library.hpp"
@@ -570,6 +575,390 @@ TEST(TraceReplay, CliReplayModeVerifiesARecordedRun) {
                     in3, out3, err3),
             1);
   EXPECT_NE(out3.str().find("CCS-S012"), std::string::npos) << out3.str();
+}
+
+// ------------------------------------------------------ span profiler
+
+TEST(ObsSpanHistogram, BucketsCountAndApproximateQuantiles) {
+  SpanHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.quantile_ns(0.5), 0u);
+  for (int i = 0; i < 19; ++i) h.add(10);
+  h.add(900);
+  h.add(900);
+  EXPECT_EQ(h.count(), 21u);
+  EXPECT_EQ(h.total_ns(), 19u * 10u + 2u * 900u);
+  EXPECT_EQ(h.max_ns(), 900u);
+  // p50 lands in the [8,16) bucket; log2 resolution bounds it by 2x.
+  EXPECT_GE(h.quantile_ns(0.5), 10u);
+  EXPECT_LE(h.quantile_ns(0.5), 20u);
+  // p95 is the outliers' bucket, clamped by the true max.
+  EXPECT_GE(h.quantile_ns(0.95), 512u);
+  EXPECT_LE(h.quantile_ns(0.95), 900u);
+
+  SpanHistogram other;
+  other.add(1u << 20);
+  h.merge(other);
+  EXPECT_EQ(h.count(), 22u);
+  EXPECT_EQ(h.max_ns(), 1u << 20);
+}
+
+TEST(ObsSpan, NullProfilerIsInert) {
+  const ObsSpan span(nullptr, "never-recorded");
+  ObsContext obs;
+  const ObsSpan via_context = obs.span("also-never");
+  EXPECT_FALSE(obs.profiling());
+}
+
+TEST(ObsSpan, NestedScopesRecordDepthAndSelfTime) {
+  SpanProfiler profiler;
+  {
+    const ObsSpan outer(&profiler, "outer");
+    {
+      const ObsSpan inner(&profiler, "inner");
+    }
+  }
+  const std::vector<SpanRecord> records = profiler.records();
+  ASSERT_EQ(records.size(), 2u);
+  // Records close innermost-first.
+  EXPECT_EQ(records[0].name, "inner");
+  EXPECT_EQ(records[0].depth, 1);
+  EXPECT_EQ(records[1].name, "outer");
+  EXPECT_EQ(records[1].depth, 0);
+  EXPECT_EQ(records[0].tid, records[1].tid);
+  EXPECT_GE(records[1].start_ns + records[1].dur_ns,
+            records[0].start_ns + records[0].dur_ns);
+  // The outer scope's self time excludes the inner scope.
+  EXPECT_LE(records[1].self_ns + records[0].dur_ns, records[1].dur_ns);
+  const auto stats = profiler.stats();
+  ASSERT_EQ(stats.size(), 2u);
+  EXPECT_EQ(stats.at("inner").durations.count(), 1u);
+  EXPECT_EQ(stats.at("outer").durations.count(), 1u);
+}
+
+TEST(ObsSpan, FoldAndAbsorbMergeAggregates) {
+  SpanProfiler a;
+  SpanHistogram local;
+  local.add(5);
+  local.add(7);
+  a.fold("an.eval", local);
+  SpanProfiler b;
+  {
+    const ObsSpan span(&b, "remap");
+  }
+  b.set_attempt(3);
+  {
+    const ObsSpan tagged(&b, "tagged");
+  }
+  a.absorb(b);
+  const auto stats = a.stats();
+  EXPECT_EQ(stats.at("an.eval").durations.count(), 2u);
+  EXPECT_EQ(stats.at("remap").durations.count(), 1u);
+  bool saw_attempt_tag = false;
+  for (const SpanRecord& r : a.records())
+    if (r.name == "tagged") saw_attempt_tag = r.attempt == 3;
+  EXPECT_TRUE(saw_attempt_tag);
+}
+
+TEST(ObsSpan, ProcessHookInstallsAndRestores) {
+  ASSERT_EQ(SpanProfiler::process(), nullptr);
+  SpanProfiler profiler;
+  SpanProfiler* previous = SpanProfiler::set_process(&profiler);
+  EXPECT_EQ(previous, nullptr);
+  {
+    const ObsSpan span(SpanProfiler::process(), "hooked");
+  }
+  EXPECT_EQ(SpanProfiler::set_process(previous), &profiler);
+  EXPECT_EQ(SpanProfiler::process(), nullptr);
+  EXPECT_EQ(profiler.stats().at("hooked").durations.count(), 1u);
+}
+
+TEST(ObsSpanPipeline, InstrumentedCompactionRecordsTheTaxonomy) {
+  const Csdfg g = paper_example6();
+  const Topology topo = make_mesh(2, 2);
+  const StoreAndForwardModel comm(topo);
+  SpanProfiler profiler;
+  ObsContext obs;
+  obs.profiler = &profiler;
+  (void)cyclo_compact(g, topo, comm, {}, obs);
+  const auto stats = profiler.stats();
+  for (const char* name :
+       {"startup.list", "compact", "compact.pass", "remap", "remap.target",
+        "remap.an", "an.eval"})
+    EXPECT_TRUE(stats.count(name) != 0 && stats.at(name).durations.count() > 0)
+        << "missing span " << name;
+  // Nesting: one "compact" root holds every pass.
+  EXPECT_EQ(stats.at("compact").durations.count(), 1u);
+  EXPECT_GE(stats.at("compact.pass").durations.count(), 1u);
+  EXPECT_GE(stats.at("an.eval").durations.count(),
+            stats.at("remap.an").durations.count());
+}
+
+TEST(ObsSpanPipeline, ChromeTraceExportIsWellFormed) {
+  const Csdfg g = paper_example6();
+  const Topology topo = make_mesh(2, 2);
+  const StoreAndForwardModel comm(topo);
+  SpanProfiler profiler;
+  ObsContext obs;
+  obs.profiler = &profiler;
+  (void)cyclo_compact(g, topo, comm, {}, obs);
+  const std::string doc = chrome_trace_json(profiler);
+  std::string one_line = doc;
+  for (char& c : one_line)
+    if (c == '\n') c = ' ';
+  // The whole document is one balanced JSON object with the trace_event
+  // scaffolding: a thread_name metadata row and complete ("X") events.
+  std::string squashed;
+  for (char c : one_line)
+    if (c != ' ') squashed += c;
+  EXPECT_TRUE(looks_like_json_object(squashed)) << doc.substr(0, 200);
+  EXPECT_NE(doc.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(doc.find("\"thread_name\""), std::string::npos);
+  EXPECT_NE(doc.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(doc.find("\"name\":\"compact\""), std::string::npos);
+  EXPECT_NE(doc.find("\"self_us\""), std::string::npos);
+}
+
+// A parallel portfolio run must merge per-worker spans into one consistent
+// stream: attempt-tagged, and structurally well-nested per thread — the
+// trace audit (CCS-S014) is the oracle.  Runs under TSan in CI
+// (tools/check.sh CCSCHED_SANITIZE=thread keeps the Obs suite).
+TEST(ObsSpanPortfolio, ParallelSpansMergeWellFormed) {
+  const Csdfg g = paper_example19();
+  const Topology topo = make_mesh(4, 2);
+  const StoreAndForwardModel comm(topo);
+  VectorSink sink;
+  Tracer tracer(&sink);
+  MetricsRegistry metrics;
+  SpanProfiler profiler;
+  const ObsContext obs{&tracer, &metrics, &profiler};
+  PortfolioOptions opt;
+  opt.jobs = 8;
+  opt.certify_winner = false;
+  const PortfolioResult folio = portfolio_compact(g, topo, comm, opt, obs);
+  EXPECT_GT(folio.winner.best.length(), 0);
+
+  // Every attempt wrapped in a portfolio.attempt span, tagged.
+  const std::vector<SpanRecord> records = profiler.records();
+  ASSERT_FALSE(records.empty());
+  int attempts_seen = 0;
+  for (const SpanRecord& r : records)
+    if (r.name == "portfolio.attempt") {
+      ++attempts_seen;
+      EXPECT_GE(r.attempt, 0);
+    }
+  EXPECT_GT(attempts_seen, 1);
+
+  // The merged stream splices each attempt's lines verbatim (per-attempt
+  // seq spaces), ordered by attempt index.  Group by the attempt tag: each
+  // attempt's sub-stream must pass the structural audit — including the
+  // CCS-S014 span-nesting and timestamp-monotonicity checks.
+  std::map<long long, std::string> by_attempt;
+  long long max_attempt_seen = -1;
+  for (const std::string& line : sink.lines()) {
+    const std::string needle = "\"attempt\":";
+    const auto pos = line.find(needle);
+    if (pos == std::string::npos) continue;  // the caller's own events
+    const long long attempt = std::stoll(line.substr(pos + needle.size()));
+    EXPECT_GE(attempt, max_attempt_seen) << "attempt streams out of order";
+    max_attempt_seen = std::max(max_attempt_seen, attempt);
+    by_attempt[attempt] += line + "\n";
+  }
+  EXPECT_GT(by_attempt.size(), 1u);
+  for (const auto& [attempt, text] : by_attempt) {
+    DiagnosticBag bag;
+    EXPECT_TRUE(audit_trace(text, "<attempt>", false, bag))
+        << "attempt " << attempt << '\n'
+        << render_text(bag);
+    EXPECT_NE(text.find("\"kind\":\"span_begin\""), std::string::npos)
+        << "attempt " << attempt;
+  }
+}
+
+// ------------------------------------------------------ profile CLI
+
+TEST(ObsProfileCli, ScheduleProfileRoundTrip) {
+  const std::string dir = ::testing::TempDir();
+  const std::string profile_path = dir + "/obs_profile.trace.json";
+  const std::string stats_path = dir + "/obs_profile_stats.json";
+  const std::string graph =
+      std::string(CCS_EXAMPLES_DATA_DIR) + "/paper_fig1b.csdfg";
+  std::istringstream in;
+  std::ostringstream out, err;
+  const int code =
+      run_cli({"schedule", graph, "--arch", "mesh 2 2", "--quiet",
+               "--profile", profile_path, "--stats", stats_path},
+              in, out, err);
+  ASSERT_EQ(code, 0) << err.str();
+
+  std::ifstream profile(profile_path);
+  ASSERT_TRUE(profile.is_open());
+  std::stringstream buf;
+  buf << profile.rdbuf();
+  const std::string doc = buf.str();
+  EXPECT_NE(doc.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(doc.find("\"thread_name\""), std::string::npos);
+  EXPECT_NE(doc.find("\"name\":\"remap\""), std::string::npos);
+  // The route-table build happens inside the profiled window (the CLI
+  // installs the process hook before constructing the architecture).
+  EXPECT_NE(doc.find("\"name\":\"route."), std::string::npos) << doc.substr(0, 400);
+
+  // The stats document carries the span histograms next to the counters.
+  std::ifstream stats(stats_path);
+  ASSERT_TRUE(stats.is_open());
+  std::stringstream sbuf;
+  sbuf << stats.rdbuf();
+  const std::string sdoc = sbuf.str();
+  EXPECT_NE(sdoc.find("\"spans\""), std::string::npos);
+  for (const char* name : {"remap", "an.eval", "startup.list"})
+    EXPECT_NE(sdoc.find(std::string("\"") + name + "\""), std::string::npos)
+        << name;
+  EXPECT_NE(sdoc.find("\"p50_ms\""), std::string::npos);
+  EXPECT_NE(sdoc.find("\"p95_ms\""), std::string::npos);
+}
+
+TEST(ObsProfileCli, StatsAloneCarriesSpansAndTraceAloneOmitsThem) {
+  const std::string graph =
+      std::string(CCS_EXAMPLES_DATA_DIR) + "/paper_fig1b.csdfg";
+  // --stats - alone: spans present in the JSON on stdout.
+  std::istringstream in1;
+  std::ostringstream out1, err1;
+  ASSERT_EQ(run_cli({"schedule", graph, "--arch", "mesh 2 2", "--stats", "-"},
+                    in1, out1, err1),
+            0)
+      << err1.str();
+  EXPECT_NE(out1.str().find("\"spans\""), std::string::npos);
+
+  // --trace alone: the stream carries no span events, so traces stay
+  // byte-deterministic and replayable.
+  const std::string dir = ::testing::TempDir();
+  const std::string trace_path = dir + "/obs_no_spans.jsonl";
+  std::istringstream in2;
+  std::ostringstream out2, err2;
+  ASSERT_EQ(run_cli({"schedule", graph, "--arch", "mesh 2 2", "--quiet",
+                     "--trace", trace_path},
+                    in2, out2, err2),
+            0)
+      << err2.str();
+  std::ifstream trace(trace_path);
+  std::stringstream buf;
+  buf << trace.rdbuf();
+  EXPECT_EQ(buf.str().find("span_begin"), std::string::npos);
+}
+
+TEST(ObsProfileCli, TraceAndProfileTogetherEmitAuditableSpans) {
+  const std::string dir = ::testing::TempDir();
+  const std::string trace_path = dir + "/obs_spans.jsonl";
+  const std::string graph =
+      std::string(CCS_EXAMPLES_DATA_DIR) + "/paper_fig1b.csdfg";
+  std::istringstream in;
+  std::ostringstream out, err;
+  ASSERT_EQ(run_cli({"schedule", graph, "--arch", "mesh 2 2", "--quiet",
+                     "--trace", trace_path, "--profile", "-"},
+                    in, out, err),
+            0)
+      << err.str();
+  std::ifstream trace(trace_path);
+  std::stringstream buf;
+  buf << trace.rdbuf();
+  const std::string text = buf.str();
+  EXPECT_NE(text.find("\"kind\":\"span_begin\""), std::string::npos);
+  DiagnosticBag bag;
+  EXPECT_TRUE(audit_trace(text, "<trace>", false, bag)) << render_text(bag);
+}
+
+// ------------------------------------------------------ report CLI
+
+TEST(ObsReportCli, HotPathReportFromStatsDocument) {
+  const std::string dir = ::testing::TempDir();
+  const std::string stats_path = dir + "/report_stats.json";
+  const std::string graph =
+      std::string(CCS_EXAMPLES_DATA_DIR) + "/paper_fig1b.csdfg";
+  std::istringstream in1;
+  std::ostringstream out1, err1;
+  ASSERT_EQ(run_cli({"schedule", graph, "--arch", "mesh 2 2", "--quiet",
+                     "--stats", stats_path},
+                    in1, out1, err1),
+            0)
+      << err1.str();
+  std::istringstream in2;
+  std::ostringstream out2, err2;
+  EXPECT_EQ(run_cli({"report", stats_path}, in2, out2, err2), 0) << err2.str();
+  EXPECT_NE(out2.str().find("remap"), std::string::npos) << out2.str();
+  EXPECT_NE(out2.str().find("self"), std::string::npos) << out2.str();
+}
+
+TEST(ObsReportCli, DiffExitCodesGateRegressions) {
+  const std::string dir = ::testing::TempDir();
+  const std::string before = dir + "/report_before.json";
+  const std::string after = dir + "/report_after.json";
+  {
+    std::ofstream f(before);
+    f << "{\"counters\":{\"an.evaluations\":100,\"psl.rejections\":7},"
+         "\"gauges\":{\"schedule.best_length\":5}}";
+  }
+  {
+    std::ofstream f(after);
+    f << "{\"counters\":{\"an.evaluations\":150,\"psl.rejections\":7},"
+         "\"gauges\":{\"schedule.best_length\":5}}";
+  }
+
+  // Identical inputs: exit 0.
+  std::istringstream in1;
+  std::ostringstream out1, err1;
+  EXPECT_EQ(run_cli({"report", "--diff", before, before}, in1, out1, err1), 0)
+      << out1.str() << err1.str();
+
+  // +50% on a gated counter: exit 1 and the delta is named.
+  std::istringstream in2;
+  std::ostringstream out2, err2;
+  EXPECT_EQ(run_cli({"report", "--diff", before, after}, in2, out2, err2), 1);
+  EXPECT_NE(out2.str().find("an.evaluations"), std::string::npos)
+      << out2.str();
+
+  // A generous threshold waives it.
+  std::istringstream in3;
+  std::ostringstream out3, err3;
+  EXPECT_EQ(run_cli({"report", "--diff", before, after, "--threshold", "60"},
+                    in3, out3, err3),
+            0)
+      << out3.str();
+
+  // Gating only timers ignores the counter regression.
+  std::istringstream in4;
+  std::ostringstream out4, err4;
+  EXPECT_EQ(run_cli({"report", "--diff", before, after, "--gate", "timers"},
+                    in4, out4, err4),
+            0)
+      << out4.str();
+
+  // An improvement in the other direction is not a regression.
+  std::istringstream in5;
+  std::ostringstream out5, err5;
+  EXPECT_EQ(run_cli({"report", "--diff", after, before}, in5, out5, err5), 0)
+      << out5.str();
+}
+
+TEST(ObsReportCli, RejectsBadUsage) {
+  std::istringstream in1;
+  std::ostringstream out1, err1;
+  EXPECT_EQ(run_cli({"report"}, in1, out1, err1), 2);
+  std::istringstream in2;
+  std::ostringstream out2, err2;
+  EXPECT_EQ(run_cli({"report", "--threshold", "5", "x.json"}, in2, out2, err2),
+            2);
+  std::istringstream in3;
+  std::ostringstream out3, err3;
+  EXPECT_EQ(run_cli({"report", "--diff", "a.json", "b.json", "--threshold",
+                     "-3"},
+                    in3, out3, err3),
+            2);
+  // A missing file is a runtime failure, not a usage error.
+  std::istringstream in4;
+  std::ostringstream out4, err4;
+  EXPECT_EQ(run_cli({"report", "/nonexistent-dir/metrics.json"}, in4, out4,
+                    err4),
+            1);
 }
 
 }  // namespace

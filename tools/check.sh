@@ -32,6 +32,16 @@ if [[ ",${sanitizers}," == *",thread,"* ]]; then
   # exists to catch.  TSan needs a generous timeout.
   ctest --test-dir "${build_dir}" --output-on-failure --timeout 300 \
     -j "$(nproc)" -R 'Portfolio|RouteCache|Solver|Budget|Obs'
+  # Profiled portfolio smoke: span recording under 8 workers (per-attempt
+  # profilers, attempt-ordered absorb) must be TSan-clean end to end.
+  tsan_tmp="$(mktemp -d)"
+  "${build_dir}/tools/ccsched" schedule \
+    "${repo_root}/examples/data/paper_fig7.csdfg" --arch "mesh 4 2" \
+    --portfolio --jobs 8 --quiet --profile "${tsan_tmp}/profile.json" \
+    > /dev/null
+  grep -q '"traceEvents"' "${tsan_tmp}/profile.json"
+  rm -rf "${tsan_tmp}"
+  echo "profiled portfolio smoke: TSan-clean"
   exit 0
 fi
 
@@ -44,7 +54,13 @@ ctest --test-dir "${build_dir}" --output-on-failure --timeout 60 -j "$(nproc)"
 ccsched="${build_dir}/tools/ccsched"
 echo "== lint smoke gate =="
 for graph in "${repo_root}"/examples/data/*.csdfg; do
-  "${ccsched}" lint "${graph}" --arch "mesh 2 2" --werror
+  arch="mesh 2 2"
+  case "$(basename "${graph}")" in
+    # The 19-node paper workload targets the paper's 8-PE machines; on the
+    # 4-PE gate machine its ASAP width trips CCS-A001 by design.
+    paper_fig7.csdfg) arch="mesh 4 2" ;;
+  esac
+  "${ccsched}" lint "${graph}" --arch "${arch}" --werror
   echo "clean: ${graph}"
 done
 for graph in "${repo_root}"/examples/data/bad/*.csdfg; do
@@ -114,3 +130,35 @@ done
   --arch "mesh 2 2" --faults "${repo_root}/examples/data/failover.faults" \
   --repair --quiet > /dev/null
 echo "failover walkthrough repaired"
+
+# Profile gate (docs/OBSERVABILITY.md): a profiled portfolio run must
+# produce a loadable Chrome trace with span histograms in the stats, the
+# hot-path report must render, and `report --diff` must exit 0 on identical
+# inputs and 1 on a regression — those exit codes are the CI contract, so
+# they are asserted explicitly rather than left to `set -e`.
+echo "== profile gate =="
+"${ccsched}" schedule "${repo_root}/examples/data/paper_fig7.csdfg" \
+  --arch "mesh 4 2" --portfolio --jobs 4 --quiet \
+  --profile "${workdir}/profile.json" --stats "${workdir}/stats.json" \
+  > /dev/null
+grep -q '"traceEvents"' "${workdir}/profile.json"
+grep -q '"thread_name"' "${workdir}/profile.json"
+grep -q '"spans"' "${workdir}/stats.json"
+"${ccsched}" report "${workdir}/stats.json" > /dev/null
+rc=0
+"${ccsched}" report --diff "${workdir}/stats.json" "${workdir}/stats.json" \
+  > /dev/null || rc=$?
+if [ "${rc}" -ne 0 ]; then
+  echo "error: identical stats reported a regression (exit ${rc})" >&2
+  exit 1
+fi
+printf '{"counters":{"an.evaluations":100}}\n' > "${workdir}/before.json"
+printf '{"counters":{"an.evaluations":200}}\n' > "${workdir}/after.json"
+rc=0
+"${ccsched}" report --diff "${workdir}/before.json" "${workdir}/after.json" \
+  > /dev/null || rc=$?
+if [ "${rc}" -ne 1 ]; then
+  echo "error: injected +100% regression exited ${rc}, want 1" >&2
+  exit 1
+fi
+echo "profile + report gates passed"
