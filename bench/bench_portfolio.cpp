@@ -15,6 +15,7 @@
 #include <cstdlib>
 #include <iostream>
 
+#include "analysis/bounds.hpp"
 #include "bench_common.hpp"
 #include "engine/portfolio.hpp"
 #include "workloads/generator.hpp"
@@ -41,23 +42,37 @@ Csdfg scaling_graph(std::size_t nodes) {
 void print_quality_gate() {
   bench::banner("portfolio vs serial, 19-node paper workload (CI gate)");
   const Csdfg g = paper_example19();
-  std::cout << "architecture        serial  portfolio  winner\n";
+  std::cout << "architecture        serial  portfolio  bound  gap  winner\n";
   for (const Topology& topo : bench::paper_architectures()) {
     const StoreAndForwardModel comm(topo);
     const CycloCompactionResult serial = cyclo_compact(g, topo, comm, {});
     PortfolioOptions opt;
     opt.jobs = 0;  // whatever the machine has
     const PortfolioResult folio = portfolio_compact(g, topo, comm, opt);
+    const int gap = folio.winner.best.length() - folio.lower_bound;
     std::cout << topo.name();
     for (std::size_t pad = topo.name().size(); pad < 20; ++pad)
       std::cout << ' ';
     std::cout << serial.best.length() << "       " << folio.winner.best.length()
-              << "          #" << folio.winner_attempt << " ("
+              << "          " << folio.lower_bound << "      " << gap
+              << "    #" << folio.winner_attempt << " ("
               << folio.winner_label << ")\n";
+    if (gap == 0) {
+      // A closed gap is a proof of optimality; show the certificate.
+      if (const BoundResult* part = folio.bound.part(folio.bound.dominant))
+        std::cout << "  provably optimal: " << part->witness << "\n";
+    }
     if (folio.winner.best.length() > serial.best.length()) {
       std::cerr << "PORTFOLIO REGRESSION: winner " << folio.winner.best.length()
                 << " > serial " << serial.best.length() << " on "
                 << topo.name() << std::endl;
+      std::abort();
+    }
+    if (folio.winner.best.length() < folio.lower_bound) {
+      std::cerr << "BOUND UNSOUND: winner " << folio.winner.best.length()
+                << " beats the claimed floor " << folio.lower_bound << " ("
+                << folio.bound.dominant << ") on " << topo.name()
+                << std::endl;
       std::abort();
     }
     if (!folio.certified) {
@@ -99,6 +114,36 @@ BENCHMARK(BM_Portfolio)
     ->ArgsProduct({{19, 48}, {1, 2, 4, 8}})
     ->ArgNames({"nodes", "jobs"})
     ->Unit(benchmark::kMillisecond);
+
+/// The static bound engine on the 19-node paper workload, one row per
+/// paper architecture.  The measured time is compute_bounds itself (it
+/// sits on the portfolio's setup path); the exported counters are pure
+/// functions of (workload, architecture) — `bound.value` is the composite
+/// floor and `bound.gap` the distance of the deterministic jobs=1
+/// portfolio winner from it — so a BENCH json diff gated on `bound.gap`
+/// (`ccsched report --diff --gate bound.gap`) turns any quality drift of
+/// either the bound engine or the search into a CI failure.
+void BM_BoundGap(benchmark::State& state) {
+  const std::vector<Topology> archs = bench::paper_architectures();
+  const Topology& topo = archs[static_cast<std::size_t>(state.range(0))];
+  const Csdfg g = paper_example19();
+  const StoreAndForwardModel comm(topo);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(compute_bounds(g, topo, comm, {}));
+  PortfolioOptions opt;
+  opt.jobs = 1;
+  opt.certify_winner = false;
+  const PortfolioResult folio = portfolio_compact(g, topo, comm, opt);
+  state.counters["bound.value"] =
+      ::benchmark::Counter(static_cast<double>(folio.lower_bound));
+  state.counters["bound.gap"] = ::benchmark::Counter(
+      static_cast<double>(folio.winner.best.length() - folio.lower_bound));
+  state.SetLabel(topo.name());
+}
+BENCHMARK(BM_BoundGap)
+    ->DenseRange(0, 4)
+    ->ArgNames({"arch"})
+    ->Unit(benchmark::kMicrosecond);
 
 /// Topology construction with and without the route cache: the portfolio
 /// and the repair ladder construct the same machines over and over, and

@@ -8,6 +8,7 @@
 #include <utility>
 #include <vector>
 
+#include "analysis/bounds.hpp"
 #include "core/unfold_schedule.hpp"
 #include "core/unfolding.hpp"
 #include "obs/obs.hpp"
@@ -161,7 +162,43 @@ void unfold_cross_check(const Csdfg& g, const NormSchedule& s, int factor,
   bag.add("CCS-S011", s.whole, os.str());
 }
 
+/// CCS-S015: a schedule that certified clean must not be SHORTER than any
+/// claimed-sound static lower bound of (this graph, this machine) — the
+/// local composite is sound for the graph's exact delay placement, so a
+/// violation is a first-principles bug in the bound derivation or the
+/// certifier itself (src/analysis/bounds.hpp), and portfolio pruning
+/// decisions made from the bound cannot be trusted.  Only runs on clean
+/// schedules: a table that already failed certification proves nothing
+/// about the bounds.
+void cross_check_sound_bounds(const Csdfg& g, const NormSchedule& s,
+                              const CommModel& comm, DiagnosticBag& bag) {
+  (void)cross_check_schedule_bound(g, s.length, s.speeds, s.pipelined, comm,
+                                   s.whole, bag);
+}
+
 }  // namespace
+
+bool cross_check_schedule_bound(const Csdfg& g, int length,
+                                const std::vector<int>& pe_speeds,
+                                bool pipelined, const CommModel& comm,
+                                const SourceSpan& span, DiagnosticBag& bag) {
+  if (!g.is_legal() || pe_speeds.empty()) return true;
+  BoundMachine machine;
+  machine.num_pes = pe_speeds.size();
+  machine.speeds = pe_speeds;
+  machine.pipelined = pipelined;
+  machine.comm = &comm;
+  const CompositeBound bounds = compute_bounds(g, machine);
+  if (length >= bounds.local_value) return true;
+  std::ostringstream os;
+  os << "certified schedule of length " << length
+     << " beats the claimed-sound static lower bound " << bounds.local_value
+     << " (" << bounds.dominant_local << ")";
+  if (const BoundResult* part = bounds.part(bounds.dominant_local))
+    os << ": " << part->witness;
+  bag.add("CCS-S015", span, os.str());
+  return false;
+}
 
 bool certify_schedule(const Csdfg& g, const RawSchedule& raw,
                       const Topology& topo, const CommModel& comm,
@@ -258,6 +295,7 @@ bool certify_schedule(const Csdfg& g, const RawSchedule& raw,
 
   check_norm(g, s, comm, bag);
   if (watch.clean()) unfold_cross_check(g, s, options.unfold_factor, comm, bag);
+  if (watch.clean()) cross_check_sound_bounds(g, s, comm, bag);
   return watch.clean();
 }
 
@@ -278,6 +316,7 @@ bool certify_table(const Csdfg& g, const ScheduleTable& table,
 
   check_norm(g, s, comm, bag);
   if (watch.clean()) unfold_cross_check(g, s, options.unfold_factor, comm, bag);
+  if (watch.clean()) cross_check_sound_bounds(g, s, comm, bag);
   return watch.clean();
 }
 

@@ -72,6 +72,22 @@ struct CertifyOptions {
                                  DiagnosticBag& bag,
                                  const CertifyOptions& options = {});
 
+/// Defense-in-depth cross-check behind CCS-S015: a schedule of `length`
+/// control steps that certified clean for `g` on the machine described by
+/// `pe_speeds` / `pipelined` / `comm` must not beat the claimed-sound
+/// local CCS-B composite (analysis/bounds.hpp) — the bound is derived
+/// from first principles independently of both the scheduler and the
+/// certifier, so a violation means one of the three is wrong.  Runs
+/// automatically after every clean certify_schedule / certify_table;
+/// exposed so tests can pin the diagnostic without having to break the
+/// bound derivation itself.  Returns true iff no finding was added.
+[[nodiscard]] bool cross_check_schedule_bound(const Csdfg& g, int length,
+                                              const std::vector<int>& pe_speeds,
+                                              bool pipelined,
+                                              const CommModel& comm,
+                                              const SourceSpan& span,
+                                              DiagnosticBag& bag);
+
 /// Bridges a core validator report into coded diagnostics anchored at
 /// `span`: kUnplacedTask -> CCS-S002, kOutOfTable -> CCS-S003,
 /// kResourceConflict -> CCS-S004, kIssueConflict -> CCS-S005,

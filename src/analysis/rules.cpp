@@ -6,7 +6,7 @@ namespace ccs {
 
 namespace {
 
-constexpr std::array<LintRule, 32> kRules{{
+constexpr std::array<LintRule, 39> kRules{{
     {"CCS-P001", "syntax-error", Severity::kError,
      "A line of the graph file does not match any directive grammar.",
      "Use `graph <name>`, `node <name> <time>`, or `edge <from> <to> "
@@ -175,6 +175,54 @@ constexpr std::array<LintRule, 32> kRules{{
      "machine (ccs::Solver, docs/API.md).",
      "Relax the fault plan or the budgets, or provide a machine with more "
      "survivors; the message carries the infeasibility detail."},
+    {"CCS-B001", "bound-iteration", Severity::kNote,
+     "Ceil'd iteration bound: no static cyclic schedule can be shorter "
+     "than ceil(max over cycles of total time / total delay); the witness "
+     "is a critical cycle attaining the ratio.",
+     "Informational.  To lower this floor, shorten the recurrence on the "
+     "witness cycle or deepen its delays (c-slowdown)."},
+    {"CCS-B002", "bound-work-conservation", Severity::kNote,
+     "Speed-aware work-conservation bound: the machine's processors, each "
+     "at its own slowdown factor, cannot complete the graph's total "
+     "computation in fewer control steps; also floors the schedule at the "
+     "longest single task on the fastest processor.",
+     "Informational.  Add or speed up processors, or shrink task times, "
+     "to lower this floor."},
+    {"CCS-B003", "bound-pipelined-issue", Severity::kNote,
+     "Pipelined-issue bound: with pipelined processors every task still "
+     "occupies one issue slot, so the schedule needs at least "
+     "ceil(tasks / processors) control steps.",
+     "Informational.  Add processors to lower this floor."},
+    {"CCS-B004", "bound-critical-cycle-mapping", Severity::kNote,
+     "Communication-aware critical-cycle bound: the critical cycle either "
+     "runs on one processor (paying its serialized occupancy) or is split "
+     "across processors (paying at least two cheapest inter-PE transfers "
+     "per iteration window); the better case still floors the length.",
+     "Informational.  Shorten the critical cycle, deepen its delays, or "
+     "cheapen communication between processors to lower this floor."},
+    {"CCS-B005", "bound-topology-cut", Severity::kNote,
+     "Topology cut bound for THIS graph's delay placement: for a cut of "
+     "the machine into two processor groups, the schedule either fits all "
+     "work on one side or splits a dependence edge across processors and "
+     "pays its cheapest transfer within the edge's delay window.  Not "
+     "invariant under retiming — excluded from the portfolio composite.",
+     "Informational.  Balance processor speeds across the cut or cheapen "
+     "inter-group links to lower this floor."},
+    {"CCS-B006", "bound-retiming-feasibility", Severity::kNote,
+     "Retiming-feasibility bound: minimized over every legal retiming "
+     "(d_r(e) >= 0), the zero-delay critical path still costs its "
+     "serialized time on the fastest processor, and no prologue/epilogue "
+     "trick can beat the best achievable clock period.",
+     "Informational.  Pipeline the longest zero-delay chain by adding "
+     "loop-carried delays to lower this floor."},
+    {"CCS-S015", "schedule-beats-sound-bound", Severity::kError,
+     "A schedule that passed first-principles certification is SHORTER "
+     "than a claimed-sound static lower bound — the bound derivation or "
+     "the certifier has a first-principles bug; pruning decisions made "
+     "from this bound are unsound.",
+     "File a bug: re-run `ccsched analyze` on the graph and machine, "
+     "compare each CCS-B witness against the certified table, and fix "
+     "whichever derivation is wrong before trusting portfolio pruning."},
 }};
 
 }  // namespace

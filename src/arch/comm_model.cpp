@@ -34,4 +34,17 @@ CommCost CutThroughModel::cost(PeId from, PeId to, std::size_t volume) const {
          static_cast<CommCost>(volume);
 }
 
+CommCost min_cross_cost(const CommModel& comm, std::size_t num_pes,
+                        std::size_t volume) {
+  if (num_pes < 2) return 0;
+  CommCost best = -1;
+  for (PeId from = 0; from < num_pes; ++from)
+    for (PeId to = 0; to < num_pes; ++to) {
+      if (from == to) continue;
+      const CommCost c = comm.cost(from, to, volume);
+      if (best < 0 || c < best) best = c;
+    }
+  return best < 0 ? 0 : best;
+}
+
 }  // namespace ccs

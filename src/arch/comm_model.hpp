@@ -104,4 +104,14 @@ private:
   CommCost per_hop_;
 };
 
+/// The cheapest possible inter-PE transfer of `volume` units under `comm`
+/// on a machine with `num_pes` processors: min over ordered pairs p != q of
+/// comm.cost(p, q, volume).  Returns 0 when num_pes < 2 (no transfer can
+/// cross PEs).  Every dependence edge whose endpoints land on different
+/// processors pays at least this much — the floor the static bound passes
+/// (src/analysis/bounds.hpp) charge for unavoidable communication.
+[[nodiscard]] CommCost min_cross_cost(const CommModel& comm,
+                                      std::size_t num_pes,
+                                      std::size_t volume);
+
 }  // namespace ccs

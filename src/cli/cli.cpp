@@ -5,6 +5,7 @@
 #include <optional>
 #include <sstream>
 
+#include "analysis/bounds.hpp"
 #include "analysis/certify.hpp"
 #include "analysis/lint.hpp"
 #include "arch/comm_model.hpp"
@@ -402,6 +403,78 @@ int cmd_lint(Args& args, std::istream& in, std::ostream& out) {
   return bag.fails(werror) ? kFailure : kOk;
 }
 
+/// `ccsched analyze`: the static lower-bound report.  Parses leniently
+/// (parse diagnostics land in the same bag), computes every applicable
+/// CCS-B bound for (graph, machine), audits each witness, and renders
+/// through the shared diagnostic machinery — exit code per the lint
+/// contract (notes never fail, errors always do, --werror promotes).
+int cmd_analyze(Args& args, std::istream& in, std::ostream& out) {
+  if (args.positional().size() != 1)
+    throw UsageError{"analyze: expected <graph>"};
+  const auto spec = args.value("arch");
+  if (!spec) throw UsageError{"analyze: --arch <spec> is required"};
+  bool used_stdin = false;
+  const std::string path = args.positional()[0];
+  const std::string text = slurp(path, in, used_stdin);
+  const Topology topo = parse_topology(*spec);
+  CycloCompactionOptions opt;
+  opt.startup.pipelined_pes = args.flag("pipelined");
+  if (const auto speeds = args.value("speeds")) {
+    opt.startup.pe_speeds = parse_speeds(*speeds);
+    if (opt.startup.pe_speeds.size() != topo.size())
+      throw UsageError{"--speeds must list one factor per processor"};
+  }
+  const std::string format = args.value("format").value_or("text");
+  if (format != "text" && format != "jsonl" && format != "sarif")
+    throw UsageError{"--format must be text, jsonl, or sarif"};
+  const bool werror = args.flag("werror");
+  args.reject_unknown();
+
+  DiagnosticBag bag;
+  const ParsedCsdfg parsed =
+      parse_csdfg_with_spans(text, span_label(path), bag);
+  const StoreAndForwardModel comm(topo);
+  std::optional<CompositeBound> bound;
+  if (parsed.graph.is_legal()) {
+    const BoundMachine machine = machine_view(topo, comm, opt);
+    bound = compute_bounds(parsed.graph, machine);
+    report_bounds(*bound, parsed.spans.file_span(), bag);
+    // Witness audit: every reported bound must re-derive its value from
+    // its own witness; a mismatch is the CCS-S015 first-principles bug.
+    for (const BoundPass* pass : bound_passes()) {
+      const BoundResult* part = bound->part(pass->rule().code);
+      if (part != nullptr &&
+          !pass->reverify(parsed.graph, machine, *part)) {
+        std::ostringstream os;
+        os << "witness of " << part->code
+           << " does not re-derive its claimed bound " << part->value;
+        bag.add("CCS-S015", parsed.spans.file_span(), os.str());
+      }
+    }
+  } else {
+    bag.add("CCS-G001", parsed.spans.file_span(),
+            "the graph has a zero-delay cycle; no schedule exists and no "
+            "lower bound is defined");
+  }
+  bag.finalize();
+  if (format == "jsonl") {
+    out << render_jsonl(bag);
+  } else if (format == "sarif") {
+    out << render_sarif(bag, "ccsched-analyze");
+  } else {
+    out << render_text(bag);
+    if (bound.has_value()) {
+      out << "composite lower bound " << std::max(1, bound->value);
+      if (!bound->dominant.empty()) out << " (" << bound->dominant << ')';
+      if (bound->local_value > bound->value)
+        out << ", this delay placement " << bound->local_value << " ("
+            << bound->dominant_local << ')';
+      out << " on " << topo.name() << '\n';
+    }
+  }
+  return bag.fails(werror) ? kFailure : kOk;
+}
+
 /// Renders a certification bag with the requested format and the
 /// "ccsched-certify" SARIF driver name.
 void render_certify(const DiagnosticBag& bag, const std::string& format,
@@ -615,7 +688,16 @@ int cmd_schedule(Args& args, std::istream& in, std::ostream& out,
       out << jobs;
     out << ", winner #" << folio->winner_attempt << " ("
         << folio->winner_label << "), serial " << folio->serial_length
-        << ", lower bound " << folio->lower_bound << '\n';
+        << ", lower bound " << folio->lower_bound;
+    if (!folio->bound.dominant.empty())
+      out << " (" << folio->bound.dominant << ')';
+    out << ", gap " << table.length() - folio->lower_bound << '\n';
+    if (certify && certified && table.length() == folio->lower_bound) {
+      out << "portfolio: provably optimal";
+      if (const BoundResult* part = folio->bound.part(folio->bound.dominant))
+        out << " — " << part->witness;
+      out << '\n';
+    }
     if (!quiet) {
       for (std::size_t i = 0; i < folio->attempts.size(); ++i) {
         const AttemptOutcome& row = folio->attempts[i];
@@ -883,8 +965,8 @@ int cmd_report(Args& args, std::istream& in, std::ostream& out) {
 
 void print_usage(std::ostream& err) {
   err << "usage: ccsched <command> [arguments]\n"
-         "commands: info, bound, retime, dot, lint, certify, expand, "
-         "schedule, validate, simulate, stress, report\n"
+         "commands: info, bound, retime, dot, lint, analyze, certify, "
+         "expand, schedule, validate, simulate, stress, report\n"
          "see src/cli/cli.hpp for the full grammar\n";
 }
 
@@ -904,6 +986,7 @@ int run_cli(const std::vector<std::string>& args, std::istream& in,
     if (command == "retime") return cmd_retime(parsed, in, out);
     if (command == "dot") return cmd_dot(parsed, in, out);
     if (command == "lint") return cmd_lint(parsed, in, out);
+    if (command == "analyze") return cmd_analyze(parsed, in, out);
     if (command == "certify") return cmd_certify(parsed, in, out);
     if (command == "expand") return cmd_expand(parsed, in, out);
     if (command == "schedule") return cmd_schedule(parsed, in, out, err);

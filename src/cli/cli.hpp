@@ -12,6 +12,15 @@
 //       --speeds a,b,c,...                   heterogeneous speed factors to check
 //       --format text|jsonl|sarif            report format (default text)
 //       --werror                             warnings fail the exit code
+//   ccsched analyze <graph> --arch "<spec>" [options]
+//       --speeds a,b,c,...                   heterogeneous speed factors
+//       --pipelined                          pipelined processors
+//       --format text|jsonl|sarif            report format (default text)
+//       --werror                             warnings fail the exit code
+//                                            static lower-bound report: one
+//                                            CCS-B note per applicable pass
+//                                            with its witness, plus the
+//                                            composite floor (docs/ALGORITHM.md)
 //   ccsched certify <schedule> --graph <csdfg> --arch "<spec>" [options]
 //       --format text|jsonl|sarif            report format (default text)
 //       --werror                             warnings fail the exit code
@@ -69,10 +78,12 @@
 //   ccsched report --diff <before> <after> [options]
 //       --threshold PCT                      regression threshold in percent
 //                                            (default 5)
-//       --gate LIST                          comma-separated gated categories
+//       --gate LIST                          comma-separated gate tokens
 //                                            (default counters,timers,spans,
 //                                            benchmarks,profile; "all" gates
-//                                            every path); a gated metric that
+//                                            every path; a dotted token like
+//                                            bound.gap gates every path that
+//                                            contains it); a gated metric that
 //                                            grows by >= the threshold fails
 //                                            the exit code
 //

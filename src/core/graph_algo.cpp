@@ -87,6 +87,28 @@ std::vector<NodeId> zero_delay_roots(const Csdfg& g) {
   return roots;
 }
 
+bool weakly_connected(const Csdfg& g) {
+  if (g.node_count() <= 1) return true;
+  std::vector<bool> seen(g.node_count(), false);
+  std::vector<NodeId> stack{0};
+  seen[0] = true;
+  std::size_t reached = 1;
+  while (!stack.empty()) {
+    const NodeId x = stack.back();
+    stack.pop_back();
+    const auto visit = [&](NodeId y) {
+      if (!seen[y]) {
+        seen[y] = true;
+        ++reached;
+        stack.push_back(y);
+      }
+    };
+    for (EdgeId eid : g.out_edges(x)) visit(g.edge(eid).to);
+    for (EdgeId eid : g.in_edges(x)) visit(g.edge(eid).from);
+  }
+  return reached == g.node_count();
+}
+
 bool zero_delay_reachable(const Csdfg& g, NodeId u, NodeId v) {
   CCS_EXPECTS(u < g.node_count() && v < g.node_count());
   std::vector<bool> seen(g.node_count(), false);

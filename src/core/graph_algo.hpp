@@ -52,4 +52,11 @@ struct DagTiming {
 /// True iff `v` is reachable from `u` using zero-delay edges only.
 [[nodiscard]] bool zero_delay_reachable(const Csdfg& g, NodeId u, NodeId v);
 
+/// True iff the undirected view of `g` (ALL edges, delayed or not) is
+/// connected.  Empty and single-node graphs count as connected.  The cut
+/// bound of the analysis subsystem needs this: on a connected graph any
+/// schedule that uses both sides of a processor cut must split at least
+/// one dependence edge across it.
+[[nodiscard]] bool weakly_connected(const Csdfg& g);
+
 }  // namespace ccs

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cctype>
 #include <exception>
 #include <limits>
 #include <mutex>
@@ -12,9 +13,9 @@
 #include <tuple>
 #include <utility>
 
+#include "analysis/bounds.hpp"
 #include "analysis/certify.hpp"
 #include "arch/route_cache.hpp"
-#include "core/iteration_bound.hpp"
 #include "util/contracts.hpp"
 #include "util/rng.hpp"
 
@@ -103,26 +104,15 @@ private:
   const BudgetStopToken* user_;
 };
 
-}  // namespace
-
-int schedule_lower_bound(const Csdfg& g, const Topology& topo,
-                         const CycloCompactionOptions& base) {
-  const Rational b = iteration_bound(g);
-  long long lb = b.den > 0 ? (b.num + b.den - 1) / b.den : 0;
-  for (NodeId v = 0; v < g.node_count(); ++v)
-    lb = std::max(lb, static_cast<long long>(g.node(v).time));
-  const auto pes = static_cast<long long>(topo.size());
-  if (base.startup.pipelined_pes) {
-    // A pipelined PE issues at most one task per control step.
-    const auto tasks = static_cast<long long>(g.node_count());
-    lb = std::max(lb, (tasks + pes - 1) / pes);
-  } else {
-    // Work conservation: some PE carries at least 1/P of the computation
-    // (speeds only slow PEs down, so this holds on heterogeneous machines).
-    lb = std::max(lb, (g.total_computation() + pes - 1) / pes);
-  }
-  return static_cast<int>(std::max(1LL, lb));
+/// Lower-case metric suffix of a CCS-B code: "CCS-B001" -> "b001".
+std::string bound_metric_suffix(std::string_view code) {
+  std::string suffix;
+  for (char c : code.substr(code.rfind('-') + 1))
+    suffix.push_back(static_cast<char>(std::tolower(c)));
+  return suffix;
 }
+
+}  // namespace
 
 std::vector<AttemptConfig> portfolio_attempts(const Csdfg& g,
                                               const PortfolioOptions& opt) {
@@ -200,7 +190,11 @@ PortfolioResult portfolio_compact(const Csdfg& g, const Topology& topo,
   const ObsSpan portfolio_span = obs.span("portfolio");
 
   const std::vector<AttemptConfig> roster = portfolio_attempts(g, opt);
-  const int lower_bound = schedule_lower_bound(g, topo, opt.base);
+  // The invariant composite (analysis/bounds.hpp): sound for any schedule
+  // of any legal retiming of g, which is exactly what every attempt
+  // produces.  The local composite would over-prune — attempts retime.
+  const CompositeBound bound = compute_bounds(g, topo, comm, opt.base);
+  const int lower_bound = std::max(1, bound.value);
 
   struct Slot {
     std::optional<CycloCompactionResult> result;
@@ -329,12 +323,13 @@ PortfolioResult portfolio_compact(const Csdfg& g, const Topology& topo,
   }
   const int serial_length = slots[0].result->best.length();
 
-  PortfolioResult result{std::move(*slots[winner_index].result), 0, {}, 0,
-                         0,                                      true, {}, {}};
+  PortfolioResult result{std::move(*slots[winner_index].result),
+                         0,  {}, 0, 0, {}, true, {}, {}};
   result.winner_attempt = winner_index;
   result.winner_label = roster[winner_index].label;
   result.serial_length = serial_length;
   result.lower_bound = lower_bound;
+  result.bound = bound;
   result.attempts = std::move(attempts);
 
   CCS_ENSURES(result.winner.best.length() <= result.serial_length);
@@ -361,6 +356,15 @@ PortfolioResult portfolio_compact(const Csdfg& g, const Topology& topo,
                      static_cast<double>(result.serial_length));
     obs.metrics->set("portfolio.lower_bound",
                      static_cast<double>(lower_bound));
+    // Per-pass provenance: which derivation produced which floor.
+    for (const BoundResult& part : bound.parts)
+      obs.metrics->set("portfolio.bound." + bound_metric_suffix(part.code),
+                       static_cast<double>(part.value));
+    obs.metrics->set("portfolio.bound.local",
+                     static_cast<double>(bound.local_value));
+    obs.metrics->set(
+        "portfolio.gap",
+        static_cast<double>(result.winner.best.length() - lower_bound));
     const RouteCache::Stats rc = RouteCache::global().stats();
     obs.metrics->set("portfolio.route_cache.hits",
                      static_cast<double>(rc.hits));

@@ -41,6 +41,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/bounds.hpp"
 #include "analysis/diagnostics.hpp"
 #include "arch/comm_model.hpp"
 #include "arch/topology.hpp"
@@ -108,10 +109,15 @@ struct PortfolioResult {
   /// Attempt 0's best length — what the serial driver would have returned.
   /// winner.best.length() <= serial_length always.
   int serial_length = 0;
-  /// The architecture-independent schedule-length lower bound the pruning
-  /// logic used (max of ceil(iteration bound), the longest task, and the
-  /// non-pipelined work/processor bound).
+  /// The schedule-length lower bound the pruning logic used: the
+  /// retiming-invariant composite of the static bound passes
+  /// (analysis/bounds.hpp) — sound for every attempt because
+  /// cyclo-compaction schedules retimed graphs.  Equals
+  /// max(1, bound.value).
   int lower_bound = 0;
+  /// Full per-pass provenance: every applicable CCS-B bound with its
+  /// witness, plus the invariant/local composites and dominant codes.
+  CompositeBound bound;
   /// Result of certifying the winner (true when certify_winner is off —
   /// nothing failed).
   bool certified = true;
@@ -125,13 +131,6 @@ struct PortfolioResult {
 /// Pure: depends only on |V| (for the pass-count variants) and `opt`.
 [[nodiscard]] std::vector<AttemptConfig> portfolio_attempts(
     const Csdfg& g, const PortfolioOptions& opt);
-
-/// The schedule-length lower bound used for winner-preserving pruning:
-/// max of ceil(iteration_bound(g)), the longest task time, and — on
-/// homogeneous non-pipelined machines — ceil(total computation / #PEs).
-/// No valid schedule for (g, topo, base.startup) can be shorter.
-[[nodiscard]] int schedule_lower_bound(const Csdfg& g, const Topology& topo,
-                                       const CycloCompactionOptions& base);
 
 /// Runs the portfolio on `opt.jobs` workers and returns the best attempt.
 /// Deterministic winner (see the contract above); throws GraphError if `g`

@@ -1,8 +1,10 @@
 #include "engine/solver.hpp"
 
+#include <algorithm>
 #include <exception>
 #include <utility>
 
+#include "analysis/bounds.hpp"
 #include "arch/comm_model.hpp"
 #include "core/list_scheduler.hpp"
 #include "core/modulo_scheduler.hpp"
@@ -102,6 +104,7 @@ void solve_portfolio(const SolveRequest& request, const Topology& topo,
   res.attempts = std::move(portfolio.attempts);
   res.winner_attempt = static_cast<int>(portfolio.winner_attempt);
   res.winner_label = portfolio.winner_label;
+  res.lower_bound = portfolio.lower_bound;  // already computed for pruning
   res.certified = !request.certify || portfolio.certified;
   for (const Diagnostic& d : portfolio.certification.diagnostics())
     res.diagnostics.add(d);
@@ -227,6 +230,22 @@ SolveResponse Solver::solve(const SolveRequest& request) const {
         solve_repair(request, topo, comm, obs_, res);
         // The repair's own (reduced) machine replaces the request machine.
         break;
+    }
+
+    // Optimality certificate: every schedule-producing mode except repair
+    // (whose machine differs from the request's) reports how far the
+    // answer sits from the static floor.  The invariant composite is
+    // sound for retimed schedules, so gap == 0 on a certified answer is a
+    // proof of optimality.
+    if (request.mode != SolveMode::kRepair && res.schedule.has_value() &&
+        (res.status == SolveStatus::kOk ||
+         res.status == SolveStatus::kUncertified)) {
+      if (res.lower_bound == 0)
+        res.lower_bound = std::max(
+            1,
+            compute_bounds(request.graph, topo, comm, request.options).value);
+      res.gap = res.best_length - res.lower_bound;
+      res.optimal = res.certified && request.certify && res.gap == 0;
     }
   } catch (const Error& e) {
     add_invalid(res.diagnostics, e.what());

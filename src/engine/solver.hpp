@@ -122,6 +122,17 @@ struct SolveResponse {
   /// True when the schedule was certified (vacuously true when
   /// certification was not requested).
   bool certified = false;
+  /// Static composite lower bound for (request.graph, machine): the
+  /// retiming-invariant CCS-B composite (analysis/bounds.hpp), so it holds
+  /// for the retimed schedules compaction produces.  0 when no schedule
+  /// was produced, and for kRepair (the machine shrinks mid-solve).
+  int lower_bound = 0;
+  /// best_length - lower_bound, or -1 when lower_bound is unknown.  A gap
+  /// of 0 means no schedule on this machine can be shorter.
+  int gap = -1;
+  /// True when the schedule is certified AND gap == 0: the response is
+  /// provably optimal, with the winning CCS-B pass as the certificate.
+  bool optimal = false;
   /// kPortfolio: per-attempt provenance and the winner's identity.
   std::vector<AttemptOutcome> attempts;
   int winner_attempt = -1;

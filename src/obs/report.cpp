@@ -416,8 +416,16 @@ DiffResult diff_metrics(const FlatMetrics& before, const FlatMetrics& after,
       if (!tok.empty()) gated_categories.push_back(tok);
   }
   const auto gated = [&](std::string_view path) {
-    for (const std::string& cat : gated_categories)
-      if (cat == "all" || category_of(path) == cat) return true;
+    for (const std::string& cat : gated_categories) {
+      if (cat == "all") return true;
+      // A dotted token targets specific metrics wherever they sit in the
+      // tree ("bound.gap" gates benchmarks.*.bound.gap.*); a plain token
+      // stays a whole top-level category ("counters").
+      const bool hit = cat.find('.') != std::string::npos
+                           ? path.find(cat) != std::string_view::npos
+                           : category_of(path) == cat;
+      if (hit) return true;
+    }
     return false;
   };
 

@@ -56,9 +56,12 @@ struct DiffOptions {
   /// Minimum relative growth (percent) of a gated metric that counts as a
   /// regression.
   double threshold_pct = 5.0;
-  /// Comma-separated list of gated top-level categories; "all" gates every
-  /// path.  Times are machine-dependent, so CI diffs of deterministic runs
-  /// typically gate "counters" only.
+  /// Comma-separated list of gate tokens; "all" gates every path.  A plain
+  /// token gates a whole top-level category ("counters"); a token with a
+  /// dot gates every path containing it as a substring ("bound.gap" gates
+  /// benchmarks.*.bound.gap.* wherever it sits).  Times are
+  /// machine-dependent, so CI diffs of deterministic runs typically gate
+  /// "counters" only.
   std::string gate = "counters,timers,spans,benchmarks,profile";
 };
 

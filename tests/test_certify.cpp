@@ -108,13 +108,57 @@ TEST(CertifyCorpus, CorpusAndUnitTestsCoverEveryScheduleRule) {
   for (const std::string file : kCorpus) covered.insert(expected_code(file));
   // Run-level and trace-level codes are pinned by the unit tests below.
   for (const char* code : {"CCS-S009", "CCS-S010", "CCS-S011", "CCS-S012",
-                           "CCS-S013", "CCS-S014"})
+                           "CCS-S013", "CCS-S014", "CCS-S015"})
     covered.insert(code);
   for (const LintRule& r : all_rules()) {
     if (r.code.rfind("CCS-S", 0) != 0) continue;
     EXPECT_TRUE(covered.count(std::string(r.code)))
         << r.code << " has neither a corpus file nor a unit test";
   }
+}
+
+// ---------------------------------------------------------------------------
+// CCS-S015: the sound-bound cross-check (analysis/bounds.hpp).  A truly
+// clean schedule can never trip it — the local composite is sound for the
+// graph's exact delay placement — so the diagnostic is pinned through the
+// exposed entry point with a claimed length no real schedule can have.
+
+TEST(CertifyBoundCrossCheck, ImpossiblyShortLengthIsS015) {
+  const Csdfg g = corpus_graph();
+  const Topology topo = make_linear_array(2);
+  const StoreAndForwardModel comm(topo);
+  DiagnosticBag bag;
+  // The corpus graph's local composite on linear_array 2 is 4 (CCS-B004:
+  // critical cycle a->b->c->a), so a claimed clean length of 3 is a proof
+  // that the bound engine or the certifier is broken.
+  EXPECT_FALSE(cross_check_schedule_bound(g, /*length=*/3, {1, 1},
+                                          /*pipelined=*/false, comm,
+                                          SourceSpan{"<probe>", 0}, bag));
+  bag.finalize();
+  ASSERT_EQ(bag.size(), 1u);
+  EXPECT_EQ(bag.diagnostics()[0].code, "CCS-S015");
+  // The finding names the dominant pass and carries its witness so the
+  // reader can re-derive the violated bound by hand.
+  EXPECT_NE(bag.diagnostics()[0].message.find("CCS-B004"),
+            std::string::npos)
+      << bag.diagnostics()[0].message;
+  EXPECT_TRUE(bag.fails(false));
+}
+
+TEST(CertifyBoundCrossCheck, FeasibleLengthIsClean) {
+  const Csdfg g = corpus_graph();
+  const Topology topo = make_linear_array(2);
+  const StoreAndForwardModel comm(topo);
+  DiagnosticBag bag;
+  // Length 5 is achievable (kValidSchedule), so the cross-check is quiet;
+  // length 4 sits exactly on the bound and must also pass (the bound is a
+  // floor, not a strict one).
+  EXPECT_TRUE(cross_check_schedule_bound(g, 5, {1, 1}, false, comm,
+                                         SourceSpan{"<probe>", 0}, bag));
+  EXPECT_TRUE(cross_check_schedule_bound(g, 4, {1, 1}, false, comm,
+                                         SourceSpan{"<probe>", 0}, bag));
+  bag.finalize();
+  EXPECT_TRUE(bag.empty()) << render_text(bag);
 }
 
 // ---------------------------------------------------------------------------

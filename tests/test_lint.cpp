@@ -123,11 +123,11 @@ TEST(LintCorpus, CorpusCoversEveryRule) {
   for (const LintRule& r : all_rules()) {
     // Schedule-certification rules (CCS-S###) are pinned by the
     // bad_schedules corpus in test_certify.cpp, fault-spec rules
-    // (CCS-F###) by the bad-spec corpus in test_robust.cpp, and solver
-    // request rules (CCS-E###) by test_solver.cpp — none come from lint
-    // inputs.
+    // (CCS-F###) by the bad-spec corpus in test_robust.cpp, solver
+    // request rules (CCS-E###) by test_solver.cpp, and bound notes
+    // (CCS-B###) by test_bounds.cpp — none come from lint inputs.
     if (r.code.rfind("CCS-S", 0) == 0 || r.code.rfind("CCS-F", 0) == 0 ||
-        r.code.rfind("CCS-E", 0) == 0)
+        r.code.rfind("CCS-E", 0) == 0 || r.code.rfind("CCS-B", 0) == 0)
       continue;
     EXPECT_TRUE(covered.count(std::string(r.code)))
         << r.code << " has no corpus file";

@@ -939,6 +939,48 @@ TEST(ObsReportCli, DiffExitCodesGateRegressions) {
       << out5.str();
 }
 
+TEST(ObsReportCli, DottedGateTokensTargetSpecificMetrics) {
+  const std::string dir = ::testing::TempDir();
+  const std::string before = dir + "/gate_before.json";
+  const std::string after = dir + "/gate_after.json";
+  {
+    std::ofstream f(before);
+    f << "{\"benchmarks\":{\"portfolio_mesh\":{\"bound\":{\"gap\":2},"
+         "\"wall_ms\":10}}}";
+  }
+  {
+    std::ofstream f(after);
+    // The gap regresses; the (machine-dependent) wall time regresses too.
+    f << "{\"benchmarks\":{\"portfolio_mesh\":{\"bound\":{\"gap\":3},"
+         "\"wall_ms\":50}}}";
+  }
+
+  // A dotted token gates just the paths containing it: the gap regression
+  // fails the diff even though nothing else is gated.
+  std::istringstream in1;
+  std::ostringstream out1, err1;
+  EXPECT_EQ(run_cli({"report", "--diff", before, after, "--gate",
+                     "bound.gap"},
+                    in1, out1, err1),
+            1)
+      << out1.str();
+  EXPECT_NE(out1.str().find("bound.gap"), std::string::npos) << out1.str();
+
+  // The noisy wall-clock path stays ungated under the same token.
+  std::istringstream in2;
+  std::ostringstream out2, err2;
+  {
+    std::ofstream f(after);  // gap fixed, wall time still noisy
+    f << "{\"benchmarks\":{\"portfolio_mesh\":{\"bound\":{\"gap\":2},"
+         "\"wall_ms\":50}}}";
+  }
+  EXPECT_EQ(run_cli({"report", "--diff", before, after, "--gate",
+                     "bound.gap"},
+                    in2, out2, err2),
+            0)
+      << out2.str();
+}
+
 TEST(ObsReportCli, RejectsBadUsage) {
   std::istringstream in1;
   std::ostringstream out1, err1;

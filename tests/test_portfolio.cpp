@@ -15,6 +15,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <set>
 #include <thread>
 #include <vector>
@@ -215,9 +216,13 @@ TEST(PortfolioEngine, LowerBoundIsSound) {
   for (const Topology& topo :
        {make_mesh(2, 2), make_linear_array(4), make_hypercube(3)}) {
     const StoreAndForwardModel comm(topo);
-    const int lb = schedule_lower_bound(g, topo, {});
+    const CompositeBound bound = compute_bounds(g, topo, comm, {});
     const PortfolioResult r = portfolio_compact(g, topo, comm, {});
-    EXPECT_GE(r.winner.best.length(), lb) << topo.name();
+    EXPECT_EQ(r.lower_bound, std::max(1, bound.value)) << topo.name();
+    EXPECT_GE(r.winner.best.length(), r.lower_bound) << topo.name();
+    // The result carries the full per-pass provenance it pruned with.
+    EXPECT_EQ(r.bound.value, bound.value) << topo.name();
+    EXPECT_FALSE(r.bound.parts.empty()) << topo.name();
   }
 }
 

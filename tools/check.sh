@@ -77,6 +77,32 @@ for graph in "${repo_root}"/examples/data/bad/*.csdfg; do
   echo "rejected as expected: ${graph}"
 done
 
+# Analyze smoke gate (docs/ALGORITHM.md, CCS-B rules): the static bound
+# report must succeed on every shipped graph, emit at least the iteration
+# bound pass, and agree with itself under --werror (bounds are notes, never
+# failures).  The witness audit inside `analyze` re-derives every value, so
+# a pass/witness mismatch fails here before any schedule is produced.
+echo "== analyze smoke gate =="
+analyze_out="$(mktemp)"
+for graph in "${repo_root}"/examples/data/*.csdfg; do
+  arch="mesh 2 2"
+  case "$(basename "${graph}")" in
+    paper_fig7.csdfg) arch="mesh 4 2" ;;
+  esac
+  "${ccsched}" analyze "${graph}" --arch "${arch}" --werror \
+    > "${analyze_out}" 2>&1 || {
+      echo "error: analyze failed on ${graph}" >&2
+      cat "${analyze_out}" >&2
+      exit 1
+    }
+  if ! grep -q "composite lower bound" "${analyze_out}"; then
+    echo "error: analyze printed no composite bound for ${graph}" >&2
+    exit 1
+  fi
+  echo "analyzed: ${graph}"
+done
+rm -f "${analyze_out}"
+
 # Certify gate (docs/DIAGNOSTICS.md, CCS-S rules).  Two directions:
 #  1. every schedule the pipeline produces over the shipped graphs must
 #     certify clean — in-process (--certify) and again after a file
@@ -159,6 +185,29 @@ rc=0
   > /dev/null || rc=$?
 if [ "${rc}" -ne 1 ]; then
   echo "error: injected +100% regression exited ${rc}, want 1" >&2
+  exit 1
+fi
+# A dotted --gate token must fail on a grown optimality gap and ignore the
+# (machine-dependent) timing paths next to it — the contract the
+# bench-portfolio job's bound.gap diff relies on.
+printf '{"benchmarks":{"bg":{"bound":{"gap":1},"cpu_time":10}}}\n' \
+  > "${workdir}/gap_before.json"
+printf '{"benchmarks":{"bg":{"bound":{"gap":2},"cpu_time":90}}}\n' \
+  > "${workdir}/gap_after.json"
+rc=0
+"${ccsched}" report --diff "${workdir}/gap_before.json" \
+  "${workdir}/gap_after.json" --gate bound.gap > /dev/null || rc=$?
+if [ "${rc}" -ne 1 ]; then
+  echo "error: grown bound.gap exited ${rc} under --gate bound.gap, want 1" >&2
+  exit 1
+fi
+printf '{"benchmarks":{"bg":{"bound":{"gap":1},"cpu_time":90}}}\n' \
+  > "${workdir}/gap_after.json"
+rc=0
+"${ccsched}" report --diff "${workdir}/gap_before.json" \
+  "${workdir}/gap_after.json" --gate bound.gap > /dev/null || rc=$?
+if [ "${rc}" -ne 0 ]; then
+  echo "error: timing-only drift exited ${rc} under --gate bound.gap, want 0" >&2
   exit 1
 fi
 echo "profile + report gates passed"
