@@ -1,0 +1,253 @@
+// Canonical-labeling and solve-cache benchmark (DESIGN.md §4, PR 8): the
+// cost of canonicalize() as graphs grow, and the payoff — a SolveCache hit
+// answering a relabeled resubmission of an already-certified solve in
+// microseconds instead of re-running the full compaction pipeline.
+//
+// Two roles:
+//  * measurement — BM_Canonicalize sizes the refinement/search cost;
+//    BM_SolveCold vs BM_SolveCacheHit quantifies the memoization speedup
+//    on the paper's 19-node workload (expected well above 100x: the hit
+//    path is a map lookup + witness translation + re-certification);
+//  * CI gate — print_quality_gate() resubmits paper_example19 under a
+//    random relabeling, requires the hit to be served from the cache,
+//    fully CCS-S016-certified, and identical in every length to the cold
+//    solve, and aborts when the measured speedup collapses.  The exported
+//    `cache.miss_rate` counter is the monotone counterpart of
+//    `cache.hit_rate`: a hit-rate drop is a miss-rate growth, which
+//    `ccsched report --diff --gate cache.miss` turns into a CI failure.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <iostream>
+#include <numeric>
+#include <random>
+#include <vector>
+
+#include "analysis/canon.hpp"
+#include "bench_common.hpp"
+#include "engine/solve_cache.hpp"
+#include "engine/solver.hpp"
+#include "workloads/generator.hpp"
+#include "workloads/library.hpp"
+
+namespace {
+
+using namespace ccs;
+
+Csdfg scaling_graph(std::size_t nodes) {
+  RandomDfgConfig cfg;
+  cfg.num_nodes = nodes;
+  cfg.num_layers = std::max<std::size_t>(3, nodes / 6);
+  cfg.num_back_edges = std::max<std::size_t>(2, nodes / 8);
+  cfg.max_time = 3;
+  cfg.max_volume = 3;
+  return random_csdfg(cfg, /*seed=*/4242);
+}
+
+/// Rebuilds `g` with its nodes in a shuffled order (names preserved), the
+/// adversarial input the canonical key must see through.
+Csdfg relabel(const Csdfg& g, std::mt19937& rng) {
+  const std::size_t n = g.node_count();
+  std::vector<NodeId> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::shuffle(order.begin(), order.end(), rng);
+  std::vector<NodeId> to_new(n);
+  for (std::size_t i = 0; i < n; ++i) to_new[order[i]] = i;
+  Csdfg out(g.name());
+  for (std::size_t i = 0; i < n; ++i)
+    out.add_node(g.node(order[i]).name, g.node(order[i]).time);
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    const Edge& edge = g.edge(e);
+    out.add_edge(to_new[edge.from], to_new[edge.to], edge.delay, edge.volume);
+  }
+  return out;
+}
+
+SolveRequest paper19_request() {
+  SolveRequest req;
+  req.graph = paper_example19();
+  req.arch = "mesh 4 2";
+  req.mode = SolveMode::kSchedule;
+  req.certify = true;
+  return req;
+}
+
+/// The CI gate: a relabeled resubmission of the certified 19-node solve
+/// must be served from the cache, re-certified, and length-identical to
+/// the cold answer — and the hit must actually be fast.  The cold side is
+/// the deterministic jobs=1 portfolio (the expensive request memoization
+/// exists for); repeats ride the tier-1 path, so the expected speedup is
+/// >= 100x.  The 25x abort floor only fires when memoization is broken,
+/// not when CI is merely slow.
+void print_quality_gate() {
+  bench::banner("solve-cache hit vs cold, 19-node paper workload (CI gate)");
+  SolveCache& cache = SolveCache::global();
+  cache.clear();
+  cache.set_enabled(true);
+  const Solver solver;
+
+  using clock = std::chrono::steady_clock;
+  SolveRequest cold_req = paper19_request();
+  cold_req.mode = SolveMode::kPortfolio;
+  cold_req.portfolio.jobs = 1;  // deterministic roster, machine-independent
+  const auto t0 = clock::now();
+  const SolveResponse cold = solver.solve(cold_req);
+  const auto t1 = clock::now();
+  if (cold.status != SolveStatus::kOk || !cold.certified) {
+    std::cerr << "COLD SOLVE FAILED: the gate needs a certified baseline"
+              << std::endl;
+    std::abort();
+  }
+
+  std::mt19937 rng(7);
+  SolveRequest hot_req = cold_req;
+  hot_req.graph = relabel(cold_req.graph, rng);
+  // One untimed warm-up hit, then the timed repeats.
+  const SolveResponse first_hit = solver.solve(hot_req);
+  constexpr int kRepeats = 32;
+  const auto t2 = clock::now();
+  SolveResponse hit;
+  for (int i = 0; i < kRepeats; ++i) hit = solver.solve(hot_req);
+  const auto t3 = clock::now();
+
+  const double cold_us =
+      std::chrono::duration<double, std::micro>(t1 - t0).count();
+  const double hit_us =
+      std::chrono::duration<double, std::micro>(t3 - t2).count() / kRepeats;
+  const double speedup = hit_us > 0 ? cold_us / hit_us : 0;
+  std::cout << "cold solve:  " << cold_us << " us\n"
+            << "cache hit:   " << hit_us << " us (mean of " << kRepeats
+            << ")\n"
+            << "speedup:     " << speedup << "x\n"
+            << "fingerprint: " << hit.fingerprint << "\n";
+
+  if (!first_hit.cache_hit || !hit.cache_hit || !hit.certified) {
+    std::cerr << "CACHE MISS ON RELABELED RESUBMISSION: hit="
+              << hit.cache_hit << " certified=" << hit.certified
+              << std::endl;
+    std::abort();
+  }
+  if (hit.best_length != cold.best_length ||
+      hit.startup_length != cold.startup_length ||
+      hit.lower_bound != cold.lower_bound ||
+      hit.fingerprint != cold.fingerprint) {
+    std::cerr << "CACHE HIT DIVERGED FROM COLD SOLVE: best "
+              << hit.best_length << " vs " << cold.best_length << std::endl;
+    std::abort();
+  }
+  const SolveCache::Stats stats = cache.stats();
+  if (stats.rejected != 0) {
+    std::cerr << "CACHE REJECTED ITS OWN ENTRY " << stats.rejected
+              << " time(s): translation or re-certification is broken"
+              << std::endl;
+    std::abort();
+  }
+  if (speedup < 25) {
+    std::cerr << "SOLVE CACHE SPEEDUP COLLAPSED: " << speedup
+              << "x < 25x on paper_example19" << std::endl;
+    std::abort();
+  }
+}
+
+/// Canonical labeling cost as the workload grows: iterated refinement on
+/// layered random CSDFGs.  `canon.complete` stays 1 — the search must not
+/// hit the leaf cap on realistically-sized graphs.
+void BM_Canonicalize(benchmark::State& state) {
+  const Csdfg g = scaling_graph(static_cast<std::size_t>(state.range(0)));
+  CanonResult last;
+  for (auto _ : state) {
+    last = canonicalize(g);
+    benchmark::DoNotOptimize(last);
+  }
+  state.counters["canon.nodes"] =
+      ::benchmark::Counter(static_cast<double>(g.node_count()));
+  state.counters["canon.complete"] =
+      ::benchmark::Counter(last.complete ? 1 : 0);
+}
+BENCHMARK(BM_Canonicalize)
+    ->Arg(19)->Arg(48)->Arg(96)->Arg(192)
+    ->Unit(benchmark::kMicrosecond);
+
+/// The worst case for the search: a fan-out of attribute-identical tasks,
+/// whose automorphism group is the full symmetric group on the leaves.
+/// The transposition collapse keeps this polynomial; the exported
+/// `canon.automorphisms` counter pins the exact group order.
+void BM_CanonicalizeSymmetricFanOut(benchmark::State& state) {
+  const int leaves = static_cast<int>(state.range(0));
+  Csdfg g("fanout");
+  const NodeId src = g.add_node("src", 1);
+  for (int i = 0; i < leaves; ++i) {
+    const NodeId leaf = g.add_node("f" + std::to_string(i), 2);
+    g.add_edge(src, leaf, 0, 1);
+  }
+  CanonResult last;
+  for (auto _ : state) {
+    last = canonicalize(g);
+    benchmark::DoNotOptimize(last);
+  }
+  state.counters["canon.automorphisms"] =
+      ::benchmark::Counter(static_cast<double>(last.automorphism_count));
+}
+BENCHMARK(BM_CanonicalizeSymmetricFanOut)
+    ->Arg(4)->Arg(8)->Arg(12)
+    ->Unit(benchmark::kMicrosecond);
+
+/// The memoization baseline: every iteration pays the full pipeline
+/// (cache disabled so repeats stay cold).
+void BM_SolveCold(benchmark::State& state) {
+  SolveCache::global().clear();
+  SolveCache::global().set_enabled(false);
+  const Solver solver;
+  const SolveRequest req = paper19_request();
+  for (auto _ : state)
+    benchmark::DoNotOptimize(solver.solve(req));
+  SolveCache::global().set_enabled(true);
+}
+BENCHMARK(BM_SolveCold)->Unit(benchmark::kMillisecond);
+
+/// The hit path: an identical resubmission rides the tier-1 replay; a
+/// relabeled one pays witness translation + CCS-S016 re-certification.
+/// The exported rates come from a FIXED post-loop probe (100 solves on a
+/// cleared cache: 1 cold miss + 99 hits), not from the timing loop's
+/// machine-dependent iteration count — `cache.hit_rate` must equal 0.99
+/// and `cache.miss_rate` 0.01 on every machine, so a diff gated on
+/// `cache.miss` (growth = a hit-rate regression) is deterministic.
+void BM_SolveCacheHit(benchmark::State& state) {
+  SolveCache& cache = SolveCache::global();
+  cache.clear();
+  cache.set_enabled(true);
+  const Solver solver;
+  const SolveRequest req = paper19_request();
+  const SolveResponse warm = solver.solve(req);  // the one real miss
+  if (warm.status != SolveStatus::kOk) state.SkipWithError("cold solve failed");
+  for (auto _ : state) {
+    const SolveResponse res = solver.solve(req);
+    if (!res.cache_hit) state.SkipWithError("expected a cache hit");
+    benchmark::DoNotOptimize(res);
+  }
+  cache.clear();
+  constexpr int kProbe = 100;
+  for (int i = 0; i < kProbe; ++i) {
+    const SolveResponse res = solver.solve(req);
+    if (res.status != SolveStatus::kOk)
+      state.SkipWithError("probe solve failed");
+  }
+  const SolveCache::Stats stats = cache.stats();
+  const double total = static_cast<double>(stats.hits + stats.misses);
+  state.counters["cache.hit_rate"] = ::benchmark::Counter(
+      total > 0 ? static_cast<double>(stats.hits) / total : 0);
+  state.counters["cache.miss_rate"] = ::benchmark::Counter(
+      total > 0 ? static_cast<double>(stats.misses) / total : 1);
+  state.counters["cache.rejected"] =
+      ::benchmark::Counter(static_cast<double>(stats.rejected));
+}
+BENCHMARK(BM_SolveCacheHit)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_quality_gate();
+  return ccs::bench::run_benchmarks(argc, argv);
+}

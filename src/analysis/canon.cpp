@@ -1,0 +1,417 @@
+#include "analysis/canon.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <tuple>
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace ccs {
+
+namespace {
+
+/// Leaf budget of the individualization search.  Every bundled workload
+/// discretizes within a handful of leaves; the cap only exists so a
+/// pathologically symmetric hostile input (which the transposition
+/// collapse below does not already flatten) degrades to an incomplete —
+/// but still deterministic and verifiable — result instead of a hang.
+constexpr std::size_t kLeafCap = 2048;
+
+/// splitmix64 finalizer — the same mixer the portfolio's attempt RNG uses.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Two independently seeded 64-bit lanes over the form string.  128 bits
+/// keep accidental collisions out of reach for any realistic corpus; the
+/// CCS-N003 audit still never trusts equality without comparing forms.
+std::array<std::uint64_t, 2> hash128(const std::string& s) {
+  std::uint64_t h0 = 0x9e3779b97f4a7c15ULL;
+  std::uint64_t h1 = 0xc2b2ae3d27d4eb4fULL;
+  for (const char c : s) {
+    const auto byte = static_cast<unsigned char>(c);
+    h0 = mix64(h0 ^ byte);
+    h1 = mix64((h1 ^ byte) * 0x100000001b3ULL);
+  }
+  return {h0, h1};
+}
+
+/// One (delay, volume, neighbor color) triple of a refinement signature.
+using SigEdge = std::array<long long, 3>;
+
+/// Exact refinement signature — compared lexicographically, never hashed,
+/// so the partition can not be corrupted by hash collisions.
+using Sig = std::tuple<std::uint64_t, std::vector<SigEdge>, std::vector<SigEdge>>;
+
+/// Replaces `color` with dense ranks 0..C-1 of the given signatures
+/// (equal signatures share a rank).  Returns the class count.
+std::size_t rank_by(const std::vector<Sig>& sig,
+                    std::vector<std::uint64_t>& color) {
+  const std::size_t n = sig.size();
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return sig[a] < sig[b]; });
+  std::uint64_t rank = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i > 0 && sig[order[i]] != sig[order[i - 1]]) ++rank;
+    color[order[i]] = rank;
+  }
+  return n == 0 ? 0 : static_cast<std::size_t>(rank) + 1;
+}
+
+/// Iterated color refinement: each round a node's signature is its own
+/// color plus the sorted multisets of (delay, volume, neighbor color) over
+/// its out- and in-edges.  Refinement only ever splits classes, so the
+/// loop runs until the class count stops growing (at most n rounds).  The
+/// resulting dense ranks depend only on attributes — never on node ids —
+/// which is exactly the invariance the fingerprint needs.
+std::size_t refine(const Csdfg& g, std::vector<std::uint64_t>& color) {
+  const std::size_t n = g.node_count();
+  std::size_t classes = 0;
+  {
+    // Establish dense ranks of the incoming coloring first (individualized
+    // colors arrive scaled, not dense).
+    std::vector<Sig> sig(n);
+    for (NodeId v = 0; v < n; ++v) std::get<0>(sig[v]) = color[v];
+    classes = rank_by(sig, color);
+  }
+  while (classes < n) {
+    std::vector<Sig> sig(n);
+    for (NodeId v = 0; v < n; ++v) {
+      auto& [own, outs, ins] = sig[v];
+      own = color[v];
+      for (const EdgeId e : g.out_edges(v)) {
+        const Edge& ed = g.edge(e);
+        outs.push_back({ed.delay, static_cast<long long>(ed.volume),
+                        static_cast<long long>(color[ed.to])});
+      }
+      for (const EdgeId e : g.in_edges(v)) {
+        const Edge& ed = g.edge(e);
+        ins.push_back({ed.delay, static_cast<long long>(ed.volume),
+                       static_cast<long long>(color[ed.from])});
+      }
+      std::sort(outs.begin(), outs.end());
+      std::sort(ins.begin(), ins.end());
+    }
+    const std::size_t next = rank_by(sig, color);
+    if (next == classes) break;
+    classes = next;
+  }
+  return classes;
+}
+
+/// Initial coloring from node attributes alone: (time, out-degree,
+/// in-degree) dense-ranked.
+std::vector<std::uint64_t> initial_colors(const Csdfg& g) {
+  const std::size_t n = g.node_count();
+  std::vector<Sig> sig(n);
+  for (NodeId v = 0; v < n; ++v) {
+    auto& [own, outs, ins] = sig[v];
+    own = 0;
+    outs.push_back({g.node(v).time,
+                    static_cast<long long>(g.out_edges(v).size()),
+                    static_cast<long long>(g.in_edges(v).size())});
+  }
+  std::vector<std::uint64_t> color(n, 0);
+  rank_by(sig, color);
+  return color;
+}
+
+/// True iff swapping u and v (fixing every other node) preserves the
+/// attributed edge multiset — i.e. the transposition (u v) is a full-graph
+/// automorphism.  Only edges incident to u or v can change, so the check
+/// compares those, mapped vs. unmapped, as sorted tuples.
+bool transposition_is_automorphism(const Csdfg& g, NodeId u, NodeId v) {
+  if (g.node(u).time != g.node(v).time) return false;
+  std::vector<EdgeId> incident;
+  for (const NodeId x : {u, v}) {
+    for (const EdgeId e : g.out_edges(x)) incident.push_back(e);
+    for (const EdgeId e : g.in_edges(x)) incident.push_back(e);
+  }
+  std::sort(incident.begin(), incident.end());
+  incident.erase(std::unique(incident.begin(), incident.end()),
+                 incident.end());
+  const auto swapped = [&](NodeId x) { return x == u ? v : x == v ? u : x; };
+  std::vector<std::array<long long, 4>> original, mapped;
+  original.reserve(incident.size());
+  mapped.reserve(incident.size());
+  for (const EdgeId e : incident) {
+    const Edge& ed = g.edge(e);
+    original.push_back({static_cast<long long>(ed.from),
+                        static_cast<long long>(ed.to), ed.delay,
+                        static_cast<long long>(ed.volume)});
+    mapped.push_back({static_cast<long long>(swapped(ed.from)),
+                      static_cast<long long>(swapped(ed.to)), ed.delay,
+                      static_cast<long long>(ed.volume)});
+  }
+  std::sort(original.begin(), original.end());
+  std::sort(mapped.begin(), mapped.end());
+  return original == mapped;
+}
+
+/// Union-find over node ids; orbits are merged for every verified
+/// automorphism (collapsed transpositions and equal-form leaf pairs).
+struct OrbitForest {
+  std::vector<NodeId> parent;
+
+  explicit OrbitForest(std::size_t n) : parent(n) {
+    for (NodeId v = 0; v < n; ++v) parent[v] = v;
+  }
+  NodeId find(NodeId v) {
+    while (parent[v] != v) {
+      parent[v] = parent[parent[v]];
+      v = parent[v];
+    }
+    return v;
+  }
+  void merge(NodeId a, NodeId b) {
+    a = find(a);
+    b = find(b);
+    if (a != b) parent[std::max(a, b)] = std::min(a, b);
+  }
+};
+
+struct SearchState {
+  const Csdfg& g;
+  OrbitForest orbits;
+  std::string best_form;
+  std::vector<NodeId> best_perm;
+  /// Number of labelings reaching best_form: the sum of collapsed-cell
+  /// path factors over minimal leaves == |Aut(G)| on a complete search.
+  unsigned long long count = 0;
+  std::size_t leaves = 0;
+  bool capped = false;
+
+  explicit SearchState(const Csdfg& graph)
+      : g(graph), orbits(graph.node_count()) {}
+};
+
+void leaf(SearchState& st, const std::vector<std::uint64_t>& color,
+          unsigned long long path_factor) {
+  ++st.leaves;
+  const std::size_t n = st.g.node_count();
+  std::vector<NodeId> perm(n);
+  for (NodeId v = 0; v < n; ++v) perm[v] = static_cast<NodeId>(color[v]);
+  std::string form = canonical_form(st.g, perm);
+  if (st.count == 0 || form < st.best_form) {
+    // A smaller canonical candidate restarts the tally; orbit merges made
+    // so far stay — they came from genuine automorphisms either way.
+    st.best_form = std::move(form);
+    st.best_perm = std::move(perm);
+    st.count = path_factor;
+    return;
+  }
+  if (form == st.best_form) {
+    st.count += path_factor;
+    // Two labelings with one canonical image differ by an automorphism:
+    // sigma maps v to the node best_perm sends to the same index.
+    std::vector<NodeId> best_inv(n);
+    for (NodeId v = 0; v < n; ++v) best_inv[st.best_perm[v]] = v;
+    for (NodeId v = 0; v < n; ++v) st.orbits.merge(v, best_inv[perm[v]]);
+  }
+}
+
+void search(SearchState& st, std::vector<std::uint64_t> color,
+            unsigned long long path_factor) {
+  if (st.capped) return;
+  const std::size_t classes = refine(st.g, color);
+  const std::size_t n = st.g.node_count();
+  if (classes == n) {
+    leaf(st, color, path_factor);
+    return;
+  }
+  // Target cell: the smallest color whose class is non-singleton, members
+  // ascending by node id (the choice set is explored exhaustively, so the
+  // member order does not affect the canonical winner).
+  std::vector<std::size_t> size(classes, 0);
+  for (NodeId v = 0; v < n; ++v) ++size[color[v]];
+  std::uint64_t target = 0;
+  while (size[target] < 2) ++target;
+  std::vector<NodeId> cell;
+  for (NodeId v = 0; v < n; ++v)
+    if (color[v] == target) cell.push_back(v);
+
+  const auto individualize = [&](NodeId v) {
+    std::vector<std::uint64_t> child(n);
+    for (NodeId u = 0; u < n; ++u) child[u] = color[u] * 2 + 1;
+    child[v] = color[v] * 2;
+    return child;
+  };
+
+  // Exchangeable cell: when every member swaps with the first by a
+  // verified automorphism, the cell's branches are isomorphic images of
+  // one another — explore one, multiply the tally by the cell size, and
+  // merge the whole cell into one orbit.  This flattens the factorial
+  // blowup of identical isolated tasks and exchangeable twins.
+  bool exchangeable = true;
+  for (std::size_t i = 1; i < cell.size() && exchangeable; ++i)
+    exchangeable = transposition_is_automorphism(st.g, cell[0], cell[i]);
+  if (exchangeable) {
+    for (std::size_t i = 1; i < cell.size(); ++i)
+      st.orbits.merge(cell[0], cell[i]);
+    search(st, individualize(cell[0]), path_factor * cell.size());
+    return;
+  }
+
+  for (const NodeId v : cell) {
+    if (st.leaves >= kLeafCap) {
+      st.capped = true;
+      return;
+    }
+    search(st, individualize(v), path_factor);
+  }
+}
+
+}  // namespace
+
+std::string canonical_form(const Csdfg& g, const std::vector<NodeId>& perm) {
+  const std::size_t n = g.node_count();
+  if (perm.size() != n)
+    throw GraphError("canonical_form: permutation size does not match graph");
+  std::vector<NodeId> inverse(n, n);
+  for (NodeId v = 0; v < n; ++v) {
+    if (perm[v] >= n || inverse[perm[v]] != n)
+      throw GraphError("canonical_form: not a permutation of the nodes");
+    inverse[perm[v]] = v;
+  }
+  std::ostringstream os;
+  os << 'n' << n << 'm' << g.edge_count() << ';';
+  for (std::size_t i = 0; i < n; ++i) os << 't' << g.node(inverse[i]).time << ';';
+  std::vector<std::array<long long, 4>> edges;
+  edges.reserve(g.edge_count());
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    const Edge& ed = g.edge(e);
+    edges.push_back({static_cast<long long>(perm[ed.from]),
+                     static_cast<long long>(perm[ed.to]), ed.delay,
+                     static_cast<long long>(ed.volume)});
+  }
+  std::sort(edges.begin(), edges.end());
+  for (const auto& [from, to, delay, volume] : edges)
+    os << 'e' << from << '>' << to << 'd' << delay << 'c' << volume << ';';
+  return os.str();
+}
+
+CanonResult canonicalize(const Csdfg& g) {
+  const std::size_t n = g.node_count();
+  CanonResult result;
+  if (n == 0) {
+    result.fingerprint = hash128(canonical_form(g, {}));
+    return result;
+  }
+  SearchState st(g);
+  search(st, initial_colors(g), 1);
+  result.perm = std::move(st.best_perm);
+  result.fingerprint = hash128(st.best_form);
+  result.automorphism_count = std::max<unsigned long long>(1, st.count);
+  result.complete = !st.capped;
+  result.orbit.resize(n);
+  for (NodeId v = 0; v < n; ++v) result.orbit[v] = st.orbits.find(v);
+  return result;
+}
+
+std::string fingerprint_hex(const std::array<std::uint64_t, 2>& fingerprint) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string hex(32, '0');
+  for (std::size_t lane = 0; lane < 2; ++lane)
+    for (std::size_t i = 0; i < 16; ++i)
+      hex[lane * 16 + i] =
+          kHex[(fingerprint[lane] >> (60 - 4 * i)) & 0xfULL];
+  return hex;
+}
+
+std::string graph_fingerprint(const Csdfg& g) {
+  return fingerprint_hex(canonicalize(g).fingerprint);
+}
+
+bool reverify(const Csdfg& g, const CanonResult& r) {
+  if (r.perm.size() != g.node_count()) return false;
+  try {
+    return hash128(canonical_form(g, r.perm)) == r.fingerprint;
+  } catch (const GraphError&) {
+    return false;  // Not a permutation — a tampered witness.
+  }
+}
+
+bool isomorphic(const Csdfg& a, const CanonResult& ca, const Csdfg& b,
+                const CanonResult& cb) {
+  if (a.node_count() != b.node_count() || a.edge_count() != b.edge_count())
+    return false;
+  if (ca.perm.size() != a.node_count() || cb.perm.size() != b.node_count())
+    return false;
+  return canonical_form(a, ca.perm) == canonical_form(b, cb.perm);
+}
+
+bool isomorphic(const Csdfg& a, const Csdfg& b) {
+  return isomorphic(a, canonicalize(a), b, canonicalize(b));
+}
+
+std::string orbit_summary(const Csdfg& g, const CanonResult& r) {
+  std::map<NodeId, std::vector<NodeId>> groups;
+  for (NodeId v = 0; v < r.orbit.size(); ++v)
+    groups[r.orbit[v]].push_back(v);
+  std::ostringstream os;
+  for (const auto& [rep, members] : groups) {
+    if (members.size() < 2) continue;
+    os << '{';
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      if (i > 0) os << ',';
+      os << g.node(members[i]).name;
+    }
+    os << '}';
+  }
+  return os.str();
+}
+
+void audit_corpus(const std::vector<CorpusEntry>& corpus, DiagnosticBag& bag) {
+  struct Item {
+    std::size_t index;
+    CanonResult canon;
+    std::string form;  // filled lazily, for grouped entries only
+  };
+  std::map<std::string, std::vector<Item>> by_fingerprint;
+  std::vector<std::string> keys_in_order;  // first-seen corpus order
+  for (std::size_t i = 0; i < corpus.size(); ++i) {
+    if (corpus[i].graph == nullptr) continue;
+    Item item{i, canonicalize(*corpus[i].graph), {}};
+    std::string key = fingerprint_hex(item.canon.fingerprint);
+    if (by_fingerprint.find(key) == by_fingerprint.end())
+      keys_in_order.push_back(key);
+    by_fingerprint[key].push_back(std::move(item));
+  }
+  for (const std::string& key : keys_in_order) {
+    std::vector<Item>& group = by_fingerprint[key];
+    if (group.size() < 2) continue;
+    for (Item& item : group)
+      item.form = canonical_form(*corpus[item.index].graph, item.canon.perm);
+    for (std::size_t j = 1; j < group.size(); ++j) {
+      const CorpusEntry& later = corpus[group[j].index];
+      // A duplicate is verified against the earliest entry whose *form*
+      // matches — hash equality alone is never sufficient evidence.
+      const Item* verified = nullptr;
+      for (std::size_t i = 0; i < j && verified == nullptr; ++i)
+        if (group[i].form == group[j].form) verified = &group[i];
+      if (verified != nullptr) {
+        std::ostringstream os;
+        os << "workload is attribute-isomorphic to '"
+           << corpus[verified->index].label << "' (fingerprint " << key
+           << "); deduplicate, or annotate why both copies exist";
+        bag.add("CCS-N001", SourceSpan{later.label, 0}, os.str());
+      } else {
+        std::ostringstream os;
+        os << "fingerprint collision: shares " << key << " with '"
+           << corpus[group[0].index].label
+           << "' but the canonical forms differ — the 128-bit hash has "
+              "collided; report this corpus";
+        bag.add("CCS-N003", SourceSpan{later.label, 0}, os.str());
+      }
+    }
+  }
+}
+
+}  // namespace ccs

@@ -1,0 +1,134 @@
+// ccsched — canonical labeling of CSDFGs (isomorphism-aware fingerprints).
+//
+// ROADMAP item 1 (`ccsched serve`) needs to recognize a problem it has
+// already solved even when the resubmission numbers its tasks differently:
+// production streams of task graphs are dominated by a few thousand
+// recurring kernel shapes under arbitrary node numberings.  This module
+// computes a *canonical labeling* of a Csdfg — a permutation of its nodes
+// that depends only on the graph's attributed structure, never on the
+// insertion order — so that two graphs are attribute-isomorphic exactly
+// when their canonical forms are byte-identical.
+//
+// Algorithm: iterated color refinement (1-WL) over node attributes
+// (computation time, in/out degree) and edge attributes (delay, volume),
+// followed by an individualization-refinement search that splits the
+// remaining orbits deterministically.  Cells whose members are pairwise
+// exchangeable by a verified transposition automorphism are collapsed
+// instead of enumerated, so the common symmetric degeneracies (identical
+// isolated tasks, parallel identical chains) cost O(cell) instead of
+// O(cell!).
+//
+// House style (CCS-B bounds, CCS-S certificates): every analysis ships a
+// machine-checkable witness that reverify() re-derives from first
+// principles.  Here the witness IS the permutation: reverify() applies it,
+// re-serializes the node/edge multisets, and re-hashes — a tampered
+// permutation that is not an automorphism changes the form and is caught.
+//
+// The graph *name* is deliberately excluded from the form (two identical
+// shapes with different names are the same workload), exactly as the
+// RouteCache excludes the topology name from its structural key
+// (arch/route_cache.hpp — whose canonical_topology_key() is the machine
+// half of the SolveCache key in engine/solve_cache.hpp).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/diagnostics.hpp"
+#include "core/csdfg.hpp"
+
+namespace ccs {
+
+/// Result of canonical labeling: the permutation witness plus everything
+/// derived from it.
+struct CanonResult {
+  /// perm[v] = canonical index of node v; a bijection on 0..n-1 that
+  /// depends only on the attributed structure.
+  std::vector<NodeId> perm;
+  /// 128-bit hash of the canonical serialization (canonical_form below).
+  /// Equal for attribute-isomorphic graphs; unequal with overwhelming
+  /// probability otherwise — and CCS-N003 audits the residual risk by
+  /// comparing forms, never hashes, before trusting a match.
+  std::array<std::uint64_t, 2> fingerprint{};
+  /// Order of the attribute-preserving automorphism group |Aut(G)| (>= 1).
+  /// Exact when `complete`; a proven lower bound otherwise.
+  unsigned long long automorphism_count = 1;
+  /// Orbit partition of the nodes under the discovered automorphisms:
+  /// orbit[v] is the smallest node id in v's orbit, so orbit[v] == v marks
+  /// orbit representatives.  Nontrivial orbits are what CCS-N002 surfaces
+  /// for symmetry-breaking.
+  std::vector<NodeId> orbit;
+  /// False when the individualization search hit its internal leaf cap
+  /// (pathologically symmetric inputs only); the labeling is still a valid
+  /// deterministic function of the *given* labeling, but invariance under
+  /// relabeling is no longer guaranteed.  Safe everywhere it is consumed:
+  /// the SolveCache verifies candidate hits by exact form comparison.
+  bool complete = true;
+};
+
+/// Canonically labels `g`.  Deterministic; never throws on any graph the
+/// lenient parser can produce (legality is NOT required — refinement does
+/// not care about cycles).  O(n + m) per refinement round in the common
+/// case; the tie-break search is bounded by an internal leaf cap.
+[[nodiscard]] CanonResult canonicalize(const Csdfg& g);
+
+/// The exact byte string the fingerprint hashes: node count, edge count,
+/// the canonical-order time sequence, and the sorted multiset of edges as
+/// (perm[from], perm[to], delay, volume).  `perm` must be a bijection on
+/// g's nodes (checked; throws GraphError otherwise).  Exposed so audits
+/// (CCS-N003, the SolveCache hit path) can compare forms byte for byte
+/// instead of trusting 128-bit hashes.
+[[nodiscard]] std::string canonical_form(const Csdfg& g,
+                                         const std::vector<NodeId>& perm);
+
+/// 32-hex-digit lowercase rendering of `fingerprint`.
+[[nodiscard]] std::string fingerprint_hex(
+    const std::array<std::uint64_t, 2>& fingerprint);
+
+/// Convenience: canonicalize + render.  The stable identity of a workload.
+[[nodiscard]] std::string graph_fingerprint(const Csdfg& g);
+
+/// Re-derives the fingerprint from the permutation witness: checks that
+/// `r.perm` is a bijection, applies it, re-serializes the node/edge
+/// multisets, re-hashes, and compares against `r.fingerprint`.  False
+/// means the witness does not support the claimed fingerprint (tampering,
+/// or a first-principles bug).  A witness replaced by a different
+/// *automorphism* still verifies — any such permutation is an equally
+/// valid witness of the same canonical form.
+[[nodiscard]] bool reverify(const Csdfg& g, const CanonResult& r);
+
+/// Exact attribute-isomorphism check through already-computed witnesses:
+/// true iff canonical_form(a, ca.perm) == canonical_form(b, cb.perm),
+/// compared byte for byte (hashes are never trusted here).
+[[nodiscard]] bool isomorphic(const Csdfg& a, const CanonResult& ca,
+                              const Csdfg& b, const CanonResult& cb);
+
+/// Convenience overload: canonicalizes both sides first.
+[[nodiscard]] bool isomorphic(const Csdfg& a, const Csdfg& b);
+
+/// Renders the nontrivial orbits of `r` as "{a,b}{c,d,e}" using node names
+/// from `g`, in ascending representative order; empty when the
+/// automorphism group is trivial.  Shared by CCS-N002 and the fingerprint
+/// CLI so the two render identically.
+[[nodiscard]] std::string orbit_summary(const Csdfg& g, const CanonResult& r);
+
+/// One graph of a corpus under audit (CCS-N001 / CCS-N003).
+struct CorpusEntry {
+  /// Label used in diagnostics ("examples/data/foo.csdfg", "library:fir8").
+  std::string label;
+  const Csdfg* graph = nullptr;
+};
+
+/// Audits a corpus for duplicate shapes: groups the entries by
+/// fingerprint, then verifies every grouped pair by exact form comparison.
+/// A verified pair is CCS-N001 (isomorphic duplicate, warning); a pair
+/// whose fingerprints collide but whose forms differ is CCS-N003
+/// (fingerprint collision, error).  Diagnostics anchor at the LATER
+/// entry's label (line 0) and name the earlier one, so fixing the corpus
+/// means touching the file the finding points at.  Appends to `bag`
+/// without finalizing; deterministic in corpus order.
+void audit_corpus(const std::vector<CorpusEntry>& corpus, DiagnosticBag& bag);
+
+}  // namespace ccs

@@ -5,6 +5,7 @@
 #include <sstream>
 #include <tuple>
 
+#include "analysis/canon.hpp"
 #include "core/critical_cycle.hpp"
 #include "core/graph_algo.hpp"
 #include "core/iteration_bound.hpp"
@@ -143,6 +144,28 @@ public:
   }
 };
 
+/// CCS-N002: the graph has interchangeable tasks (a nontrivial
+/// automorphism group); surfaces the orbit partition so symmetry-aware
+/// search can pin one representative per orbit (analysis/canon.hpp).
+class AutomorphismGroupPass final : public LintPass {
+public:
+  [[nodiscard]] const LintRule& rule() const override {
+    return rule_or_die("CCS-N002");
+  }
+
+  void run(const LintInput& input, DiagnosticBag& bag) const override {
+    const CanonResult canon = canonicalize(input.graph);
+    if (canon.automorphism_count <= 1) return;
+    std::ostringstream os;
+    os << "the graph has " << canon.automorphism_count
+       << (canon.complete ? "" : "+")
+       << " attribute-preserving automorphisms; interchangeable task "
+          "orbits: "
+       << orbit_summary(input.graph, canon);
+    bag.add("CCS-N002", input.spans.file_span(), os.str());
+  }
+};
+
 /// CCS-G008: the critical cycle carries a single delay and its computation
 /// time already reaches the critical path — the iteration bound equals the
 /// whole recurrence time, so no retiming or remapping can improve the
@@ -278,11 +301,12 @@ const std::vector<const LintPass*>& lint_passes() {
   static const InsufficientProcessorsPass insufficient_processors;
   static const OversizedCommunicationPass oversized_communication;
   static const SpeedListMismatchPass speed_list_mismatch;
+  static const AutomorphismGroupPass automorphism_group;
   static const std::vector<const LintPass*> passes{
       &zero_delay_cycle,     &duplicate_edge,
       &isolated_node,        &delay_starved,
       &insufficient_processors, &oversized_communication,
-      &speed_list_mismatch,
+      &speed_list_mismatch,  &automorphism_group,
   };
   return passes;
 }

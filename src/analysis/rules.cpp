@@ -6,7 +6,7 @@ namespace ccs {
 
 namespace {
 
-constexpr std::array<LintRule, 39> kRules{{
+constexpr std::array<LintRule, 43> kRules{{
     {"CCS-P001", "syntax-error", Severity::kError,
      "A line of the graph file does not match any directive grammar.",
      "Use `graph <name>`, `node <name> <time>`, or `edge <from> <to> "
@@ -223,6 +223,37 @@ constexpr std::array<LintRule, 39> kRules{{
      "File a bug: re-run `ccsched analyze` on the graph and machine, "
      "compare each CCS-B witness against the certified table, and fix "
      "whichever derivation is wrong before trusting portfolio pruning."},
+    {"CCS-S016", "cached-translation-uncertified", Severity::kError,
+     "A schedule served from the canonical solve cache, translated back "
+     "through the inverse permutation witness, failed first-principles "
+     "re-certification — the cached entry, the witness, or the translation "
+     "is corrupt; the hit was discarded.",
+     "File a bug: the solve falls back to a cold run automatically, but a "
+     "failing translation means the canonical labeling or the cache "
+     "storage violated its invariants.  Re-run `ccsched fingerprint` on "
+     "both submissions and compare the witnesses."},
+    {"CCS-N001", "isomorphic-duplicate-workload", Severity::kWarning,
+     "Two workloads in the corpus are attribute-isomorphic: identical "
+     "node times, edge delays, and data volumes up to a renaming of the "
+     "tasks — every analysis and schedule of one applies verbatim to the "
+     "other through the permutation witness.",
+     "Deduplicate the corpus (keep one copy and reference it), or "
+     "annotate why both copies exist (e.g. a file mirror of a library "
+     "workload kept for CLI round-trip tests)."},
+    {"CCS-N002", "nontrivial-automorphism-group", Severity::kNote,
+     "The graph has nontrivial attribute-preserving automorphisms: "
+     "interchangeable tasks make portfolio attempts explore mirrored "
+     "placements that differ only by a renaming.",
+     "Informational.  The orbit partition in the message lists the "
+     "interchangeable task groups; symmetry-aware search may pin one "
+     "representative per orbit to skip the duplicate work."},
+    {"CCS-N003", "fingerprint-collision", Severity::kError,
+     "Two non-isomorphic graphs share a 128-bit canonical fingerprint — "
+     "a hash collision that equality-by-fingerprint consumers (the solve "
+     "cache, corpus dedup) must never trust silently.",
+     "Report the colliding pair.  Every consumer in this repository "
+     "verifies candidate matches by exact canonical-form comparison, so "
+     "a collision degrades to a cache miss rather than a wrong answer."},
 }};
 
 }  // namespace

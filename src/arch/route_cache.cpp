@@ -14,19 +14,16 @@ namespace {
 
 constexpr std::size_t kUnreachable = std::numeric_limits<std::size_t>::max();
 
-/// Structural key: every field that influences the tables, nothing else.
-/// Links are normalized by the caller, so equal structures produce equal
-/// keys byte for byte.
-std::string structure_key(
+}  // namespace
+
+std::string canonical_topology_key(
     std::size_t num_pes, bool directed,
     const std::vector<std::pair<std::size_t, std::size_t>>& links) {
   std::ostringstream os;
-  os << (directed ? 'd' : 'u') << num_pes;
+  os << "topo1:" << (directed ? 'd' : 'u') << num_pes;
   for (const auto& [a, b] : links) os << ':' << a << ',' << b;
   return os.str();
 }
-
-}  // namespace
 
 RouteTables compute_route_tables(
     std::size_t num_pes, bool directed,
@@ -111,7 +108,8 @@ std::shared_ptr<const RouteTables> RouteCache::tables_for(
   {
     const std::scoped_lock lock(mu_);
     if (enabled_) {
-      const auto it = entries_.find(structure_key(num_pes, directed, links));
+      const auto it =
+          entries_.find(canonical_topology_key(num_pes, directed, links));
       if (it != entries_.end()) {
         ++hits_;
         return it->second;
@@ -134,7 +132,7 @@ std::shared_ptr<const RouteTables> RouteCache::tables_for(
   // Two threads may race to insert the same structure; the first insert
   // wins and both callers end up sharing that entry.
   const auto [it, inserted] = entries_.emplace(
-      structure_key(num_pes, directed, links), std::move(tables));
+      canonical_topology_key(num_pes, directed, links), std::move(tables));
   return it->second;
 }
 

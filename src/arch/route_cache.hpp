@@ -41,6 +41,24 @@ struct RouteTables {
   std::size_t diameter = 0;
 };
 
+/// Canonical topology key: the one structural serialization of a machine
+/// used everywhere a topology identifies a memo entry — the RouteCache
+/// below and the engine's SolveCache (engine/solve_cache.hpp) share it, so
+/// there is exactly one hashing scheme to audit.  Every field that can
+/// influence routing (and nothing else) is serialized: PE count,
+/// directedness, and the normalized link list.  The topology *name* is
+/// deliberately excluded — structurally equal machines are the same
+/// machine.  Unlike the graph fingerprint (analysis/canon.hpp) this key is
+/// NOT isomorphism-invariant: PE numbering is observable (routing tables,
+/// schedule placements, speed lists all index PEs), so renumbered machines
+/// must keep distinct keys.  `links` must be normalized the way Topology
+/// normalizes them (in range, no self-loops, deduplicated, smaller
+/// endpoint first when undirected); equal structures then produce equal
+/// keys byte for byte.  The "topo1:" prefix versions the format.
+[[nodiscard]] std::string canonical_topology_key(
+    std::size_t num_pes, bool directed,
+    const std::vector<std::pair<std::size_t, std::size_t>>& links);
+
 /// Computes the tables directly, with no caching: BFS from every PE, then
 /// (for structures within `next_hop_limit`) the first-hop matrix.  Throws
 /// ArchitectureError naming `name` if the structure is not (strongly)

@@ -50,6 +50,7 @@
 #include "core/validator.hpp"
 
 // Static analysis, certification, diagnostics.
+#include "analysis/canon.hpp"
 #include "analysis/certify.hpp"
 #include "analysis/diagnostics.hpp"
 #include "analysis/lint.hpp"
@@ -76,4 +77,5 @@
 
 // The engine: portfolio search + the Solver facade.
 #include "engine/portfolio.hpp"
+#include "engine/solve_cache.hpp"
 #include "engine/solver.hpp"

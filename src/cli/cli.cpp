@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "analysis/bounds.hpp"
+#include "analysis/canon.hpp"
 #include "analysis/certify.hpp"
 #include "analysis/lint.hpp"
 #include "arch/comm_model.hpp"
@@ -463,6 +464,11 @@ int cmd_analyze(Args& args, std::istream& in, std::ostream& out) {
     out << render_sarif(bag, "ccsched-analyze");
   } else {
     out << render_text(bag);
+    if (parsed.graph.is_legal()) {
+      const CanonResult canon = canonicalize(parsed.graph);
+      out << "fingerprint " << fingerprint_hex(canon.fingerprint) << " (|Aut| = "
+          << canon.automorphism_count << (canon.complete ? "" : "+") << ")\n";
+    }
     if (bound.has_value()) {
       out << "composite lower bound " << std::max(1, bound->value);
       if (!bound->dominant.empty()) out << " (" << bound->dominant << ')';
@@ -471,6 +477,67 @@ int cmd_analyze(Args& args, std::istream& in, std::ostream& out) {
             << bound->dominant_local << ')';
       out << " on " << topo.name() << '\n';
     }
+  }
+  return bag.fails(werror) ? kFailure : kOk;
+}
+
+/// `ccsched fingerprint`: canonical graph fingerprints, duplicate audit,
+/// isomorphism checks.  Each input parses leniently (CCS-P findings land in
+/// the shared bag); every pairwise collision/duplicate the CCS-N audit
+/// finds is rendered through the standard diagnostic machinery.  Text mode
+/// prints one `<hex32>  aut=<k>  <file>` line per input, byte-deterministic
+/// across runs and across task relabelings.  With --isomorphic (exactly two
+/// inputs) the verdict decides the exit code: 0 when attribute-isomorphic,
+/// 1 when not.
+int cmd_fingerprint(Args& args, std::istream& in, std::ostream& out) {
+  const bool iso = args.flag("isomorphic");
+  const std::string format = args.value("format").value_or("text");
+  if (format != "text" && format != "jsonl" && format != "sarif")
+    throw UsageError{"--format must be text, jsonl, or sarif"};
+  const bool werror = args.flag("werror");
+  args.reject_unknown();
+  const std::vector<std::string>& paths = args.positional();
+  if (paths.empty())
+    throw UsageError{"fingerprint: expected one or more <graph> files"};
+  if (iso && paths.size() != 2)
+    throw UsageError{"fingerprint --isomorphic: expected exactly two graphs"};
+
+  DiagnosticBag bag;
+  bool used_stdin = false;
+  std::vector<ParsedCsdfg> graphs;
+  graphs.reserve(paths.size());
+  for (const std::string& path : paths) {
+    const std::string text = slurp(path, in, used_stdin);
+    graphs.push_back(parse_csdfg_with_spans(text, span_label(path), bag));
+  }
+  std::vector<CanonResult> canon(graphs.size());
+  std::vector<CorpusEntry> corpus;
+  corpus.reserve(graphs.size());
+  for (std::size_t i = 0; i < graphs.size(); ++i) {
+    canon[i] = canonicalize(graphs[i].graph);
+    corpus.push_back({span_label(paths[i]), &graphs[i].graph});
+  }
+  audit_corpus(corpus, bag);
+  bag.finalize();
+
+  if (format == "jsonl") {
+    out << render_jsonl(bag);
+  } else if (format == "sarif") {
+    out << render_sarif(bag, "ccsched-fingerprint");
+  } else {
+    out << render_text(bag);
+    for (std::size_t i = 0; i < graphs.size(); ++i) {
+      out << fingerprint_hex(canon[i].fingerprint) << "  aut="
+          << canon[i].automorphism_count << (canon[i].complete ? "" : "+")
+          << "  " << span_label(paths[i]) << '\n';
+    }
+  }
+  if (iso) {
+    const bool same =
+        isomorphic(graphs[0].graph, canon[0], graphs[1].graph, canon[1]);
+    if (format == "text")
+      out << (same ? "isomorphic" : "not isomorphic") << '\n';
+    return same && !bag.fails(werror) ? kOk : kFailure;
   }
   return bag.fails(werror) ? kFailure : kOk;
 }
@@ -965,8 +1032,8 @@ int cmd_report(Args& args, std::istream& in, std::ostream& out) {
 
 void print_usage(std::ostream& err) {
   err << "usage: ccsched <command> [arguments]\n"
-         "commands: info, bound, retime, dot, lint, analyze, certify, "
-         "expand, schedule, validate, simulate, stress, report\n"
+         "commands: info, bound, retime, dot, lint, analyze, fingerprint, "
+         "certify, expand, schedule, validate, simulate, stress, report\n"
          "see src/cli/cli.hpp for the full grammar\n";
 }
 
@@ -987,6 +1054,7 @@ int run_cli(const std::vector<std::string>& args, std::istream& in,
     if (command == "dot") return cmd_dot(parsed, in, out);
     if (command == "lint") return cmd_lint(parsed, in, out);
     if (command == "analyze") return cmd_analyze(parsed, in, out);
+    if (command == "fingerprint") return cmd_fingerprint(parsed, in, out);
     if (command == "certify") return cmd_certify(parsed, in, out);
     if (command == "expand") return cmd_expand(parsed, in, out);
     if (command == "schedule") return cmd_schedule(parsed, in, out, err);

@@ -21,6 +21,15 @@
 //                                            CCS-B note per applicable pass
 //                                            with its witness, plus the
 //                                            composite floor (docs/ALGORITHM.md)
+//   ccsched fingerprint <graph> [<graph> ...] [options]
+//       --format text|jsonl|sarif            report format (default text)
+//       --werror                             warnings fail the exit code
+//       --isomorphic                         exactly two graphs: exit 0 iff
+//                                            they are attribute-isomorphic
+//                                            canonical 128-bit fingerprint per
+//                                            graph (analysis/canon.hpp), plus
+//                                            the CCS-N duplicate/collision
+//                                            audit across all inputs
 //   ccsched certify <schedule> --graph <csdfg> --arch "<spec>" [options]
 //       --format text|jsonl|sarif            report format (default text)
 //       --werror                             warnings fail the exit code

@@ -6,6 +6,7 @@
 
 #include "analysis/bounds.hpp"
 #include "arch/comm_model.hpp"
+#include "engine/solve_cache.hpp"
 #include "core/list_scheduler.hpp"
 #include "core/modulo_scheduler.hpp"
 #include "core/validator.hpp"
@@ -210,7 +211,74 @@ SolveResponse Solver::solve(const SolveRequest& request) const {
     }
     if (!res.machine.has_value()) res.machine = topo;
 
-    switch (request.mode) {
+    // Canonical-keyed memoization (engine/solve_cache.hpp): recognize
+    // "this problem, renamed" and serve the prior certified answer through
+    // the permutation witness instead of re-solving.  A hit is only
+    // trusted after the translated table passes first-principles
+    // re-certification (CCS-S016); any rejection falls back to the cold
+    // path below, so the cache can delay an answer but never change one.
+    SolveCache& cache = SolveCache::global();
+    std::optional<CanonResult> canon;
+    std::string cache_key;
+    std::string exact_key;
+    if (solve_cacheable(request) && cache.enabled()) {
+      const std::uint64_t options_fp = options_fingerprint(request);
+      exact_key =
+          exact_solve_key(topo, options_fp, exact_graph_bytes(request.graph));
+      // Tier 1: a byte-identical resubmission replays the response this
+      // process already certified for exactly these bytes (memoization of
+      // a deterministic function — no new trust, and no canonicalization:
+      // the fast path is a serialization plus a map probe).
+      if (const auto served = cache.lookup_exact(exact_key)) {
+        res = *served;  // fingerprint replayed with the rest
+        res.machine = topo;  // same structure; the caller's name may differ
+        res.cache_hit = true;
+        cache.record_hit();
+        cache.record_identical();
+        obs_.count("cache.hit");
+        obs_.count("cache.hit.identical");
+      } else {
+        {
+          const ObsSpan lookup_span = obs_.span("cache.lookup");
+          canon.emplace(canonicalize(request.graph));
+        }
+        res.fingerprint = fingerprint_hex(canon->fingerprint);
+        cache_key = solve_cache_key(*canon, topo, options_fp);
+        if (const auto entry = cache.lookup(cache_key)) {
+          // Tier 2: an isomorphic resubmission — translate through the
+          // witness and re-certify from first principles (CCS-S016).
+          SolveResponse candidate;
+          candidate.machine = topo;
+          candidate.fingerprint = res.fingerprint;
+          bool translated = false;
+          {
+            const ObsSpan translate_span = obs_.span("cache.translate");
+            translated =
+                translate_cached(*entry, request, *canon, comm, candidate);
+          }
+          if (translated) {
+            cache.record_hit();
+            obs_.count("cache.hit");
+            candidate.cache_hit = true;
+            res = std::move(candidate);
+            cache.remember_exact(exact_key,
+                                 std::make_shared<SolveResponse>(res));
+          } else {
+            // The rejection reasons live in the discarded candidate's bag
+            // (CCS-N003 / CCS-S016); the cold solve below answers as if the
+            // entry never existed.
+            cache.record_rejected();
+            obs_.count("cache.reject");
+          }
+        }
+      }
+      if (!res.cache_hit) {
+        cache.record_miss();
+        obs_.count("cache.miss");
+      }
+    }
+
+    if (!res.cache_hit) switch (request.mode) {
       case SolveMode::kStartup:
         solve_startup(request, topo, comm, obs_, res);
         break;
@@ -246,6 +314,15 @@ SolveResponse Solver::solve(const SolveRequest& request) const {
             compute_bounds(request.graph, topo, comm, request.options).value);
       res.gap = res.best_length - res.lower_bound;
       res.optimal = res.certified && request.certify && res.gap == 0;
+    }
+
+    // Publish a certified cold answer for every future isomorphic
+    // resubmission.  Insert after the bound tail so the entry replays a
+    // fully-populated response (lower_bound >= 1 included).
+    if (!res.cache_hit && canon.has_value() && res.status == SolveStatus::kOk &&
+        res.certified && res.schedule.has_value()) {
+      cache.insert(cache_key, make_cache_entry(request, *canon, res));
+      cache.remember_exact(exact_key, std::make_shared<SolveResponse>(res));
     }
   } catch (const Error& e) {
     add_invalid(res.diagnostics, e.what());

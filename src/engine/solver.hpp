@@ -133,6 +133,16 @@ struct SolveResponse {
   /// True when the schedule is certified AND gap == 0: the response is
   /// provably optimal, with the winning CCS-B pass as the certificate.
   bool optimal = false;
+  /// True when the answer was served from the SolveCache: a prior
+  /// certified solve of an isomorphic problem was translated through the
+  /// permutation witness and re-certified (CCS-S016) against this
+  /// request's graph.  Byte-identical to the cold answer modulo the
+  /// witness permutation.
+  bool cache_hit = false;
+  /// Canonical 128-bit graph fingerprint (analysis/canon.hpp) as 32 hex
+  /// digits, filled whenever the request was cacheable.  Equal across all
+  /// attribute-isomorphic relabelings of the graph.
+  std::string fingerprint;
   /// kPortfolio: per-attempt provenance and the winner's identity.
   std::vector<AttemptOutcome> attempts;
   int winner_attempt = -1;

@@ -454,5 +454,68 @@ TEST(Cli, StressRepairOnAnAllDeadMachineIsInfeasible) {
   EXPECT_NE(r.out.find("repair:   infeasible"), std::string::npos);
 }
 
+// -------------------------------------------------------------- fingerprint
+
+/// Returns the `<hex32>  aut=...  <file>` lines of a fingerprint run.
+std::vector<std::string> fingerprint_lines(const std::string& out) {
+  std::vector<std::string> lines;
+  std::istringstream stream(out);
+  std::string line;
+  while (std::getline(stream, line))
+    if (line.find("  aut=") != std::string::npos) lines.push_back(line);
+  return lines;
+}
+
+TEST(Cli, FingerprintOutputIsByteDeterministic) {
+  const std::string a = temp_file("fp_a.csdfg", kDemo);
+  const std::string b = temp_file("fp_b.csdfg", paper6_text());
+  const CliResult first = cli({"fingerprint", a, b});
+  const CliResult second = cli({"fingerprint", a, b});
+  EXPECT_EQ(first.code, 0) << first.out;
+  EXPECT_EQ(first.out, second.out);
+  EXPECT_EQ(first.err, second.err);
+
+  const std::vector<std::string> lines = fingerprint_lines(first.out);
+  ASSERT_EQ(lines.size(), 2u) << first.out;
+  for (const std::string& line : lines) {
+    ASSERT_GE(line.size(), 32u);
+    EXPECT_EQ(line.find_first_not_of("0123456789abcdef"), 32u) << line;
+  }
+  // Distinct workloads keep distinct fingerprints.
+  EXPECT_NE(lines[0].substr(0, 32), lines[1].substr(0, 32));
+}
+
+TEST(Cli, FingerprintFlagsDuplicateInputsAsN001) {
+  const std::string a = temp_file("dup_a.csdfg", kDemo);
+  const std::string b = temp_file("dup_b.csdfg", kDemo);
+  const CliResult lenient = cli({"fingerprint", a, b});
+  EXPECT_EQ(lenient.code, 0) << lenient.out;
+  EXPECT_NE(lenient.out.find("CCS-N001"), std::string::npos);
+  // The duplicate is a warning: fatal only under --werror.
+  const CliResult strict = cli({"fingerprint", a, b, "--werror"});
+  EXPECT_EQ(strict.code, 1) << strict.out;
+}
+
+TEST(Cli, FingerprintIsomorphicVerdictsAndExitCodes) {
+  const std::string a = temp_file("iso_a.csdfg", kDemo);
+  // kDemo under different node names: attribute-isomorphic to it.
+  const std::string renamed = temp_file(
+      "iso_renamed.csdfg",
+      "graph demo2\nnode x 1\nnode y 2\nedge x y 0 2\nedge y x 2 1\n");
+  const std::string other = temp_file("iso_other.csdfg", paper6_text());
+
+  const CliResult same = cli({"fingerprint", "--isomorphic", a, renamed});
+  EXPECT_EQ(same.code, 0) << same.out;
+  EXPECT_NE(same.out.find("isomorphic"), std::string::npos);
+  EXPECT_EQ(same.out.find("not isomorphic"), std::string::npos) << same.out;
+
+  const CliResult diff = cli({"fingerprint", "--isomorphic", a, other});
+  EXPECT_EQ(diff.code, 1) << diff.out;
+  EXPECT_NE(diff.out.find("not isomorphic"), std::string::npos);
+
+  const CliResult usage = cli({"fingerprint", "--isomorphic", a});
+  EXPECT_EQ(usage.code, 2) << usage.out;
+}
+
 }  // namespace
 }  // namespace ccs

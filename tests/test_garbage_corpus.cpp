@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/canon.hpp"
 #include "analysis/certify.hpp"
 #include "analysis/diagnostics.hpp"
 #include "io/schedule_format.hpp"
@@ -24,8 +25,12 @@ namespace {
 void expect_survives(const std::string& text, const std::string& label) {
   {
     DiagnosticBag bag;
-    (void)parse_csdfg_with_spans(text, label, bag);
+    const auto parsed = parse_csdfg_with_spans(text, label, bag);
     bag.finalize();
+    // Whatever graph the lenient parser salvages, canonical labeling must
+    // terminate on it and hand back a permutation witness that reverifies.
+    const CanonResult canon = canonicalize(parsed.graph);
+    EXPECT_TRUE(reverify(parsed.graph, canon)) << label;
   }
   {
     DiagnosticBag bag;

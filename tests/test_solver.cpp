@@ -14,7 +14,11 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <numeric>
+#include <random>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "workloads/library.hpp"
 
@@ -274,6 +278,316 @@ TEST(SolverApi, SolverForwardsItsObsContext) {
   const SolveResponse res = solver.solve(req);
   ASSERT_TRUE(res.ok());
   EXPECT_GT(metrics.counter("compaction.passes"), 0);
+}
+
+// ---------------------------------------------------------------------------
+// The canonical-keyed SolveCache (engine/solve_cache.hpp): a certified
+// answer to "this problem, renamed" is served through the permutation
+// witness and re-certified (CCS-S016) instead of re-solved.
+
+/// `g` with node v moved to position to_new[v]; names ride along so tests
+/// can match tasks across the relabeling.
+Csdfg relabel(const Csdfg& g, const std::vector<NodeId>& to_new) {
+  const std::size_t n = g.node_count();
+  std::vector<NodeId> inv(n);
+  for (NodeId v = 0; v < n; ++v) inv[to_new[v]] = v;
+  Csdfg out(g.name());
+  for (NodeId p = 0; p < n; ++p)
+    out.add_node(g.node(inv[p]).name, g.node(inv[p]).time);
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    const Edge& ed = g.edge(e);
+    out.add_edge(to_new[ed.from], to_new[ed.to], ed.delay, ed.volume);
+  }
+  return out;
+}
+
+std::vector<NodeId> rotated_perm(std::size_t n, std::size_t shift) {
+  std::vector<NodeId> perm(n);
+  for (NodeId v = 0; v < n; ++v) perm[v] = (v + shift) % n;
+  return perm;
+}
+
+TEST(SolverCache, RelabeledResubmissionHitsAndMatchesColdSolve) {
+  SolveCache::global().clear();
+  Solver solver;
+  SolveRequest req;
+  req.graph = paper_example6();
+  req.arch = "mesh 2 2";
+  const SolveResponse cold = solver.solve(req);
+  ASSERT_TRUE(cold.ok()) << render_text(cold.diagnostics);
+  ASSERT_TRUE(cold.certified);
+  EXPECT_FALSE(cold.cache_hit);
+  EXPECT_EQ(cold.fingerprint.size(), 32u);
+
+  std::mt19937 rng(20260809);
+  std::vector<NodeId> perm(req.graph.node_count());
+  std::iota(perm.begin(), perm.end(), 0);
+  std::shuffle(perm.begin(), perm.end(), rng);
+  SolveRequest renamed = req;
+  renamed.graph = relabel(req.graph, perm);
+  const SolveResponse hot = solver.solve(renamed);
+  ASSERT_TRUE(hot.ok()) << render_text(hot.diagnostics);
+  EXPECT_TRUE(hot.cache_hit);
+  EXPECT_TRUE(hot.certified);
+  EXPECT_EQ(hot.fingerprint, cold.fingerprint);
+  EXPECT_EQ(hot.best_length, cold.best_length);
+  EXPECT_EQ(hot.startup_length, cold.startup_length);
+  EXPECT_EQ(hot.lower_bound, cold.lower_bound);
+  EXPECT_EQ(hot.gap, cold.gap);
+  EXPECT_EQ(hot.optimal, cold.optimal);
+  EXPECT_EQ(hot.stop_reason, cold.stop_reason);
+
+  // Bit-identical modulo the witness: every task lands on the same PE at
+  // the same step, and carries the same retiming, as its cold twin.
+  ASSERT_TRUE(hot.schedule.has_value());
+  EXPECT_EQ(hot.schedule->length(), cold.schedule->length());
+  for (NodeId v = 0; v < renamed.graph.node_count(); ++v) {
+    const NodeId orig = req.graph.node_by_name(renamed.graph.node(v).name);
+    EXPECT_EQ(hot.schedule->placement(v).pe,
+              cold.schedule->placement(orig).pe);
+    EXPECT_EQ(hot.schedule->placement(v).cb,
+              cold.schedule->placement(orig).cb);
+    EXPECT_EQ(hot.retiming.of(v), cold.retiming.of(orig));
+  }
+
+  // Independent first-principles check of the translated table.
+  const StoreAndForwardModel comm(*hot.machine);
+  DiagnosticBag check;
+  EXPECT_TRUE(certify_table(hot.graph, *hot.schedule, comm, "test", check,
+                            req.certify_options))
+      << render_text(check);
+
+  const SolveCache::Stats stats = SolveCache::global().stats();
+  EXPECT_EQ(stats.hits, 1);
+  EXPECT_EQ(stats.misses, 1);
+  EXPECT_EQ(stats.rejected, 0);
+  EXPECT_EQ(stats.entries, 1u);
+}
+
+TEST(SolverCache, StartupModeRoundTripsWithoutRetiming) {
+  SolveCache::global().clear();
+  Solver solver;
+  SolveRequest req;
+  req.graph = paper_example19();
+  req.arch = "ring 4";
+  req.mode = SolveMode::kStartup;
+  const SolveResponse cold = solver.solve(req);
+  ASSERT_TRUE(cold.ok()) << render_text(cold.diagnostics);
+  SolveRequest renamed = req;
+  renamed.graph = relabel(req.graph, rotated_perm(req.graph.node_count(), 7));
+  const SolveResponse hot = solver.solve(renamed);
+  ASSERT_TRUE(hot.ok()) << render_text(hot.diagnostics);
+  EXPECT_TRUE(hot.cache_hit);
+  EXPECT_TRUE(hot.certified);
+  EXPECT_EQ(hot.retiming.size(), 0u);
+  EXPECT_EQ(hot.best_length, cold.best_length);
+}
+
+TEST(SolverCache, CorruptEntryIsRejectedAndColdSolveStillAnswers) {
+  SolveCache::global().clear();
+  Solver solver;
+  SolveRequest req;
+  req.graph = paper_example6();
+  req.arch = "mesh 2 2";
+  const SolveResponse cold = solver.solve(req);
+  ASSERT_TRUE(cold.ok());
+  ASSERT_EQ(SolveCache::global().stats().entries, 1u);
+
+  SolveCache::global().corrupt_entries_for_test();
+  const SolveResponse res = solver.solve(req);
+  ASSERT_TRUE(res.ok()) << render_text(res.diagnostics);
+  EXPECT_FALSE(res.cache_hit);  // the corrupt entry was rejected
+  EXPECT_TRUE(res.certified);
+  EXPECT_EQ(res.best_length, cold.best_length);
+  EXPECT_GE(SolveCache::global().stats().rejected, 1);
+}
+
+TEST(SolverCache, CorruptTranslationFailsRecertificationAsS016) {
+  SolveCache::global().clear();
+  Solver solver;
+  SolveRequest req;
+  req.graph = paper_example6();
+  req.topology = make_mesh(2, 2);
+  const SolveResponse cold = solver.solve(req);
+  ASSERT_TRUE(cold.ok());
+  SolveCache::global().corrupt_entries_for_test();
+
+  const CanonResult canon = canonicalize(req.graph);
+  const std::string key =
+      solve_cache_key(canon, *req.topology, options_fingerprint(req));
+  const auto entry = SolveCache::global().lookup(key);
+  ASSERT_NE(entry, nullptr);
+  const StoreAndForwardModel comm(*req.topology);
+  SolveResponse out;
+  EXPECT_FALSE(translate_cached(*entry, req, canon, comm, out));
+  EXPECT_TRUE(has_code(out.diagnostics, "CCS-S016"))
+      << render_text(out.diagnostics);
+}
+
+TEST(SolverCache, FormMismatchIsRejectedAsFingerprintCollision) {
+  // A doctored entry whose key matched but whose canonical form differs is
+  // the CCS-N003 case: rejected before translation is attempted.
+  SolveRequest req;
+  req.graph = paper_example6();
+  req.topology = make_mesh(2, 2);
+  const CanonResult canon = canonicalize(req.graph);
+  SolveCache::Entry entry;
+  entry.canonical_form = "n0m0;";  // not this graph
+  const StoreAndForwardModel comm(*req.topology);
+  SolveResponse out;
+  EXPECT_FALSE(translate_cached(entry, req, canon, comm, out));
+  EXPECT_TRUE(has_code(out.diagnostics, "CCS-N003"))
+      << render_text(out.diagnostics);
+}
+
+TEST(SolverCache, WallClockBudgetsAndUncertifiedRequestsBypassTheCache) {
+  SolveCache::global().clear();
+  Solver solver;
+  SolveRequest req;
+  req.graph = paper_example6();
+  req.arch = "mesh 2 2";
+  req.options.budget.deadline_ms = 10'000;
+  const SolveResponse timed = solver.solve(req);
+  ASSERT_TRUE(timed.ok());
+  EXPECT_FALSE(timed.cache_hit);
+  EXPECT_TRUE(timed.fingerprint.empty());  // never canonicalized
+
+  SolveRequest uncertified;
+  uncertified.graph = paper_example6();
+  uncertified.arch = "mesh 2 2";
+  uncertified.certify = false;
+  const SolveResponse res = solver.solve(uncertified);
+  ASSERT_TRUE(res.ok());
+  EXPECT_TRUE(res.fingerprint.empty());
+  EXPECT_EQ(SolveCache::global().stats().entries, 0u);
+}
+
+TEST(SolverCache, DisabledCacheBypassesWithoutDroppingEntries) {
+  SolveCache& cache = SolveCache::global();
+  cache.clear();
+  Solver solver;
+  SolveRequest req;
+  req.graph = paper_example6();
+  req.arch = "mesh 2 2";
+  ASSERT_TRUE(solver.solve(req).ok());
+  ASSERT_EQ(cache.stats().entries, 1u);
+  cache.set_enabled(false);
+  const SolveResponse res = solver.solve(req);
+  ASSERT_TRUE(res.ok());
+  EXPECT_FALSE(res.cache_hit);
+  EXPECT_EQ(cache.stats().hits, 0);
+  cache.set_enabled(true);
+  EXPECT_TRUE(solver.solve(req).cache_hit);
+}
+
+TEST(SolverCache, ObsCountersRecordMissAndHit) {
+  SolveCache::global().clear();
+  MetricsRegistry metrics;
+  const Solver solver(ObsContext{nullptr, &metrics});
+  SolveRequest req;
+  req.graph = paper_example6();
+  req.arch = "mesh 2 2";
+  ASSERT_TRUE(solver.solve(req).ok());
+  EXPECT_EQ(metrics.counter("cache.miss"), 1);
+  EXPECT_EQ(metrics.counter("cache.hit"), 0);
+  ASSERT_TRUE(solver.solve(req).ok());
+  EXPECT_EQ(metrics.counter("cache.hit"), 1);
+  EXPECT_EQ(metrics.counter("cache.reject"), 0);
+}
+
+TEST(SolverCache, IdenticalResubmissionRidesTheExactReplayPath) {
+  // Tier 1: resubmitting byte-identical bytes replays the memoized
+  // certified response without canonicalizing or re-certifying; the
+  // answer must still be indistinguishable from the translate path's.
+  SolveCache::global().clear();
+  MetricsRegistry metrics;
+  const Solver solver(ObsContext{nullptr, &metrics});
+  SolveRequest req;
+  req.graph = paper_example6();
+  req.arch = "mesh 2 2";
+  const SolveResponse cold = solver.solve(req);
+  ASSERT_TRUE(cold.ok());
+  ASSERT_TRUE(cold.certified);
+  EXPECT_EQ(metrics.counter("cache.hit.identical"), 0);
+
+  const SolveResponse replay = solver.solve(req);
+  ASSERT_TRUE(replay.ok());
+  EXPECT_TRUE(replay.cache_hit);
+  EXPECT_TRUE(replay.certified);
+  EXPECT_EQ(replay.fingerprint, cold.fingerprint);
+  EXPECT_EQ(replay.best_length, cold.best_length);
+  EXPECT_EQ(replay.startup_length, cold.startup_length);
+  EXPECT_EQ(replay.lower_bound, cold.lower_bound);
+  EXPECT_EQ(replay.gap, cold.gap);
+  EXPECT_EQ(replay.optimal, cold.optimal);
+  EXPECT_EQ(metrics.counter("cache.hit.identical"), 1);
+
+  const SolveCache::Stats stats = SolveCache::global().stats();
+  EXPECT_EQ(stats.hits, 1);
+  EXPECT_EQ(stats.identical_hits, 1);
+  EXPECT_EQ(stats.misses, 1);
+
+  // A *renamed* graph is different bytes: it must take the translate path
+  // (full CCS-S016 re-certification), not the replay path.
+  SolveRequest renamed = req;
+  renamed.graph = Csdfg("paper6-renamed");
+  for (NodeId v = 0; v < req.graph.node_count(); ++v)
+    renamed.graph.add_node("t" + std::to_string(v), req.graph.node(v).time);
+  for (EdgeId e = 0; e < req.graph.edge_count(); ++e) {
+    const Edge& edge = req.graph.edge(e);
+    renamed.graph.add_edge(edge.from, edge.to, edge.delay, edge.volume);
+  }
+  const SolveResponse translated = solver.solve(renamed);
+  ASSERT_TRUE(translated.ok());
+  EXPECT_TRUE(translated.cache_hit);
+  EXPECT_TRUE(translated.certified);
+  EXPECT_EQ(translated.best_length, cold.best_length);
+  const SolveCache::Stats after = SolveCache::global().stats();
+  EXPECT_EQ(after.hits, 2);
+  EXPECT_EQ(after.identical_hits, 1);  // the rename re-certified instead
+}
+
+TEST(SolverCacheConcurrency, ConcurrentSolversShareTheCacheSafely) {
+  // Portfolio-worker shape: many threads, each its own Solver, racing over
+  // the same problem under different task numberings.  TSan (the CI
+  // concurrency job runs this test under -fsanitize=thread) must stay
+  // silent, and every response must be certified with the same length.
+  SolveCache::global().clear();
+  SolveRequest base;
+  base.graph = paper_example6();
+  base.arch = "mesh 2 2";
+  const SolveResponse reference = Solver().solve(base);
+  ASSERT_TRUE(reference.ok());
+
+  constexpr std::size_t kThreads = 8;
+  std::vector<int> lengths(kThreads * 2, -1);
+  std::vector<int> certified(kThreads * 2, 0);  // not vector<bool>: bit races
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      for (std::size_t round = 0; round < 2; ++round) {
+        Solver solver;
+        SolveRequest req = base;
+        req.graph = relabel(
+            base.graph,
+            rotated_perm(base.graph.node_count(),
+                         (t + round) % base.graph.node_count()));
+        const SolveResponse res = solver.solve(req);
+        lengths[t * 2 + round] = res.ok() ? res.best_length : -1;
+        certified[t * 2 + round] = res.certified ? 1 : 0;
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  for (std::size_t i = 0; i < kThreads * 2; ++i) {
+    EXPECT_EQ(lengths[i], reference.best_length) << i;
+    EXPECT_TRUE(certified[i]) << i;
+  }
+  const SolveCache::Stats stats = SolveCache::global().stats();
+  EXPECT_EQ(stats.rejected, 0);
+  EXPECT_EQ(static_cast<std::size_t>(stats.hits + stats.misses),
+            kThreads * 2 + 1);
 }
 
 }  // namespace

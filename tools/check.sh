@@ -77,6 +77,38 @@ for graph in "${repo_root}"/examples/data/bad/*.csdfg; do
   echo "rejected as expected: ${graph}"
 done
 
+# Fingerprint smoke gate (docs/DIAGNOSTICS.md, CCS-N rules): the canonical
+# identity of every shipped graph must be byte-deterministic across runs,
+# the shipped files must contain no unannotated isomorphic duplicates, and
+# the --isomorphic verdict must agree with itself (reflexive) and reject a
+# genuinely different workload.
+echo "== fingerprint smoke gate =="
+fp_tmp="$(mktemp -d)"
+"${ccsched}" fingerprint "${repo_root}"/examples/data/*.csdfg \
+  > "${fp_tmp}/fp1.txt"
+"${ccsched}" fingerprint "${repo_root}"/examples/data/*.csdfg \
+  > "${fp_tmp}/fp2.txt"
+cmp "${fp_tmp}/fp1.txt" "${fp_tmp}/fp2.txt" || {
+  echo "error: fingerprint output is not byte-deterministic" >&2
+  exit 1
+}
+if grep -q 'CCS-N001' "${fp_tmp}/fp1.txt"; then
+  echo "error: unexpected duplicate among shipped graph files" >&2
+  cat "${fp_tmp}/fp1.txt" >&2
+  exit 1
+fi
+"${ccsched}" fingerprint --isomorphic \
+  "${repo_root}"/examples/data/paper_fig1b.csdfg \
+  "${repo_root}"/examples/data/paper_fig1b.csdfg > /dev/null
+if "${ccsched}" fingerprint --isomorphic \
+    "${repo_root}"/examples/data/paper_fig1b.csdfg \
+    "${repo_root}"/examples/data/paper_fig7.csdfg > /dev/null; then
+  echo "error: distinct workloads reported isomorphic" >&2
+  exit 1
+fi
+rm -rf "${fp_tmp}"
+echo "fingerprints deterministic, no duplicates, isomorphism verdicts sane"
+
 # Analyze smoke gate (docs/ALGORITHM.md, CCS-B rules): the static bound
 # report must succeed on every shipped graph, emit at least the iteration
 # bound pass, and agree with itself under --werror (bounds are notes, never
