@@ -6,7 +6,7 @@ namespace ccs {
 
 namespace {
 
-constexpr std::array<LintRule, 43> kRules{{
+constexpr std::array<LintRule, 44> kRules{{
     {"CCS-P001", "syntax-error", Severity::kError,
      "A line of the graph file does not match any directive grammar.",
      "Use `graph <name>`, `node <name> <time>`, or `edge <from> <to> "
@@ -175,6 +175,12 @@ constexpr std::array<LintRule, 43> kRules{{
      "machine (ccs::Solver, docs/API.md).",
      "Relax the fault plan or the budgets, or provide a machine with more "
      "survivors; the message carries the infeasibility detail."},
+    {"CCS-E003", "deadline-expired", Severity::kError,
+     "The request's deadline_ms budget was already spent before any solve "
+     "work started — the deadline was non-positive at admission, or the "
+     "request aged out while queued (ccsched serve, docs/SERVE.md).",
+     "Raise deadline_ms, lower the service load (shallower queue, more "
+     "--jobs), or resubmit; the response carries no schedule by design."},
     {"CCS-B001", "bound-iteration", Severity::kNote,
      "Ceil'd iteration bound: no static cyclic schedule can be shorter "
      "than ceil(max over cycles of total time / total delay); the witness "

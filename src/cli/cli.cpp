@@ -29,6 +29,7 @@
 #include "obs/report.hpp"
 #include "robust/fault_plan.hpp"
 #include "robust/repair.hpp"
+#include "serve/service.hpp"
 #include "sim/executor.hpp"
 #include "sim/gantt.hpp"
 #include "util/error.hpp"
@@ -114,7 +115,9 @@ private:
          {"arch", "passes", "speeds", "iterations", "warmup", "gantt",
           "policy", "trace", "stats", "format", "graph", "unfold", "replay",
           "faults", "budget-passes", "budget-ms", "patience", "jobs",
-          "seed", "attempts", "profile", "threshold", "gate"})
+          "seed", "attempts", "profile", "threshold", "gate", "socket",
+          "queue-depth", "drain-ms", "max-line-bytes", "default-deadline-ms",
+          "full-ms", "compact-ms", "list-ms"})
       if (key == k) return true;
     return false;
   }
@@ -896,6 +899,22 @@ int cmd_stress(Args& args, std::istream& in, std::ostream& out,
     if (opt.startup.pe_speeds.size() != topo.size())
       throw UsageError{"--speeds must list one factor per processor"};
   }
+  const bool portfolio = args.flag("portfolio");
+  const int jobs = args.int_value("jobs", 1);
+  const int attempt_count = args.int_value("attempts", 0);
+  std::uint64_t seed = 0;
+  if (const auto seed_str = args.value("seed")) {
+    try {
+      seed = std::stoull(*seed_str);
+    } catch (const std::exception&) {
+      throw UsageError{"--seed expects a non-negative integer"};
+    }
+    if (!portfolio) throw UsageError{"--seed needs --portfolio"};
+  }
+  if (!portfolio && (jobs != 1 || attempt_count != 0))
+    throw UsageError{"--jobs/--attempts need --portfolio"};
+  if (jobs < 0 || attempt_count < 0)
+    throw UsageError{"--jobs/--attempts must be >= 0"};
 
   ExecutorOptions sim_opt;
   sim_opt.iterations = args.int_value("iterations", 64);
@@ -922,7 +941,22 @@ int cmd_stress(Args& args, std::istream& in, std::ostream& out,
     err << "fault spec (see docs/DIAGNOSTICS.md):\n" << render_text(bag);
   if (bag.fails(werror)) return kFailure;
 
-  const CycloCompactionResult run = cyclo_compact(g, topo, comm, opt, obs);
+  std::optional<CycloCompactionResult> baseline;
+  if (portfolio) {
+    PortfolioOptions popt;
+    popt.jobs = jobs;
+    popt.attempts = attempt_count;
+    popt.seed = seed;
+    popt.base = opt;
+    popt.certify_winner = false;  // the injection run judges the schedule
+    PortfolioResult folio = portfolio_compact(g, topo, comm, popt, obs);
+    out << "portfolio: winner " << folio.winner_label << " (attempt "
+        << folio.winner_attempt << ")\n";
+    baseline.emplace(std::move(folio.winner));
+  } else {
+    baseline.emplace(cyclo_compact(g, topo, comm, opt, obs));
+  }
+  const CycloCompactionResult& run = *baseline;
   out << "baseline: startup " << run.startup_length() << " -> "
       << run.best_length() << " on " << topo.name() << '\n';
   if (!run.stop_reason.empty())
@@ -1030,10 +1064,53 @@ int cmd_report(Args& args, std::istream& in, std::ostream& out) {
   return kOk;
 }
 
+int cmd_serve(Args& args, std::istream& in, std::ostream& out,
+              std::ostream& err) {
+  if (!args.positional().empty())
+    throw UsageError{"serve: takes no positional arguments"};
+  ServeOptions sopt;
+  sopt.jobs = args.int_value("jobs", 1);
+  sopt.queue_depth =
+      static_cast<std::size_t>(args.int_value("queue-depth", 16));
+  sopt.drain_ms = args.int_value("drain-ms", 2000);
+  sopt.max_line_bytes =
+      static_cast<std::size_t>(args.int_value("max-line-bytes", 1 << 20));
+  sopt.default_deadline_ms = args.int_value("default-deadline-ms", 0);
+  sopt.full_ms = args.int_value("full-ms", 200);
+  sopt.compact_ms = args.int_value("compact-ms", 50);
+  sopt.list_ms = args.int_value("list-ms", 5);
+  if (sopt.jobs < 1 || args.int_value("queue-depth", 16) < 1)
+    throw UsageError{"serve: --jobs and --queue-depth must be >= 1"};
+  if (sopt.drain_ms < 0 || sopt.default_deadline_ms < 0 ||
+      args.int_value("max-line-bytes", 1) < 1)
+    throw UsageError{
+        "serve: --drain-ms/--default-deadline-ms must be >= 0 and "
+        "--max-line-bytes >= 1"};
+  if (sopt.full_ms < sopt.compact_ms || sopt.compact_ms < sopt.list_ms ||
+      sopt.list_ms < 0)
+    throw UsageError{
+        "serve: ladder thresholds need --full-ms >= --compact-ms >= "
+        "--list-ms >= 0"};
+  const auto socket = args.value("socket");
+  ObsSetup obs_setup;
+  obs_setup.init(args);
+  args.reject_unknown();
+  install_serve_signal_handlers();
+  if (socket) {
+    const bool bound = run_serve_socket(*socket, sopt, err, obs_setup.obs());
+    obs_setup.finish(out);
+    return bound ? kOk : kFailure;
+  }
+  run_serve(in, out, err, sopt, obs_setup.obs());
+  obs_setup.finish(err);  // keep stdout a pure response stream
+  return kOk;
+}
+
 void print_usage(std::ostream& err) {
   err << "usage: ccsched <command> [arguments]\n"
          "commands: info, bound, retime, dot, lint, analyze, fingerprint, "
-         "certify, expand, schedule, validate, simulate, stress, report\n"
+         "certify, expand, schedule, validate, simulate, stress, serve, "
+         "report\n"
          "see src/cli/cli.hpp for the full grammar\n";
 }
 
@@ -1061,6 +1138,7 @@ int run_cli(const std::vector<std::string>& args, std::istream& in,
     if (command == "validate") return cmd_validate(parsed, in, out);
     if (command == "simulate") return cmd_simulate(parsed, in, out, err);
     if (command == "stress") return cmd_stress(parsed, in, out, err);
+    if (command == "serve") return cmd_serve(parsed, in, out, err);
     if (command == "report") return cmd_report(parsed, in, out);
     err << "unknown command '" << command << "'\n";
     print_usage(err);

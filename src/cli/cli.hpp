@@ -78,9 +78,32 @@
 //       --repair                             walk the degradation ladder after
 //                                            injection (docs/ROBUSTNESS.md)
 //       --policy relax|strict --passes N --pipelined --speeds a,b,...
+//       --portfolio --jobs N --attempts K --seed S
+//                                            portfolio baseline instead of the
+//                                            serial driver (--jobs/--attempts/
+//                                            --seed need --portfolio, as for
+//                                            schedule)
 //       --iterations N --warmup N            fault-injected static execution
 //       --budget-passes/--budget-ms/--patience   as for schedule
 //       --emit-schedule --quiet --werror --trace FILE --stats FILE
+//   ccsched serve [options]                  resident JSONL solve service
+//                                            (docs/SERVE.md): one request per
+//                                            line on stdin, one response per
+//                                            line on stdout, summary on stderr
+//       --socket PATH                        serve a Unix-domain socket instead
+//                                            of stdin/stdout
+//       --jobs N                             solver worker threads (default 1)
+//       --queue-depth N                      admission queue bound (default 16;
+//                                            a full queue answers `overloaded`)
+//       --drain-ms N                         drain allowance after shutdown
+//                                            (default 2000)
+//       --max-line-bytes N                   request-line cap (default 1 MiB)
+//       --default-deadline-ms N              deadline for requests that carry
+//                                            none (default 0 = unlimited)
+//       --full-ms/--compact-ms/--list-ms     degradation-ladder thresholds on
+//                                            the remaining deadline (defaults
+//                                            200/50/5)
+//       --stats FILE --profile FILE          as for schedule
 //   ccsched report <metrics.json>            self-time-sorted hot-path table
 //                                            from a --stats/--profile/BENCH
 //                                            JSON document

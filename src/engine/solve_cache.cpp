@@ -79,18 +79,40 @@ SolveCache& SolveCache::global() {
 }
 
 std::shared_ptr<const SolveCache::Entry> SolveCache::lookup(
-    const std::string& key) const {
+    const std::string& key) {
   const std::scoped_lock lock(mu_);
   if (!enabled_) return nullptr;
   const auto it = entries_.find(key);
-  return it == entries_.end() ? nullptr : it->second;
+  if (it == entries_.end()) return nullptr;
+  // Freshen: a served entry is the last the capacity bound should drop.
+  lru_.splice(lru_.begin(), lru_, it->second.lru);
+  return it->second.entry;
 }
 
-void SolveCache::insert(const std::string& key,
-                        std::shared_ptr<const Entry> entry) {
+std::size_t SolveCache::insert(const std::string& key,
+                               std::shared_ptr<const Entry> entry) {
   const std::scoped_lock lock(mu_);
-  if (!enabled_) return;
-  entries_.emplace(key, std::move(entry));  // first insert wins on a race
+  if (!enabled_) return 0;
+  const auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    // First insert wins on a race; the loser's attempt still freshens.
+    lru_.splice(lru_.begin(), lru_, it->second.lru);
+    return 0;
+  }
+  lru_.push_front(key);
+  entries_.emplace(key, Slot{std::move(entry), lru_.begin()});
+  return evict_to_capacity_locked();
+}
+
+std::size_t SolveCache::evict_to_capacity_locked() {
+  std::size_t dropped = 0;
+  while (entries_.size() > capacity_ && !lru_.empty()) {
+    entries_.erase(lru_.back());
+    lru_.pop_back();
+    ++dropped;
+  }
+  evicted_ += static_cast<long long>(dropped);
+  return dropped;
 }
 
 std::shared_ptr<const SolveResponse> SolveCache::lookup_exact(
@@ -104,13 +126,24 @@ std::shared_ptr<const SolveResponse> SolveCache::lookup_exact(
 void SolveCache::remember_exact(const std::string& exact_key,
                                 std::shared_ptr<const SolveResponse> response) {
   const std::scoped_lock lock(mu_);
-  if (!enabled_ || exact_.size() >= kExactCap) return;
-  exact_.emplace(exact_key, std::move(response));
+  if (!enabled_) return;
+  if (!exact_.emplace(exact_key, std::move(response)).second) return;
+  exact_order_.push_back(exact_key);
+  while (exact_.size() > kExactCap && !exact_order_.empty()) {
+    exact_.erase(exact_order_.front());
+    exact_order_.pop_front();
+  }
 }
 
 SolveCache::Stats SolveCache::stats() const {
   const std::scoped_lock lock(mu_);
-  return Stats{hits_, identical_, misses_, rejected_, entries_.size()};
+  return Stats{lookups_, hits_,    identical_,     misses_,
+               rejected_, evicted_, entries_.size()};
+}
+
+void SolveCache::record_lookup() {
+  const std::scoped_lock lock(mu_);
+  ++lookups_;
 }
 
 void SolveCache::record_hit() {
@@ -136,11 +169,26 @@ void SolveCache::record_rejected() {
 void SolveCache::clear() {
   const std::scoped_lock lock(mu_);
   entries_.clear();
+  lru_.clear();
   exact_.clear();
+  exact_order_.clear();
+  lookups_ = 0;
   hits_ = 0;
   identical_ = 0;
   misses_ = 0;
   rejected_ = 0;
+  evicted_ = 0;
+}
+
+std::size_t SolveCache::capacity() const {
+  const std::scoped_lock lock(mu_);
+  return capacity_;
+}
+
+void SolveCache::set_capacity(std::size_t capacity) {
+  const std::scoped_lock lock(mu_);
+  capacity_ = capacity == 0 ? 1 : capacity;
+  (void)evict_to_capacity_locked();
 }
 
 void SolveCache::set_enabled(bool enabled) {
@@ -155,14 +203,15 @@ bool SolveCache::enabled() const {
 
 void SolveCache::corrupt_entries_for_test() {
   const std::scoped_lock lock(mu_);
-  for (auto& [key, entry] : entries_) {
-    auto corrupted = std::make_shared<Entry>(*entry);
+  for (auto& [key, slot] : entries_) {
+    auto corrupted = std::make_shared<Entry>(*slot.entry);
     for (Placement& p : corrupted->placements) ++p.cb;
-    entry = std::move(corrupted);
+    slot.entry = std::move(corrupted);
   }
   // The tier-1 responses were certified against the pristine entries;
   // drop them so the corruption is observable through the public path.
   exact_.clear();
+  exact_order_.clear();
 }
 
 std::string exact_graph_bytes(const Csdfg& g) {

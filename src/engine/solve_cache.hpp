@@ -44,6 +44,7 @@
 #pragma once
 
 #include <cstdint>
+#include <list>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -108,15 +109,21 @@ public:
   /// The singleton shared by every Solver in the process.
   [[nodiscard]] static SolveCache& global();
 
-  /// The entry under `key`, or nullptr (also when disabled).  Counts
-  /// nothing — record_hit/record_miss/record_rejected track the outcome
-  /// the caller determined after verification.
-  [[nodiscard]] std::shared_ptr<const Entry> lookup(
-      const std::string& key) const;
+  /// The entry under `key`, or nullptr (also when disabled).  A hit
+  /// freshens the entry's LRU position.  Counts nothing —
+  /// record_lookup/record_hit/record_miss/record_rejected track the
+  /// outcome the caller determined after verification.
+  [[nodiscard]] std::shared_ptr<const Entry> lookup(const std::string& key);
 
   /// Publishes an entry; first insert wins on a race.  No-op when
-  /// disabled.
-  void insert(const std::string& key, std::shared_ptr<const Entry> entry);
+  /// disabled.  When the canonical store exceeds capacity() the
+  /// least-recently-used entries are evicted (counted in Stats::evicted);
+  /// returns how many entries this insert pushed out.  Eviction is a
+  /// liveness bound, never a correctness event: an evicted key simply
+  /// costs the next resubmission a cold solve, after which the re-inserted
+  /// entry re-certifies on its next hit like any other (CCS-S016).
+  std::size_t insert(const std::string& key,
+                     std::shared_ptr<const Entry> entry);
 
   /// Tier-1 lookup: the certified response previously served under this
   /// exact key (see exact_solve_key()), or nullptr.  The key embeds the
@@ -126,30 +133,47 @@ public:
       const std::string& exact_key) const;
 
   /// Memoizes a certified response for identical resubmissions.  First
-  /// insert wins; silently drops the insert once the tier-1 store holds
-  /// kExactCap responses (the canonical entries keep serving tier 2, so
-  /// the cap only costs re-certification time, never answers).
+  /// insert wins; once the tier-1 store holds kExactCap responses the
+  /// oldest memo is dropped to make room (the canonical entries keep
+  /// serving tier 2, so turnover only costs re-certification time, never
+  /// answers).
   void remember_exact(const std::string& exact_key,
                       std::shared_ptr<const SolveResponse> response);
 
   /// Cache effectiveness counters, cumulative since the last clear().
-  /// `rejected` counts looked-up entries discarded by the verification
-  /// layer (form mismatch or CCS-S016 re-certification failure) — every
-  /// rejection also took the miss path.
+  /// Every cacheable probe records exactly one outcome, so
+  /// hits + misses + rejected == lookups always holds — the concurrency
+  /// tests pin that identity.  `rejected` counts looked-up entries
+  /// discarded by the verification layer (form mismatch or CCS-S016
+  /// re-certification failure); the cold solve still answers, but the
+  /// probe's outcome stays "rejected", not "miss".
   struct Stats {
+    long long lookups = 0;
     long long hits = 0;
     /// Of `hits`, how many were tier-1 identical-resubmission replays.
     long long identical_hits = 0;
     long long misses = 0;
     long long rejected = 0;
+    /// Canonical entries pushed out by the LRU capacity bound.
+    long long evicted = 0;
     std::size_t entries = 0;
   };
   [[nodiscard]] Stats stats() const;
+  void record_lookup();
   void record_hit();
   /// Marks the most recent hit as a tier-1 replay (call after record_hit).
   void record_identical();
   void record_miss();
   void record_rejected();
+
+  /// Maximum canonical entries held; inserting past it evicts least-
+  /// recently-used entries.  set_capacity() trims immediately when the
+  /// store is already over the new bound.  The default keeps a long-
+  /// running daemon's RSS bounded while comfortably covering the recurring
+  /// kernel population the serve path sees.
+  static constexpr std::size_t kDefaultCapacity = 512;
+  [[nodiscard]] std::size_t capacity() const;
+  void set_capacity(std::size_t capacity);
 
   /// Drops every entry and zeroes the counters.
   void clear();
@@ -173,14 +197,32 @@ public:
   static constexpr std::size_t kExactCap = 1024;
 
 private:
+  /// Canonical entry plus its position in the recency list (front = most
+  /// recently used).
+  struct Slot {
+    std::shared_ptr<const Entry> entry;
+    std::list<std::string>::iterator lru;
+  };
+
+  /// Drops LRU entries until the store fits `capacity_`; caller holds mu_.
+  /// Returns how many entries were evicted (also added to evicted_).
+  std::size_t evict_to_capacity_locked();
+
   mutable std::mutex mu_;
   bool enabled_ = true;
+  long long lookups_ = 0;
   long long hits_ = 0;
   long long identical_ = 0;
   long long misses_ = 0;
   long long rejected_ = 0;
-  std::map<std::string, std::shared_ptr<const Entry>> entries_;
+  long long evicted_ = 0;
+  std::size_t capacity_ = kDefaultCapacity;
+  std::map<std::string, Slot> entries_;
+  /// Key recency, most recent first; one node per entries_ element.
+  std::list<std::string> lru_;
   std::map<std::string, std::shared_ptr<const SolveResponse>> exact_;
+  /// Tier-1 insertion order, oldest first, for cap turnover.
+  std::list<std::string> exact_order_;
 };
 
 /// Exact serialization of a graph for tier-1 byte-equality keying: name,

@@ -168,6 +168,91 @@ void solve_repair(const SolveRequest& request, const Topology& topo,
   res.status = SolveStatus::kOk;
 }
 
+/// One cacheable probe against the process-global SolveCache.  On a hit
+/// `res` is the full served response (cache_hit set, counters recorded);
+/// on a miss/rejection `res` keeps only the fingerprint and the returned
+/// keys let the caller publish its cold answer later.  Exactly one of
+/// hit/miss/rejected is recorded per probe, so the cache stats identity
+/// hits + misses + rejected == lookups holds under any interleaving.
+struct CacheProbe {
+  bool hit = false;
+  std::optional<CanonResult> canon;
+  std::string cache_key;
+  std::string exact_key;
+};
+
+CacheProbe probe_cache(const SolveRequest& request, const Topology& topo,
+                       const CommModel& comm, const ObsContext& obs,
+                       SolveResponse& res) {
+  CacheProbe probe;
+  SolveCache& cache = SolveCache::global();
+  cache.record_lookup();
+  const std::uint64_t options_fp = options_fingerprint(request);
+  probe.exact_key =
+      exact_solve_key(topo, options_fp, exact_graph_bytes(request.graph));
+  // Tier 1: a byte-identical resubmission replays the response this
+  // process already certified for exactly these bytes (memoization of
+  // a deterministic function — no new trust, and no canonicalization:
+  // the fast path is a serialization plus a map probe).
+  if (const auto served = cache.lookup_exact(probe.exact_key)) {
+    res = *served;  // fingerprint replayed with the rest
+    res.machine = topo;  // same structure; the caller's name may differ
+    res.cache_hit = true;
+    cache.record_hit();
+    cache.record_identical();
+    obs.count("cache.hit");
+    obs.count("cache.hit.identical");
+    probe.hit = true;
+    return probe;
+  }
+  {
+    const ObsSpan lookup_span = obs.span("cache.lookup");
+    probe.canon.emplace(canonicalize(request.graph));
+  }
+  res.fingerprint = fingerprint_hex(probe.canon->fingerprint);
+  probe.cache_key = solve_cache_key(*probe.canon, topo, options_fp);
+  if (const auto entry = cache.lookup(probe.cache_key)) {
+    // Tier 2: an isomorphic resubmission — translate through the
+    // witness and re-certify from first principles (CCS-S016).
+    SolveResponse candidate;
+    candidate.machine = topo;
+    candidate.fingerprint = res.fingerprint;
+    bool translated = false;
+    {
+      const ObsSpan translate_span = obs.span("cache.translate");
+      translated =
+          translate_cached(*entry, request, *probe.canon, comm, candidate);
+    }
+    if (translated) {
+      cache.record_hit();
+      obs.count("cache.hit");
+      candidate.cache_hit = true;
+      res = std::move(candidate);
+      cache.remember_exact(probe.exact_key,
+                           std::make_shared<SolveResponse>(res));
+      probe.hit = true;
+      return probe;
+    }
+    // The rejection reasons live in the discarded candidate's bag
+    // (CCS-N003 / CCS-S016); the cold solve answers as if the entry
+    // never existed, but the probe's outcome stays "rejected".
+    cache.record_rejected();
+    obs.count("cache.reject");
+    return probe;
+  }
+  cache.record_miss();
+  obs.count("cache.miss");
+  return probe;
+}
+
+/// Resolves the request's machine exactly as solve() does.  Throws the
+/// same errors solve() catches; cache-only callers catch and bail.
+Topology resolve_topology(const SolveRequest& request) {
+  if (request.topology.has_value()) return *request.topology;
+  if (request.arch.empty()) throw Error("no machine in request");
+  return parse_topology(request.arch);
+}
+
 }  // namespace
 
 std::string_view solve_status_name(SolveStatus status) {
@@ -218,65 +303,9 @@ SolveResponse Solver::solve(const SolveRequest& request) const {
     // re-certification (CCS-S016); any rejection falls back to the cold
     // path below, so the cache can delay an answer but never change one.
     SolveCache& cache = SolveCache::global();
-    std::optional<CanonResult> canon;
-    std::string cache_key;
-    std::string exact_key;
-    if (solve_cacheable(request) && cache.enabled()) {
-      const std::uint64_t options_fp = options_fingerprint(request);
-      exact_key =
-          exact_solve_key(topo, options_fp, exact_graph_bytes(request.graph));
-      // Tier 1: a byte-identical resubmission replays the response this
-      // process already certified for exactly these bytes (memoization of
-      // a deterministic function — no new trust, and no canonicalization:
-      // the fast path is a serialization plus a map probe).
-      if (const auto served = cache.lookup_exact(exact_key)) {
-        res = *served;  // fingerprint replayed with the rest
-        res.machine = topo;  // same structure; the caller's name may differ
-        res.cache_hit = true;
-        cache.record_hit();
-        cache.record_identical();
-        obs_.count("cache.hit");
-        obs_.count("cache.hit.identical");
-      } else {
-        {
-          const ObsSpan lookup_span = obs_.span("cache.lookup");
-          canon.emplace(canonicalize(request.graph));
-        }
-        res.fingerprint = fingerprint_hex(canon->fingerprint);
-        cache_key = solve_cache_key(*canon, topo, options_fp);
-        if (const auto entry = cache.lookup(cache_key)) {
-          // Tier 2: an isomorphic resubmission — translate through the
-          // witness and re-certify from first principles (CCS-S016).
-          SolveResponse candidate;
-          candidate.machine = topo;
-          candidate.fingerprint = res.fingerprint;
-          bool translated = false;
-          {
-            const ObsSpan translate_span = obs_.span("cache.translate");
-            translated =
-                translate_cached(*entry, request, *canon, comm, candidate);
-          }
-          if (translated) {
-            cache.record_hit();
-            obs_.count("cache.hit");
-            candidate.cache_hit = true;
-            res = std::move(candidate);
-            cache.remember_exact(exact_key,
-                                 std::make_shared<SolveResponse>(res));
-          } else {
-            // The rejection reasons live in the discarded candidate's bag
-            // (CCS-N003 / CCS-S016); the cold solve below answers as if the
-            // entry never existed.
-            cache.record_rejected();
-            obs_.count("cache.reject");
-          }
-        }
-      }
-      if (!res.cache_hit) {
-        cache.record_miss();
-        obs_.count("cache.miss");
-      }
-    }
+    CacheProbe probe;
+    if (solve_cacheable(request) && cache.enabled())
+      probe = probe_cache(request, topo, comm, obs_, res);
 
     if (!res.cache_hit) switch (request.mode) {
       case SolveMode::kStartup:
@@ -319,10 +348,15 @@ SolveResponse Solver::solve(const SolveRequest& request) const {
     // Publish a certified cold answer for every future isomorphic
     // resubmission.  Insert after the bound tail so the entry replays a
     // fully-populated response (lower_bound >= 1 included).
-    if (!res.cache_hit && canon.has_value() && res.status == SolveStatus::kOk &&
-        res.certified && res.schedule.has_value()) {
-      cache.insert(cache_key, make_cache_entry(request, *canon, res));
-      cache.remember_exact(exact_key, std::make_shared<SolveResponse>(res));
+    if (!res.cache_hit && probe.canon.has_value() &&
+        res.status == SolveStatus::kOk && res.certified &&
+        res.schedule.has_value()) {
+      const std::size_t evicted = cache.insert(
+          probe.cache_key, make_cache_entry(request, *probe.canon, res));
+      if (evicted > 0)
+        obs_.count("cache.evicted", static_cast<long long>(evicted));
+      cache.remember_exact(probe.exact_key,
+                           std::make_shared<SolveResponse>(res));
     }
   } catch (const Error& e) {
     add_invalid(res.diagnostics, e.what());
@@ -333,6 +367,55 @@ SolveResponse Solver::solve(const SolveRequest& request) const {
   }
   res.diagnostics.finalize();
   return res;
+}
+
+std::optional<SolveResponse> Solver::try_cached(
+    const SolveRequest& request) const {
+  SolveCache& cache = SolveCache::global();
+  if (!solve_cacheable(request) || !cache.enabled()) return std::nullopt;
+  SolveResponse res;
+  res.graph = request.graph;
+  try {
+    request.graph.require_legal();
+    const Topology topo = resolve_topology(request);
+    const StoreAndForwardModel comm(topo);
+    if (!request.options.startup.pe_speeds.empty() &&
+        request.options.startup.pe_speeds.size() != topo.size())
+      return std::nullopt;  // solve() would refuse; nothing to look up
+    res.machine = topo;
+    if (!probe_cache(request, topo, comm, obs_, res).hit)
+      return std::nullopt;
+    res.diagnostics.finalize();
+    return res;
+  } catch (const std::exception&) {
+    // A request solve() would reject with CCS-E001 has no cache identity;
+    // the caller's real solve reports the error.
+    return std::nullopt;
+  }
+}
+
+void Solver::publish(const SolveRequest& request,
+                     const SolveResponse& res) const {
+  SolveCache& cache = SolveCache::global();
+  if (!solve_cacheable(request) || !cache.enabled()) return;
+  if (!res.ok() || !res.certified || !res.schedule.has_value()) return;
+  try {
+    const Topology topo = resolve_topology(request);
+    const CanonResult canon = canonicalize(request.graph);
+    const std::uint64_t options_fp = options_fingerprint(request);
+    const std::size_t evicted =
+        cache.insert(solve_cache_key(canon, topo, options_fp),
+                     make_cache_entry(request, canon, res));
+    if (evicted > 0)
+      obs_.count("cache.evicted", static_cast<long long>(evicted));
+    auto memo = std::make_shared<SolveResponse>(res);
+    memo->fingerprint = fingerprint_hex(canon.fingerprint);
+    cache.remember_exact(
+        exact_solve_key(topo, options_fp, exact_graph_bytes(request.graph)),
+        std::move(memo));
+  } catch (const std::exception&) {
+    // Publishing is a best-effort optimization; the answer already exists.
+  }
 }
 
 }  // namespace ccs

@@ -158,7 +158,9 @@ struct SolveResponse {
 /// The facade.  Stateless apart from an optional observability context;
 /// one Solver may serve many solve() calls, including concurrently (the
 /// obs context is the caller's problem in that case — give each thread its
-/// own, or none).
+/// own, or none).  The SolveCache behind the facade is process-global and
+/// mutex-guarded, so concurrent solve()/try_cached()/publish() calls from
+/// any mix of Solver instances share one memo safely.
 class Solver {
 public:
   Solver() = default;
@@ -166,6 +168,23 @@ public:
 
   /// Executes the request.  Never throws (see the error contract above).
   [[nodiscard]] SolveResponse solve(const SolveRequest& request) const;
+
+  /// Cache-only solve: answers from the SolveCache (tier-1 replay or
+  /// tier-2 translate + CCS-S016 re-certification) without ever running
+  /// the solver, or returns nullopt on a miss / an uncacheable request.
+  /// Never throws.  The serve path probes this first so a deadline-
+  /// pressured request can still collect a full certified answer in
+  /// microseconds before the degradation ladder spends any budget.
+  [[nodiscard]] std::optional<SolveResponse> try_cached(
+      const SolveRequest& request) const;
+
+  /// Publishes an externally produced certified response for `request`
+  /// into the SolveCache, exactly as a cold solve() would have.  No-op
+  /// (never throws) unless the request is cacheable and the response is
+  /// ok + certified with a complete schedule.  The serve path uses this to
+  /// share answers computed under a wall-clock budget (which solve()
+  /// itself refuses to cache) after stripping the budget from `request`.
+  void publish(const SolveRequest& request, const SolveResponse& res) const;
 
 private:
   ObsContext obs_{};

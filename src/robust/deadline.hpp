@@ -1,0 +1,60 @@
+// ccsched — per-request deadline accounting for the serve loop.
+//
+// A serving deadline is a property of the *request*, not of any single
+// solve attempt: the clock starts at admission, keeps running while the
+// request waits in the queue, and whatever is left when a worker finally
+// picks it up is the budget the solver may spend.  RequestDeadline owns
+// that bookkeeping on the same injectable BudgetClock the run-budget
+// machinery already uses (core/budget.hpp), so tests can crank time by
+// hand and replay a queue-expiry or mid-solve timeout deterministically.
+//
+// The contract mirrors the degradation ladder in docs/SERVE.md:
+//
+//  * expired() at admission  -> CCS-E003 rejection, no work at all;
+//  * expired() at dequeue    -> CCS-E003 rejection (the request aged out
+//    while queued — spending solver time on it only hurts its neighbors);
+//  * otherwise remaining_ms() picks the ladder rung and budget() hands
+//    the solver a RunBudget that stops the run at the request deadline,
+//    not at some fresh per-attempt deadline.
+#pragma once
+
+#include "core/budget.hpp"
+
+namespace ccs {
+
+/// Snapshot of one request's wall-clock allowance.  Copyable and cheap;
+/// the clock pointer is non-owning and must outlive the request.
+class RequestDeadline {
+public:
+  /// `deadline_ms` <= 0 means unlimited (the has_deadline=false case —
+  /// callers reject non-positive *explicit* deadlines before building
+  /// one of these).  Null `clock` selects the process steady clock.
+  RequestDeadline(long long deadline_ms, const BudgetClock* clock);
+
+  [[nodiscard]] bool unlimited() const noexcept { return deadline_ms_ <= 0; }
+
+  /// Milliseconds still available, clamped at 0.  Unlimited deadlines
+  /// report kUnlimitedMs.
+  [[nodiscard]] long long remaining_ms() const;
+
+  /// True when a limited deadline has fully elapsed.
+  [[nodiscard]] bool expired() const { return remaining_ms() <= 0; }
+
+  /// Derives the RunBudget for a solve attempt starting *now*: the
+  /// remaining wall-clock allowance on this request's clock, plus the
+  /// caller's external stop signal (the serve drain token).  An unlimited
+  /// deadline yields a budget with no deadline condition — the stop token
+  /// still applies, so a draining service can preempt unbudgeted work.
+  [[nodiscard]] RunBudget budget(const BudgetStopToken* stop) const;
+
+  [[nodiscard]] const BudgetClock& clock() const noexcept { return *clock_; }
+
+  static constexpr long long kUnlimitedMs = 1'000'000'000'000;
+
+private:
+  long long deadline_ms_ = 0;
+  long long admitted_ms_ = 0;
+  const BudgetClock* clock_ = nullptr;  // never null after construction
+};
+
+}  // namespace ccs

@@ -517,5 +517,76 @@ TEST(Cli, FingerprintIsomorphicVerdictsAndExitCodes) {
   EXPECT_EQ(usage.code, 2) << usage.out;
 }
 
+// ----------------------------------------------------- stress --portfolio
+
+TEST(Cli, StressPortfolioFlagsAreGated) {
+  const std::string faults = temp_file("gate.faults", "fail p0\n");
+  const CliResult jobs = cli(
+      {"stress", "-", "--arch", "mesh 2 2", "--faults", faults, "--jobs",
+       "2"},
+      paper6_text());
+  EXPECT_EQ(jobs.code, 2);
+  EXPECT_NE(jobs.err.find("--portfolio"), std::string::npos);
+  const CliResult attempts = cli(
+      {"stress", "-", "--arch", "mesh 2 2", "--faults", faults,
+       "--attempts", "3"},
+      paper6_text());
+  EXPECT_EQ(attempts.code, 2);
+  const CliResult seed = cli(
+      {"stress", "-", "--arch", "mesh 2 2", "--faults", faults, "--seed",
+       "7"},
+      paper6_text());
+  EXPECT_EQ(seed.code, 2);
+  EXPECT_NE(seed.err.find("--portfolio"), std::string::npos);
+}
+
+TEST(Cli, StressPortfolioBaselineRunsAndReportsTheWinner) {
+  const std::string faults =
+      temp_file("pdormant.faults", "link p0 p1 @iter 999999\n");
+  const CliResult r = cli(
+      {"stress", "-", "--arch", "mesh 2 2", "--faults", faults,
+       "--portfolio", "--jobs", "2", "--attempts", "4", "--quiet"},
+      paper6_text());
+  EXPECT_EQ(r.code, 0) << r.out << r.err;
+  EXPECT_NE(r.out.find("portfolio: winner"), std::string::npos);
+  EXPECT_NE(r.out.find("baseline:"), std::string::npos);
+}
+
+// -------------------------------------------------------------------- serve
+
+TEST(Cli, ServeRejectsBadOptionValues) {
+  EXPECT_EQ(cli({"serve", "--jobs", "0"}).code, 2);
+  EXPECT_EQ(cli({"serve", "--queue-depth", "0"}).code, 2);
+  EXPECT_EQ(cli({"serve", "extra-positional"}).code, 2);
+  // Ladder thresholds must be ordered.
+  EXPECT_EQ(
+      cli({"serve", "--full-ms", "10", "--compact-ms", "50"}).code, 2);
+  EXPECT_EQ(cli({"serve", "--bogus-flag"}).code, 2);
+}
+
+TEST(Cli, ServeAnswersARequestStreamOnStdin) {
+  std::string graph_json;
+  for (const char c : paper6_text()) {
+    if (c == '\n') {
+      graph_json += "\\n";
+    } else {
+      graph_json += c;
+    }
+  }
+  std::string input = "{\"op\":\"solve\",\"id\":\"one\",\"graph\":\"" +
+                      graph_json + "\",\"arch\":\"mesh 2 2\"}\n";
+  input += "this line is hostile\n";
+  input += "{\"op\":\"shutdown\"}\n";
+  const CliResult r = cli({"serve"}, input);
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("\"id\":\"one\""), std::string::npos) << r.out;
+  EXPECT_NE(r.out.find("\"status\":\"ok\""), std::string::npos);
+  EXPECT_NE(r.out.find("CCS-E001"), std::string::npos);
+  EXPECT_NE(r.out.find("\"op\":\"shutdown\""), std::string::npos);
+  // The summary goes to stderr; stdout carries responses only.
+  EXPECT_NE(r.err.find("serve_summary"), std::string::npos);
+  EXPECT_EQ(r.out.find("serve_summary"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace ccs

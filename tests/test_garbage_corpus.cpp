@@ -6,6 +6,7 @@
 // failure reproduces bit-for-bit; tools/check.sh runs it under ASan/UBSan.
 #include <gtest/gtest.h>
 
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -13,8 +14,10 @@
 #include "analysis/certify.hpp"
 #include "analysis/diagnostics.hpp"
 #include "io/schedule_format.hpp"
+#include "io/serve_codec.hpp"
 #include "io/text_format.hpp"
 #include "robust/fault_plan.hpp"
+#include "serve/service.hpp"
 #include "util/error.hpp"
 
 namespace ccs {
@@ -243,6 +246,125 @@ TEST(GarbageCorpus, DeterministicRandomBytesNeverCrashAnyParser) {
     }
     expect_survives(text, "<fuzz" + std::to_string(doc) + ">");
   }
+}
+
+// The resident serve loop faces the same hostile world as the batch
+// parsers, but a crash there kills every queued request — so each hostile
+// line must come back as a structured error response and the loop must
+// keep answering afterwards.
+TEST(GarbageCorpus, HostileServeRequestLinesGetStructuredErrors) {
+  std::vector<std::string> lines;
+  // Truncated JSON: object never closes.
+  lines.push_back("{\"op\":\"solve\",\"graph\":\"graph g");
+  // Not JSON at all.
+  lines.push_back("graph g node a 1");
+  // Embedded NUL bytes inside an otherwise plausible line.
+  {
+    std::string nul_line = "{\"op\":\"solve\",\"id\":\"n\",\"graph\":\"g\"}";
+    nul_line[12] = '\0';
+    nul_line[20] = '\0';
+    lines.push_back(nul_line);
+  }
+  // Absurd deadline: beyond the accepted range.
+  lines.push_back(
+      "{\"op\":\"solve\",\"graph\":\"g\",\"arch\":\"mesh 2 1\","
+      "\"deadline_ms\":99999999999999999}");
+  // Unknown op.
+  lines.push_back("{\"op\":\"destroy\"}");
+  // Deterministic binary garbage (same LCG as the parser fuzz above).
+  {
+    std::uint32_t state = 0x5E55EEDu;
+    std::string bin;
+    for (int i = 0; i < 512; ++i) {
+      state = state * 1664525u + 1013904223u;
+      char c = static_cast<char>(state % 256);
+      if (c == '\n') c = '?';  // keep it a single hostile line
+      bin += c;
+    }
+    lines.push_back(bin);
+  }
+
+  std::string input;
+  for (const auto& line : lines) input += line + "\n";
+
+  std::istringstream in(input);
+  std::ostringstream out, err;
+  ServeOptions opts;
+  opts.jobs = 2;
+  const ServeSummary summary = run_serve(in, out, err, opts);
+
+  EXPECT_EQ(summary.lines, lines.size());
+  EXPECT_EQ(summary.answered, lines.size());
+  EXPECT_EQ(summary.parse_errors, lines.size());
+
+  std::size_t responses = 0;
+  std::istringstream replies(out.str());
+  std::string reply;
+  while (std::getline(replies, reply)) {
+    ++responses;
+    EXPECT_NE(reply.find("\"status\":\"error\""), std::string::npos) << reply;
+    EXPECT_NE(reply.find("CCS-E001"), std::string::npos) << reply;
+  }
+  EXPECT_EQ(responses, lines.size());
+}
+
+// A single ~10 MB line must be refused by the length cap before any JSON
+// parsing touches it, and the loop must go on to answer the next request.
+TEST(GarbageCorpus, TenMegabyteLineIsRefusedByTheCap) {
+  std::string huge = "{\"op\":\"solve\",\"graph\":\"";
+  huge.append(10u * 1024u * 1024u, 'a');
+  huge += "\"}";
+
+  std::string input = huge + "\n";
+  input += "{\"op\":\"shutdown\"}\n";
+
+  std::istringstream in(input);
+  std::ostringstream out, err;
+  ServeOptions opts;  // default max_line_bytes: 1 MiB
+  const ServeSummary summary = run_serve(in, out, err, opts);
+
+  EXPECT_EQ(summary.lines, 2u);
+  EXPECT_EQ(summary.answered, 2u);
+
+  std::istringstream replies(out.str());
+  std::string first;
+  ASSERT_TRUE(std::getline(replies, first));
+  EXPECT_NE(first.find("\"status\":\"error\""), std::string::npos) << first;
+  EXPECT_NE(first.find("CCS-E001"), std::string::npos) << first;
+  std::string second;
+  ASSERT_TRUE(std::getline(replies, second));
+  EXPECT_NE(second.find("\"op\":\"shutdown\""), std::string::npos) << second;
+}
+
+// parse_serve_request itself (below the service layer) must classify the
+// same hostile shapes without throwing.
+TEST(GarbageCorpus, ServeCodecSurvivesHostileLines) {
+  const std::vector<std::string> corpus = {
+      "{",
+      "}",
+      "{\"op\":",
+      "{\"op\":\"solve\"}",                       // missing graph/arch
+      "{\"op\":\"solve\",\"graph\":\"g\"}",        // missing arch
+      "{\"op\":\"solve\",\"graph\":\"g\",\"arch\":\"mesh 2 1\","
+      "\"deadline_ms\":\"soon\"}",                 // non-integral deadline
+      "{\"op\":\"solve\",\"graph\":\"g\",\"arch\":\"mesh 2 1\","
+      "\"mode\":\"warp\"}",                        // unknown mode
+      "{\"op\":\"solve\",\"graph\":\"g\",\"arch\":\"mesh 2 1\","
+      "\"jobs\":-4}",                              // out-of-range jobs
+      std::string("\0\0\0", 3),
+  };
+  for (const auto& line : corpus) {
+    const ServeParse parsed = parse_serve_request(line, 1u << 20);
+    EXPECT_FALSE(parsed.ok) << line;
+    EXPECT_FALSE(parsed.blank) << line;
+    EXPECT_FALSE(parsed.code.empty()) << line;
+  }
+  // Sanity: a well-formed request still parses after all that.
+  const ServeParse good = parse_serve_request(
+      "{\"op\":\"solve\",\"graph\":\"graph g\\nnode a 1\","
+      "\"arch\":\"mesh 2 1\"}",
+      1u << 20);
+  EXPECT_TRUE(good.ok);
 }
 
 }  // namespace

@@ -590,5 +590,167 @@ TEST(SolverCacheConcurrency, ConcurrentSolversShareTheCacheSafely) {
             kThreads * 2 + 1);
 }
 
+// ---------------------------------------------------------------------------
+// The capacity-bounded cache: LRU eviction order, lookup freshening, and
+// re-certification of a re-inserted evicted key.
+
+/// Two-task cycle whose fingerprint varies with the execution times.  The
+/// name suffix changes the serialized bytes (the tier-1 exact key) without
+/// touching the canonical form, so tests can force the translate path.
+Csdfg two_task(int t0, int t1, const std::string& suffix = "") {
+  Csdfg g("lru");
+  g.add_node("a" + suffix, t0);
+  g.add_node("b" + suffix, t1);
+  g.add_edge(0, 1, 0, 1);
+  g.add_edge(1, 0, 2, 1);
+  return g;
+}
+
+SolveResponse solve_two_task(const Solver& solver, int t0, int t1,
+                             std::size_t rotation = 0) {
+  SolveRequest req;
+  req.graph = rotation == 0 ? two_task(t0, t1)
+                            : relabel(two_task(t0, t1),
+                                      rotated_perm(2, rotation));
+  req.arch = "mesh 2 1";
+  return solver.solve(req);
+}
+
+TEST(SolverCacheLru, EvictsLeastRecentlyUsedAtCapacity) {
+  SolveCache& cache = SolveCache::global();
+  cache.clear();
+  cache.set_capacity(2);
+  MetricsRegistry metrics;
+  const Solver solver(ObsContext{nullptr, &metrics});
+
+  ASSERT_TRUE(solve_two_task(solver, 1, 2).ok());  // A
+  ASSERT_TRUE(solve_two_task(solver, 2, 3).ok());  // B
+  EXPECT_EQ(cache.stats().entries, 2u);
+  EXPECT_EQ(cache.stats().evicted, 0);
+
+  // C lands at capacity: A is the least recently used and must go.
+  ASSERT_TRUE(solve_two_task(solver, 3, 4).ok());  // C evicts A
+  EXPECT_EQ(cache.stats().entries, 2u);
+  EXPECT_EQ(cache.stats().evicted, 1);
+  EXPECT_GE(metrics.counter("cache.evicted"), 1);
+
+  // A renamed resubmission of A misses (it was evicted); B and C, still
+  // resident, hit through the translate path.
+  const SolveResponse a2 = solve_two_task(solver, 1, 2, 1);
+  ASSERT_TRUE(a2.ok());
+  EXPECT_FALSE(a2.cache_hit);
+  const SolveResponse c2 = solve_two_task(solver, 3, 4, 1);
+  ASSERT_TRUE(c2.ok());
+  EXPECT_TRUE(c2.cache_hit);
+
+  cache.set_capacity(SolveCache::kDefaultCapacity);
+  cache.clear();
+}
+
+TEST(SolverCacheLru, LookupFreshensAgainstEviction) {
+  SolveCache& cache = SolveCache::global();
+  cache.clear();
+  cache.set_capacity(2);
+  const Solver solver;
+
+  ASSERT_TRUE(solve_two_task(solver, 1, 2).ok());     // A
+  ASSERT_TRUE(solve_two_task(solver, 2, 3).ok());     // B
+  ASSERT_TRUE(solve_two_task(solver, 1, 2, 1).ok());  // touch A (translate)
+  ASSERT_TRUE(solve_two_task(solver, 3, 4).ok());     // C evicts B, not A
+
+  // Fresh byte representations so the probes exercise the canonical
+  // store, not the tier-1 exact replay of lines already seen.
+  SolveRequest probe_a;
+  probe_a.graph = two_task(1, 2, "z");
+  probe_a.arch = "mesh 2 1";
+  const SolveResponse a = solver.solve(probe_a);
+  EXPECT_TRUE(a.cache_hit) << "freshened entry was evicted";
+  SolveRequest probe_b;
+  probe_b.graph = two_task(2, 3, "z");
+  probe_b.arch = "mesh 2 1";
+  const SolveResponse b = solver.solve(probe_b);
+  EXPECT_FALSE(b.cache_hit) << "stale entry survived past capacity";
+
+  cache.set_capacity(SolveCache::kDefaultCapacity);
+  cache.clear();
+}
+
+TEST(SolverCacheLru, ReinsertedEvictedKeyIsRecertifiedOnHit) {
+  SolveCache& cache = SolveCache::global();
+  cache.clear();
+  cache.set_capacity(1);
+  const Solver solver;
+
+  ASSERT_TRUE(solve_two_task(solver, 1, 2).ok());  // A
+  ASSERT_TRUE(solve_two_task(solver, 2, 3).ok());  // B evicts A
+  const SolveResponse again = solve_two_task(solver, 1, 2, 1);
+  ASSERT_TRUE(again.ok());
+  EXPECT_FALSE(again.cache_hit);  // re-solved and re-inserted (evicts B)
+
+  // The re-inserted entry answers a fresh renaming (new bytes, same
+  // canonical form) through the full translate + CCS-S016
+  // re-certification path.
+  SolveRequest fresh;
+  fresh.graph = two_task(1, 2, "x");
+  fresh.arch = "mesh 2 1";
+  const SolveResponse hot = solver.solve(fresh);
+  ASSERT_TRUE(hot.ok());
+  EXPECT_TRUE(hot.cache_hit);
+  EXPECT_TRUE(hot.certified);
+  EXPECT_EQ(cache.stats().evicted, 2);
+
+  cache.set_capacity(SolveCache::kDefaultCapacity);
+  cache.clear();
+}
+
+TEST(SolverCacheConcurrency, MixedWorkloadOnOneSolverKeepsCountersExact) {
+  // One shared Solver hammered from N threads with a mix of byte-identical,
+  // isomorphic, and novel requests.  Every response must be certified or
+  // carry diagnostics, and the counter invariant must hold exactly:
+  // each cacheable probe records one of hit/miss/rejected per lookup.
+  SolveCache::global().clear();
+  const Solver solver;
+  const Csdfg base = paper_example6();
+
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kRounds = 3;
+  std::vector<int> sane(kThreads * kRounds, 0);
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      for (std::size_t round = 0; round < kRounds; ++round) {
+        SolveRequest req;
+        req.arch = "mesh 2 2";
+        if (round == 0) {
+          req.graph = base;  // byte-identical across threads
+        } else if (round == 1) {
+          req.graph = relabel(
+              base, rotated_perm(base.node_count(),
+                                 1 + t % (base.node_count() - 1)));
+        } else {
+          req.graph = two_task(static_cast<int>(t) + 1,
+                               static_cast<int>(t) + 2);  // novel per thread
+        }
+        const SolveResponse res = solver.solve(req);
+        const bool answered = res.ok() && res.certified;
+        const bool diagnosed = !res.diagnostics.empty();
+        sane[t * kRounds + round] = answered || diagnosed ? 1 : 0;
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  for (std::size_t i = 0; i < sane.size(); ++i)
+    EXPECT_TRUE(sane[i]) << "request " << i
+                         << " neither certified nor diagnosed";
+
+  const SolveCache::Stats stats = SolveCache::global().stats();
+  EXPECT_EQ(stats.hits + stats.misses + stats.rejected, stats.lookups);
+  EXPECT_EQ(stats.lookups,
+            static_cast<long long>(kThreads * kRounds));
+  EXPECT_EQ(stats.rejected, 0);
+  SolveCache::global().clear();
+}
+
 }  // namespace
 }  // namespace ccs

@@ -31,7 +31,7 @@ if [[ ",${sanitizers}," == *",thread,"* ]]; then
   # and hammer the route cache from concurrent constructors — the races TSan
   # exists to catch.  TSan needs a generous timeout.
   ctest --test-dir "${build_dir}" --output-on-failure --timeout 300 \
-    -j "$(nproc)" -R 'Portfolio|RouteCache|Solver|Budget|Obs'
+    -j "$(nproc)" -R 'Portfolio|RouteCache|Solver|Budget|Obs|Serve'
   # Profiled portfolio smoke: span recording under 8 workers (per-attempt
   # profilers, attempt-ordered absorb) must be TSan-clean end to end.
   tsan_tmp="$(mktemp -d)"
@@ -243,3 +243,57 @@ if [ "${rc}" -ne 0 ]; then
   exit 1
 fi
 echo "profile + report gates passed"
+
+# Serve smoke gate (docs/SERVE.md): the resident loop must answer every
+# line of a mixed request file (valid solves, garbage, an expired
+# deadline) and exit 0; a jobs=1 stream must be byte-for-byte
+# deterministic across two cold runs; and a depth-1 queue behind a sleep
+# hog must shed with a structured `overloaded` response.
+echo "== serve smoke gate =="
+fig_graph="$(sed -e 's/\\/\\\\/g' -e 's/"/\\"/g' \
+  "${repo_root}/examples/data/paper_fig1b.csdfg" | awk '{printf "%s\\n", $0}')"
+{
+  printf '{"op":"solve","id":"r1","graph":"%s","arch":"mesh 2 2"}\n' \
+    "${fig_graph}"
+  printf '{"op":"solve","id":"r2","graph":"%s","arch":"mesh 2 2"}\n' \
+    "${fig_graph}"
+  printf 'this line is not a request\n'
+  printf '{"op":"solve","id":"late","graph":"%s","arch":"mesh 2 2","deadline_ms":-5}\n' \
+    "${fig_graph}"
+  printf '{"op":"stats"}\n'
+  printf '{"op":"shutdown"}\n'
+} > "${workdir}/serve_smoke.jsonl"
+"${ccsched}" serve < "${workdir}/serve_smoke.jsonl" \
+  > "${workdir}/serve1.out" 2> "${workdir}/serve1.err"
+"${ccsched}" serve < "${workdir}/serve_smoke.jsonl" \
+  > "${workdir}/serve2.out" 2> /dev/null
+cmp "${workdir}/serve1.out" "${workdir}/serve2.out" || {
+  echo "error: jobs=1 serve output is not byte-deterministic" >&2
+  exit 1
+}
+[ "$(wc -l < "${workdir}/serve1.out")" -eq 6 ] || {
+  echo "error: serve answered $(wc -l < "${workdir}/serve1.out") of 6 lines" >&2
+  exit 1
+}
+grep -q '"id":"r2".*"cache_hit":true' "${workdir}/serve1.out"
+grep -q 'CCS-E001' "${workdir}/serve1.out"
+grep -q '"id":"late".*"status":"rejected".*CCS-E003' "${workdir}/serve1.out"
+grep -q '"kind":"serve_summary"' "${workdir}/serve1.err"
+if grep -q 'serve_summary' "${workdir}/serve1.out"; then
+  echo "error: summary leaked onto the response stream" >&2
+  exit 1
+fi
+{
+  printf '{"op":"sleep","sleep_ms":400}\n'
+  for i in 1 2 3 4; do
+    printf '{"op":"solve","id":"b%s","graph":"%s","arch":"mesh 2 2"}\n' \
+      "${i}" "${fig_graph}"
+  done
+} > "${workdir}/serve_burst.jsonl"
+"${ccsched}" serve --queue-depth 1 < "${workdir}/serve_burst.jsonl" \
+  > "${workdir}/serve_burst.out" 2> /dev/null
+grep -q '"status":"overloaded"' "${workdir}/serve_burst.out" || {
+  echo "error: depth-1 queue under a sleep hog never shed" >&2
+  exit 1
+}
+echo "serve smoke gate passed"
