@@ -12,6 +12,7 @@
 //    fails the benchmark job before any numbers are reported.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cstdlib>
 #include <iostream>
 
@@ -82,6 +83,86 @@ void print_quality_gate() {
     }
   }
 }
+
+/// The remap engine gate: on every paper architecture, the incremental
+/// backend must (a) produce placement-for-placement the serial schedule
+/// the naive v1 referee produces, and (b) scan at least 5x fewer
+/// occupancy slots on the 19-node workload — the headline claim of the
+/// incremental engine.  Aborting here fails the benchmark job before any
+/// numbers are reported.
+void print_remap_gate() {
+  bench::banner("incremental vs naive remap backend, 19-node workload (CI gate)");
+  const Csdfg g = paper_example19();
+  std::cout << "architecture        length  slots(naive)  slots(incr)  ratio\n";
+  for (const Topology& topo : bench::paper_architectures()) {
+    const StoreAndForwardModel comm(topo);
+    CycloCompactionOptions fast;
+    fast.remap_backend = RemapBackend::kIncremental;
+    CycloCompactionOptions referee = fast;
+    referee.remap_backend = RemapBackend::kNaive;
+    const CycloCompactionResult a = cyclo_compact(g, topo, comm, fast);
+    const CycloCompactionResult b = cyclo_compact(g, topo, comm, referee);
+    bool identical = a.best.length() == b.best.length();
+    for (NodeId v = 0; identical && v < g.node_count(); ++v)
+      identical = a.best.is_placed(v) == b.best.is_placed(v) &&
+                  a.best.cb(v) == b.best.cb(v) && a.best.pe(v) == b.best.pe(v);
+    const double ratio =
+        static_cast<double>(b.remap_stats.slots_scanned) /
+        static_cast<double>(std::max(1LL, a.remap_stats.slots_scanned));
+    std::cout << topo.name();
+    for (std::size_t pad = topo.name().size(); pad < 20; ++pad)
+      std::cout << ' ';
+    std::cout << a.best.length() << "       " << b.remap_stats.slots_scanned
+              << "        " << a.remap_stats.slots_scanned << "        "
+              << ratio << "x\n";
+    if (!identical) {
+      std::cerr << "REMAP REGRESSION: backends diverge on " << topo.name()
+                << " (incremental " << a.best.length() << ", naive "
+                << b.best.length() << ")" << std::endl;
+      std::abort();
+    }
+    if (ratio < 5.0) {
+      std::cerr << "REMAP REGRESSION: slots_scanned speedup " << ratio
+                << "x < 5x on " << topo.name() << " (naive "
+                << b.remap_stats.slots_scanned << ", incremental "
+                << a.remap_stats.slots_scanned << ")" << std::endl;
+      std::abort();
+    }
+  }
+}
+
+/// A/B of the RemapEngine backends on the serial driver (arg 0 = the
+/// incremental engine, arg 1 = the preserved v1 referee), 19-node paper
+/// workload on the 4x2 mesh.  The measured time is the whole compaction;
+/// the exported counters are the deterministic remap cost accounting of
+/// one run — `remap.slots_scanned` is occupancy probes (bitset words vs
+/// grid cells), so the naive/incremental ratio across the two rows is the
+/// slot-test speedup the engine exists for, and the committed baseline
+/// gates `remap.slots_scanned` per commit (`report --diff --gate`).
+void BM_RemapIncremental(benchmark::State& state) {
+  const bool naive = state.range(0) != 0;
+  const Csdfg g = paper_example19();
+  const Topology topo = make_mesh(4, 2);
+  const StoreAndForwardModel comm(topo);
+  CycloCompactionOptions opt;
+  opt.remap_backend = naive ? RemapBackend::kNaive : RemapBackend::kIncremental;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(cyclo_compact(g, topo, comm, opt));
+  const CycloCompactionResult run = cyclo_compact(g, topo, comm, opt);
+  state.counters["remap.slots_scanned"] =
+      ::benchmark::Counter(static_cast<double>(run.remap_stats.slots_scanned));
+  state.counters["an.evaluations"] =
+      ::benchmark::Counter(static_cast<double>(run.remap_stats.an_evaluations));
+  state.counters["remap.an_cache_hit"] =
+      ::benchmark::Counter(static_cast<double>(run.remap_stats.an_cache_hits));
+  state.counters["remap.bitset_probe"] =
+      ::benchmark::Counter(static_cast<double>(run.remap_stats.bitset_probes));
+  state.SetLabel(run.backend);
+}
+BENCHMARK(BM_RemapIncremental)
+    ->Arg(0)->Arg(1)
+    ->ArgNames({"naive"})
+    ->Unit(benchmark::kMillisecond);
 
 void BM_SerialCompaction(benchmark::State& state) {
   const Csdfg g = scaling_graph(static_cast<std::size_t>(state.range(0)));
@@ -199,5 +280,6 @@ BENCHMARK(BM_CompactObsOverhead)
 
 int main(int argc, char** argv) {
   print_quality_gate();
+  print_remap_gate();
   return ccs::bench::run_benchmarks(argc, argv);
 }

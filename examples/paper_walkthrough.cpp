@@ -46,12 +46,14 @@ int main() {
               << " at target length " << previous_length - 1 << ":";
     for (PeId pe = 0; pe < mesh.size(); ++pe)
       std::cout << "  pe" << pe + 1 << "->"
-                << anticipation(g, table, comm, v, pe, previous_length - 1);
+                << RemapEngine::anticipation(g, table, comm, v, pe,
+                                             previous_length - 1);
     std::cout << '\n';
   }
 
-  auto remapped = remap_rotated(g, table, comm, rotated, previous_length,
-                                RemapPolicy::kWithoutRelaxation);
+  auto remapped = RemapEngine::remap_rotated(
+      g, table, comm, rotated, previous_length,
+      RemapPolicy::kWithoutRelaxation);
   if (!remapped) {
     std::cerr << "remap unexpectedly failed\n";
     return 1;

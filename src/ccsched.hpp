@@ -23,9 +23,15 @@
 //     #if CCSCHED_API_VERSION >= 1
 //       ... Solver-based code ...
 //     #endif
+//
+// Version 2 (the RemapEngine release): the free-function remap surface in
+// core/remap.hpp is deprecated in favor of ccs::RemapEngine
+// (core/remap_engine.hpp), and SolveResponse gained the additive
+// remap_slots_scanned / an_evaluations / engine_backend fields.  See the
+// "v1 -> v2 migration" section of docs/API.md.
 #pragma once
 
-#define CCSCHED_API_VERSION 1
+#define CCSCHED_API_VERSION 2
 
 // Error types thrown by the toolkit layers (the Solver itself never
 // throws; it folds failures into SolveResponse::diagnostics).

@@ -2,7 +2,6 @@
 
 #include <utility>
 
-#include "core/rotation.hpp"
 #include "util/contracts.hpp"
 
 namespace ccs {
@@ -23,13 +22,16 @@ CycloCompactionResult cyclo_compact(const Csdfg& g, const Topology& topo,
                          : 3 * static_cast<int>(std::max<std::size_t>(
                                    1, g.node_count()));
 
-  Csdfg current_graph = g;
-  ScheduleTable current = startup;
-  Retiming current_retiming(g.node_count());
+  // The engine owns the working graph, retiming, and placements; each pass
+  // is rotate / remap / commit, and a failed pass rolls back wholesale.
+  RemapEngine engine(g, comm, options.remap_backend);
+  engine.bind(startup);
 
-  CycloCompactionResult result{current_graph, current_retiming, current,
-                               startup,       {},               0,
-                               {}};
+  CycloCompactionResult result{g,  Retiming(g.node_count()),
+                               startup, startup,
+                               {}, 0,
+                               {}, {},
+                               std::string(remap_backend_name(engine.backend()))};
 
   // Budget bookkeeping: all three stop conditions are evaluated at pass
   // boundaries so a budgeted run is a deterministic prefix of the
@@ -63,30 +65,26 @@ CycloCompactionResult cyclo_compact(const Csdfg& g, const Topology& topo,
       obs.emit(BudgetEvent{reason, pass, result.best.length()});
       break;
     }
-    const int previous_length = current.length();
+    const int previous_length = engine.length();
     if (previous_length <= 0) break;
     const ObsSpan pass_span = obs.span("compact.pass");
     obs.count("compaction.passes");
     obs.emit(PassStartEvent{pass, previous_length});
 
-    // Work on copies so a failed pass can be discarded wholesale.
-    Csdfg rotated_graph = current_graph;
-    ScheduleTable shifted = current;
-    Retiming pass_retiming = current_retiming;
-    const std::vector<NodeId> rotated =
-        rotate_first_row(rotated_graph, shifted, &pass_retiming);
+    const std::vector<NodeId> rotated = engine.rotate();
     if (obs.metrics != nullptr)
       obs.metrics->add("rotation.nodes",
                        static_cast<long long>(rotated.size()));
     if (obs.tracing()) obs.emit(RotationEvent{pass, rotated});
 
-    auto remapped =
-        remap_rotated(rotated_graph, shifted, comm, rotated, previous_length,
-                      options.policy, options.selection, obs);
+    const std::optional<int> remapped =
+        engine.remap(rotated, previous_length, options.policy,
+                     options.selection, obs);
     if (!remapped) {
       // Without relaxation a pass that cannot keep the length is abandoned;
       // the configuration would repeat forever, so the loop ends (the paper:
       // "the remapping phase does not occur in this case").
+      engine.rollback();
       result.length_trace.push_back(previous_length);
       obs.count("compaction.rollbacks");
       obs.emit(RollbackEvent{pass, previous_length,
@@ -94,16 +92,14 @@ CycloCompactionResult cyclo_compact(const Csdfg& g, const Topology& topo,
       break;
     }
 
-    current_graph = std::move(rotated_graph);
-    current = std::move(*remapped);
-    current_retiming = pass_retiming;
-    result.length_trace.push_back(current.length());
+    engine.commit();
+    result.length_trace.push_back(*remapped);
 
-    const bool improved = current.length() < result.best.length();
+    const bool improved = *remapped < result.best.length();
     if (improved) {
-      result.best = current;
-      result.retimed_graph = current_graph;
-      result.retiming = current_retiming;
+      result.best = engine.table();
+      result.retimed_graph = engine.graph();
+      result.retiming = engine.retiming();
       result.best_pass = pass;
       stale_passes = 0;
       obs.count("compaction.improved_passes");
@@ -111,9 +107,10 @@ CycloCompactionResult cyclo_compact(const Csdfg& g, const Topology& topo,
       ++stale_passes;
     }
     obs.emit(
-        PassEndEvent{pass, current.length(), improved, result.best.length()});
+        PassEndEvent{pass, *remapped, improved, result.best.length()});
   }
 
+  result.remap_stats = engine.stats();
   CCS_ENSURES(result.best.length() <= startup.length());
   return result;
 }

@@ -21,6 +21,14 @@ bool is_ready(const Csdfg& g, const ScheduleTable& table, NodeId v) {
   return true;
 }
 
+/// Placement snapshot of one scheduled zero-delay predecessor, hoisted out
+/// of the per-processor probe loop.
+struct PredSnapshot {
+  int ce;
+  PeId pe;
+  std::size_t volume;
+};
+
 }  // namespace
 
 ScheduleTable start_up_schedule(const Csdfg& g, const Topology& topo,
@@ -74,10 +82,28 @@ ScheduleTable start_up_schedule(const Csdfg& g, const Topology& topo,
       return a < b;
     });
 
+    std::vector<PredSnapshot> preds;
     for (NodeId v : ready) {
       // cm(p_j) = max_i { CE(u_i) + M(PE(u_i), p_j, c(e_i)) } over the
       // scheduled zero-delay predecessors; v may start at cs on p_j only if
       // cm < cs (the algorithm's validity test) and the slot is free.
+      //
+      // The predecessor placements cannot change while v probes processors,
+      // so their (CE, PE, volume) triples are snapshotted once per node
+      // instead of re-read from the table P times.  Communication costs are
+      // non-negative, so max CE(u_i) lower-bounds cm on *every* processor:
+      // when it already reaches cs the whole probe loop is provably futile
+      // and is skipped (same placements, fewer startup.candidate_slots).
+      preds.clear();
+      long long min_cm = 0;
+      for (EdgeId eid : g.in_edges(v)) {
+        const Edge& e = g.edge(eid);
+        if (e.delay != 0) continue;
+        const int ce = table.ce(e.from);
+        preds.push_back({ce, table.pe(e.from), e.volume});
+        min_cm = std::max(min_cm, static_cast<long long>(ce));
+      }
+      if (min_cm >= cs) continue;
       bool placed = false;
       long long best_cm = 0;
       int best_finish = 0;
@@ -86,13 +112,10 @@ ScheduleTable start_up_schedule(const Csdfg& g, const Topology& topo,
         ++candidate_slots;
         const int span = options.pipelined_pes ? 1 : table.time_on(v, pj);
         long long cm = 0;
-        for (EdgeId eid : g.in_edges(v)) {
-          const Edge& e = g.edge(eid);
-          if (e.delay != 0) continue;
+        for (const PredSnapshot& u : preds) {
           const long long m =
-              options.comm_aware ? comm.cost(table.pe(e.from), pj, e.volume)
-                                 : 0;
-          cm = std::max(cm, static_cast<long long>(table.ce(e.from)) + m);
+              options.comm_aware ? comm.cost(u.pe, pj, u.volume) : 0;
+          cm = std::max(cm, static_cast<long long>(u.ce) + m);
         }
         if (cm < cs && table.is_free(pj, cs, cs + span - 1)) {
           // Prefer the earliest completion (heterogeneity-aware; identical

@@ -1,73 +1,54 @@
-// ccsched — the remapping phase (Definitions 4.2/4.3, Lemmas 4.2/4.3).
+// ccsched — the v1 remapping surface (DEPRECATED since API v2).
 //
-// After a rotation the deallocated tasks must be put back.  For a rotated
-// task v and each candidate processor p_j the anticipation function
+// The free functions below predate ccs::RemapEngine (core/remap_engine.hpp)
+// and are kept as thin, behavior-identical wrappers over the engine's
+// preserved v1 procedures so downstream code keeps compiling.  New code
+// should construct a RemapEngine and use its bind/rotate/remap/commit
+// lifecycle — it maintains the anticipation bounds and occupancy state
+// incrementally instead of recomputing them per probe.  See the "v1 -> v2
+// migration" section of docs/API.md.
 //
-//   AN(v, p_j) = max(1, max_i { CE(u_i) + M(PE(u_i), p_j, c(e_i)) + 1
-//                               - k_i * L_target })
-//
-// (Lemma 4.2, rewritten from the master constraint at the target length) is
-// the first control step at which v may start on p_j without breaking any
-// placed predecessor dependence.  Placed *successors* bound the placement
-// from above through the same constraint; the projected schedule length
-// PSL (Lemma 4.3) then determines how many empty steps, if any, must pad the
-// table so every loop-carried communication fits.
-//
-// Two policies (Def. 4.2):
-//  * without relaxation — the pass must end at most as long as it started
-//    (Theorem 4.4's monotonicity); otherwise the caller rolls back;
-//  * with relaxation — intermediate growth is allowed; the driver keeps the
-//    best table seen.
+// The wrappers compile warning-clean by default.  Define
+// CCSCHED_WARN_DEPRECATED to have every use flagged with [[deprecated]]
+// (the CI shim gate builds both ways).
 #pragma once
 
 #include <optional>
 #include <vector>
 
-#include "arch/comm_model.hpp"
-#include "core/csdfg.hpp"
-#include "core/schedule.hpp"
-#include "obs/obs.hpp"
+#include "core/remap_engine.hpp"
+
+#ifdef CCSCHED_WARN_DEPRECATED
+#define CCSCHED_DEPRECATED_V1(msg) [[deprecated(msg)]]
+#else
+#define CCSCHED_DEPRECATED_V1(msg)
+#endif
 
 namespace ccs {
-
-/// Remapping policy of Definition 4.2.
-enum class RemapPolicy {
-  kWithoutRelaxation,  ///< Never end a pass longer than it started.
-  kWithRelaxation,     ///< Allow intermediate growth (best-so-far elsewhere).
-};
-
-/// How the remapper picks among feasible (processor, step) slots.
-enum class RemapSelection {
-  /// Predecessor bound + successor bound + slot availability — every slot
-  /// offered is feasible for the already-placed neighbors (default).
-  kBidirectional,
-  /// The paper's literal procedure: predecessor-side AN only; successor
-  /// violations surface as a larger PSL afterwards.  Kept for the ablation
-  /// bench (A1/A2 in DESIGN.md).
-  kAnticipationOnly,
-};
 
 /// Anticipation function AN(v, pe) at target length `target_length` given
 /// the current partial table: the earliest start step on `pe` respecting
 /// every *placed* predecessor of v (Lemma 4.2; unplaced predecessors and
 /// self-loops do not constrain the start step).  Always >= 1.
-[[nodiscard]] int anticipation(const Csdfg& g, const ScheduleTable& table,
-                               const CommModel& comm, NodeId v, PeId pe,
-                               int target_length);
+CCSCHED_DEPRECATED_V1("use ccs::RemapEngine (docs/API.md, v1 -> v2)")
+[[nodiscard]] inline int anticipation(const Csdfg& g,
+                                      const ScheduleTable& table,
+                                      const CommModel& comm, NodeId v, PeId pe,
+                                      int target_length) {
+  return RemapEngine::anticipation(g, table, comm, v, pe, target_length);
+}
 
 /// Latest start step of v on `pe` such that every *placed* successor of v
 /// still satisfies the master constraint at `target_length`, and v itself
 /// fits inside the table (CE <= target_length).  May be < 1, meaning no
 /// feasible step exists on that processor.
-[[nodiscard]] int latest_start(const Csdfg& g, const ScheduleTable& table,
-                               const CommModel& comm, NodeId v, PeId pe,
-                               int target_length);
-
-/// Result of one remapping attempt.
-struct RemapResult {
-  bool success = false;  ///< Every rotated task was placed.
-  int length = 0;        ///< Final table length (occupied + PSL padding).
-};
+CCSCHED_DEPRECATED_V1("use ccs::RemapEngine (docs/API.md, v1 -> v2)")
+[[nodiscard]] inline int latest_start(const Csdfg& g,
+                                      const ScheduleTable& table,
+                                      const CommModel& comm, NodeId v, PeId pe,
+                                      int target_length) {
+  return RemapEngine::latest_start(g, table, comm, v, pe, target_length);
+}
 
 /// Tries to place every task of `rotated` into `table` with all CE within
 /// `target_length`, then pads the table to the PSL bound.  On success the
@@ -78,12 +59,17 @@ struct RemapResult {
 /// processor id.  `obs` (optional) receives one remap_decision event per
 /// task plus a psl_pad event, and the an.evaluations / remap.slots_scanned /
 /// psl.* counters.
-[[nodiscard]] RemapResult try_remap(const Csdfg& g, ScheduleTable& table,
-                                    const CommModel& comm,
-                                    const std::vector<NodeId>& rotated,
-                                    int target_length,
-                                    RemapSelection selection,
-                                    const ObsContext& obs = {});
+CCSCHED_DEPRECATED_V1("use ccs::RemapEngine (docs/API.md, v1 -> v2)")
+[[nodiscard]] inline RemapResult try_remap(const Csdfg& g,
+                                           ScheduleTable& table,
+                                           const CommModel& comm,
+                                           const std::vector<NodeId>& rotated,
+                                           int target_length,
+                                           RemapSelection selection,
+                                           const ObsContext& obs = {}) {
+  return RemapEngine::try_remap(g, table, comm, rotated, target_length,
+                                selection, obs);
+}
 
 /// One full remapping pass per Definition 4.2: tries target lengths
 /// `previous_length - 1`, then `previous_length`, then (with relaxation
@@ -93,10 +79,15 @@ struct RemapResult {
 /// stays <= previous_length.
 ///
 /// `table` must be the post-rotation (shifted) table; it is not modified.
-[[nodiscard]] std::optional<ScheduleTable> remap_rotated(
+CCSCHED_DEPRECATED_V1("use ccs::RemapEngine (docs/API.md, v1 -> v2)")
+[[nodiscard]] inline std::optional<ScheduleTable> remap_rotated(
     const Csdfg& g, const ScheduleTable& table, const CommModel& comm,
     const std::vector<NodeId>& rotated, int previous_length,
-    RemapPolicy policy, RemapSelection selection = RemapSelection::kBidirectional,
-    const ObsContext& obs = {});
+    RemapPolicy policy,
+    RemapSelection selection = RemapSelection::kBidirectional,
+    const ObsContext& obs = {}) {
+  return RemapEngine::remap_rotated(g, table, comm, rotated, previous_length,
+                                    policy, selection, obs);
+}
 
 }  // namespace ccs

@@ -319,6 +319,9 @@ PortfolioResult portfolio_compact(const Csdfg& g, const Topology& topo,
     row.stop_reason = run.stop_reason;
     row.pruned = run.stop_reason == "preempted";
     row.winner = i == winner_index;
+    row.remap_slots_scanned = run.remap_stats.slots_scanned;
+    row.an_evaluations = run.remap_stats.an_evaluations;
+    row.engine_backend = run.backend;
     attempts.push_back(std::move(row));
   }
   const int serial_length = slots[0].result->best.length();
@@ -365,6 +368,14 @@ PortfolioResult portfolio_compact(const Csdfg& g, const Topology& topo,
     obs.metrics->set(
         "portfolio.gap",
         static_cast<double>(result.winner.best.length() - lower_bound));
+    // The winner's remap cost is deterministic across --jobs (preemption
+    // only ever stops attempts that provably lose the tie-break).
+    obs.metrics->set(
+        "portfolio.winner_slots_scanned",
+        static_cast<double>(result.winner.remap_stats.slots_scanned));
+    obs.metrics->set(
+        "portfolio.winner_an_evaluations",
+        static_cast<double>(result.winner.remap_stats.an_evaluations));
     const RouteCache::Stats rc = RouteCache::global().stats();
     obs.metrics->set("portfolio.route_cache.hits",
                      static_cast<double>(rc.hits));

@@ -66,6 +66,9 @@ void solve_schedule(const SolveRequest& request, const Topology& topo,
   res.startup_length = run.startup_length();
   res.best_length = run.best_length();
   res.stop_reason = run.stop_reason;
+  res.remap_slots_scanned = run.remap_stats.slots_scanned;
+  res.an_evaluations = run.remap_stats.an_evaluations;
+  res.engine_backend = run.backend;
   res.schedule.emplace(std::move(run.best));
   res.status = SolveStatus::kOk;
   certify_response(request, comm, res, "solver/schedule");
@@ -101,6 +104,9 @@ void solve_portfolio(const SolveRequest& request, const Topology& topo,
   res.startup_length = portfolio.winner.startup_length();
   res.best_length = portfolio.winner.best_length();
   res.stop_reason = portfolio.winner.stop_reason;
+  res.remap_slots_scanned = portfolio.winner.remap_stats.slots_scanned;
+  res.an_evaluations = portfolio.winner.remap_stats.an_evaluations;
+  res.engine_backend = portfolio.winner.backend;
   res.schedule.emplace(std::move(portfolio.winner.best));
   res.attempts = std::move(portfolio.attempts);
   res.winner_attempt = static_cast<int>(portfolio.winner_attempt);
@@ -144,6 +150,9 @@ void solve_repair(const SolveRequest& request, const Topology& topo,
   }
   const CycloCompactionResult baseline =
       cyclo_compact(request.graph, topo, comm, request.options, obs);
+  res.remap_slots_scanned = baseline.remap_stats.slots_scanned;
+  res.an_evaluations = baseline.remap_stats.an_evaluations;
+  res.engine_backend = baseline.backend;
   RepairOptions ropt;
   ropt.pe_speeds = request.options.startup.pe_speeds;
   ropt.pipelined_pes = request.options.startup.pipelined_pes;

@@ -151,6 +151,18 @@ struct SolveResponse {
   /// PE -> original PE mapping.
   std::string repair_rung;
   std::vector<PeId> pe_map;
+  /// Remap cost accounting (API v2, additive).  For kSchedule the run's
+  /// totals; for kPortfolio the winning attempt's totals (deterministic
+  /// across --jobs, like the winner itself).  `remap_slots_scanned` counts
+  /// occupancy probes — grid cells on the naive backend, 64-step bitset
+  /// words on the incremental one; `an_evaluations` counts Lemma 4.2
+  /// anticipation evaluations (identical across backends).  Both 0 for
+  /// modes that never remap (kStartup, kCertify, kModulo).
+  long long remap_slots_scanned = 0;
+  long long an_evaluations = 0;
+  /// RemapEngine backend that produced `schedule` ("incremental" /
+  /// "naive"); empty when no remap ran.
+  std::string engine_backend;
 
   [[nodiscard]] bool ok() const noexcept { return status == SolveStatus::kOk; }
 };

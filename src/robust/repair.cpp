@@ -7,7 +7,7 @@
 
 #include "arch/comm_model.hpp"
 #include "core/list_scheduler.hpp"
-#include "core/remap.hpp"
+#include "core/remap_engine.hpp"
 #include "util/error.hpp"
 
 namespace ccs {
@@ -175,10 +175,9 @@ RepairOutcome repair_schedule(const Csdfg& g,
       const int start_target = base.length();
       for (int slack = 0; slack <= options.max_remap_slack; ++slack) {
         ScheduleTable attempt = base;
-        const RemapResult r =
-            try_remap(baseline.retimed_graph, attempt, comm, out.orphans,
-                      start_target + slack, RemapSelection::kBidirectional,
-                      obs);
+        const RemapResult r = RemapEngine::try_remap(
+            baseline.retimed_graph, attempt, comm, out.orphans,
+            start_target + slack, RemapSelection::kBidirectional, obs);
         if (!r.success) continue;
 
         DiagnosticBag bag;

@@ -8,7 +8,7 @@
 //
 //   rung 0  remap            keep every surviving placement, re-place only
 //                            the dead processors' tasks via the anticipation
-//                            machinery (core/remap.hpp) at escalating target
+//                            machinery (core/remap_engine.hpp) at escalating target
 //                            lengths;
 //   rung 1  recompact-relax  full cyclo-compaction on the reduced machine,
 //                            with relaxation (the paper's recommended

@@ -32,7 +32,7 @@ bool has_code(const DiagnosticBag& bag, const std::string& code) {
 }
 
 TEST(SolverApi, VersionMacroIsCurrent) {
-  EXPECT_EQ(CCSCHED_API_VERSION, 1);
+  EXPECT_EQ(CCSCHED_API_VERSION, 2);
 }
 
 TEST(SolverApi, HelloWorldScheduleIsCertified) {

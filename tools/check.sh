@@ -31,7 +31,7 @@ if [[ ",${sanitizers}," == *",thread,"* ]]; then
   # and hammer the route cache from concurrent constructors — the races TSan
   # exists to catch.  TSan needs a generous timeout.
   ctest --test-dir "${build_dir}" --output-on-failure --timeout 300 \
-    -j "$(nproc)" -R 'Portfolio|RouteCache|Solver|Budget|Obs|Serve'
+    -j "$(nproc)" -R 'Portfolio|RouteCache|Solver|Budget|Obs|Serve|Remap'
   # Profiled portfolio smoke: span recording under 8 workers (per-attempt
   # profilers, attempt-ordered absorb) must be TSan-clean end to end.
   tsan_tmp="$(mktemp -d)"
@@ -173,6 +173,56 @@ for sched in "${bad_sched_dir}"/s*.sched; do
   done
   echo "rejected with ${code}: ${sched}"
 done
+
+# Remap backend gate (docs/API.md "v1 -> v2"): the incremental engine and
+# the naive v1 referee must render byte-identical schedules on the paper
+# workloads — the shell-level echo of the differential test suite.  And the
+# deprecated v1 shims must stay consumable warning-clean by downstream code
+# built with -Wall -Wextra -Werror (the [[deprecated]] attributes only
+# arm under CCSCHED_WARN_DEPRECATED, where the warning must actually fire).
+echo "== remap backend gate =="
+for graph in "${repo_root}"/examples/data/paper_fig1b.csdfg \
+             "${repo_root}"/examples/data/paper_fig7.csdfg; do
+  arch="mesh 2 2"
+  case "$(basename "${graph}")" in paper_fig7.csdfg) arch="mesh 4 2" ;; esac
+  for policy in relax strict; do
+    "${ccsched}" schedule "${graph}" --arch "${arch}" --policy "${policy}" \
+      --remap-backend incremental > "${workdir}/inc.out"
+    "${ccsched}" schedule "${graph}" --arch "${arch}" --policy "${policy}" \
+      --remap-backend naive > "${workdir}/nai.out"
+    cmp "${workdir}/inc.out" "${workdir}/nai.out" || {
+      echo "error: backends diverge on ${graph} (${policy})" >&2
+      exit 1
+    }
+  done
+  echo "backends identical: ${graph}"
+done
+cat > "${workdir}/shim_user.cpp" <<'EOF'
+#include "core/remap.hpp"
+int use(const ccs::Csdfg& g, const ccs::ScheduleTable& t,
+        const ccs::CommModel& m) {
+  return ccs::anticipation(g, t, m, 0, 0, 4) +
+         ccs::latest_start(g, t, m, 0, 0, 4);
+}
+EOF
+cxx="${CXX:-c++}"
+"${cxx}" -std=c++20 -fsyntax-only -Wall -Wextra -Werror \
+  -I "${repo_root}/src" "${workdir}/shim_user.cpp" || {
+  echo "error: deprecated shims are not warning-clean downstream" >&2
+  exit 1
+}
+if ! "${cxx}" -std=c++20 -fsyntax-only -Wall -Wextra \
+    -DCCSCHED_WARN_DEPRECATED -I "${repo_root}/src" \
+    "${workdir}/shim_user.cpp" 2> "${workdir}/shim_warn.txt"; then
+  echo "error: shim TU failed to compile under CCSCHED_WARN_DEPRECATED" >&2
+  cat "${workdir}/shim_warn.txt" >&2
+  exit 1
+fi
+grep -q "deprecated" "${workdir}/shim_warn.txt" || {
+  echo "error: CCSCHED_WARN_DEPRECATED produced no deprecation warning" >&2
+  exit 1
+}
+echo "remap backend + shim hygiene gates passed"
 
 # Stress gate (docs/ROBUSTNESS.md): a single-PE fail-stop must walk the
 # repair ladder to a certified schedule on every shipped workload, and the
